@@ -1,0 +1,176 @@
+// Package clara is the public API of the Clara reproduction: automated
+// SmartNIC offloading insights for network functions (SOSP 2021).
+//
+// The package re-exports the pieces a user composes:
+//
+//   - CompileNF turns NFC source (a Click-style element) into analyzable IR;
+//   - Train builds the Clara tool — the instruction predictor (§3), the
+//     accelerator-algorithm identifier (§4.1), and the scale-out cost
+//     model (§4.2) — against the simulated SmartNIC;
+//   - Tool.Analyze produces the offloading insights for an unported NF and
+//     a workload;
+//   - the nicsim/traffic aliases let users port, place, pack, and simulate
+//     NFs directly (the "hardware" side of the evaluation).
+//
+// See examples/ for runnable end-to-end scenarios and internal/experiments
+// for the harnesses regenerating every table and figure of the paper.
+package clara
+
+import (
+	"clara/internal/click"
+	"clara/internal/core"
+	"clara/internal/interp"
+	"clara/internal/ir"
+	"clara/internal/isa"
+	"clara/internal/lang"
+	"clara/internal/niccc"
+	"clara/internal/nicsim"
+	"clara/internal/synth"
+	"clara/internal/traffic"
+)
+
+// Re-exported core types. The aliases are the supported public surface;
+// internal packages remain free to evolve behind them.
+type (
+	// Module is a lowered NF element (the unit of analysis).
+	Module = ir.Module
+	// Element is a library NF with source, setup and metadata.
+	Element = click.Element
+	// Tool bundles Clara's trained analyses.
+	Tool = core.Clara
+	// Insights is the per-NF analysis report.
+	Insights = core.Insights
+	// NF is a ported network function: program plus porting decisions.
+	NF = nicsim.NF
+	// Placement assigns stateful globals to NIC memory regions.
+	Placement = nicsim.Placement
+	// Params is the simulated SmartNIC hardware model.
+	Params = nicsim.Params
+	// Result is one simulation measurement.
+	Result = nicsim.Result
+	// Workload is a traffic specification.
+	Workload = traffic.Spec
+	// Packet is a parsed packet.
+	Packet = traffic.Packet
+	// AccelConfig selects hardware engines for a port.
+	AccelConfig = niccc.AccelConfig
+	// Machine executes an NF over packets (host or NIC semantics).
+	Machine = interp.Machine
+	// Route is one LPM rule.
+	Route = interp.Route
+	// ProfileSetup provides state seeding for host profiling.
+	ProfileSetup = core.ProfileSetup
+	// Region is a NIC memory level.
+	Region = isa.Region
+)
+
+// Memory regions of the simulated NIC, fastest/smallest first.
+const (
+	CLS  = isa.CLS
+	CTM  = isa.CTM
+	IMEM = isa.IMEM
+	EMEM = isa.EMEM
+)
+
+// Standard workloads (§5 methodology).
+var (
+	LargeFlows = traffic.LargeFlows
+	SmallFlows = traffic.SmallFlows
+	MediumMix  = traffic.MediumMix
+)
+
+// CompileNF compiles NFC source into an analyzable module.
+func CompileNF(name, src string) (*Module, error) { return lang.Compile(name, src) }
+
+// DefaultParams returns the reference SmartNIC hardware model.
+func DefaultParams() Params { return nicsim.DefaultParams() }
+
+// Elements returns the built-in NF element library (Table 2).
+func Elements() []*Element { return click.Library() }
+
+// GetElement returns a library element by name, or nil.
+func GetElement(name string) *Element { return click.Get(name) }
+
+// TrainConfig sizes Tool training.
+type TrainConfig struct {
+	// Quick trades accuracy for speed (tests, demos).
+	Quick bool
+	Seed  int64
+}
+
+// Train builds a full Clara tool: it synthesizes a corpus guided by the
+// element library, trains the LSTM instruction predictor, the algorithm
+// identifier, and the scale-out cost model against the simulated NIC.
+func Train(cfg TrainConfig) (*Tool, error) {
+	params := nicsim.DefaultParams()
+	mods, err := click.Modules(click.Table2Order)
+	if err != nil {
+		return nil, err
+	}
+	pcfg := core.PredictorConfig{CompactVocab: true, Seed: cfg.Seed}
+	acN := 40
+	scfg := core.ScaleoutConfig{Params: params, Seed: cfg.Seed}
+	if cfg.Quick {
+		pcfg.TrainPrograms, pcfg.Epochs, pcfg.Hidden = 50, 6, 16
+		acN = 12
+		scfg.TrainPrograms, scfg.PacketsPerTrace = 8, 400
+		scfg.CoreGrid = []int{2, 8, 16, 32, 48, 60}
+	}
+	pred, err := core.TrainPredictor(pcfg, core.CorpusProfile(mods))
+	if err != nil {
+		return nil, err
+	}
+	algo, err := core.TrainAlgoIdentifier(synthCorpus(acN, cfg.Seed), 48, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	sm, err := core.TrainScaleout(scfg, pred)
+	if err != nil {
+		return nil, err
+	}
+	return &Tool{Predictor: pred, AlgoID: algo, Scaleout: sm, Params: params}, nil
+}
+
+// Simulate runs a ported NF on the simulated SmartNIC and reports
+// throughput and latency.
+func Simulate(params Params, nf *NF, wl Workload, packets, cores int) (Result, error) {
+	b, err := nf.Build(params)
+	if err != nil {
+		return Result{}, err
+	}
+	ts, err := nicsim.GenTraces(b, wl, packets, params)
+	if err != nil {
+		return Result{}, err
+	}
+	return nicsim.Simulate(params, cores, ts)
+}
+
+// SimulatePair runs two NFs colocated on the NIC (split cores, shared
+// memory system) and returns both results.
+func SimulatePair(params Params, a, b *NF, wl Workload, packets, coresEach int) ([]Result, error) {
+	var parts []nicsim.Part
+	for _, nf := range []*NF{a, b} {
+		bt, err := nf.Build(params)
+		if err != nil {
+			return nil, err
+		}
+		ts, err := nicsim.GenTraces(bt, wl, packets, params)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, nicsim.Part{TS: ts, Cores: coresEach})
+	}
+	return nicsim.SimulateColocation(params, parts)
+}
+
+// synthCorpus builds the algorithm-ID training corpus (synthesized
+// variants plus library negatives).
+func synthCorpus(n int, seed int64) []synth.LabeledProgram {
+	corpus := synth.AlgoCorpus(n, seed)
+	for _, name := range []string{"tcpack", "udpipencap", "forcetcp", "aggcounter", "timefilter"} {
+		corpus = append(corpus, synth.LabeledProgram{
+			Name: "click_" + name, Src: click.Get(name).Src, Label: synth.LabelNone,
+		})
+	}
+	return corpus
+}

@@ -1,0 +1,73 @@
+package clara
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompileNFAndSimulate(t *testing.T) {
+	mod, err := CompileNF("t", `
+global u32 seen;
+void handle() { seen += 1; pkt_send(0); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf := &NF{Name: "t", Mod: mod}
+	r, err := Simulate(DefaultParams(), nf, MediumMix, 800, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ThroughputMpps <= 0 || r.AvgLatencyUs <= 0 {
+		t.Errorf("degenerate result %+v", r)
+	}
+}
+
+func TestElementsExposed(t *testing.T) {
+	if len(Elements()) < 19 {
+		t.Errorf("library too small: %d", len(Elements()))
+	}
+	if GetElement("mazunat") == nil {
+		t.Error("mazunat missing")
+	}
+	if GetElement("nope") != nil {
+		t.Error("phantom element")
+	}
+}
+
+func TestTrainQuickAndAnalyze(t *testing.T) {
+	tool, err := Train(TrainConfig{Quick: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := GetElement("iplookup")
+	mod, err := e.Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := tool.Analyze(mod, ProfileSetup{Setup: e.Setup, LPMTable: e.Routes}, MediumMix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.Prediction.TotalCompute <= 0 {
+		t.Error("no compute prediction")
+	}
+	if ins.SuggestedCores < 1 || ins.SuggestedCores > 60 {
+		t.Errorf("cores = %d", ins.SuggestedCores)
+	}
+	if !strings.Contains(ins.Report(), "State placement") {
+		t.Error("report missing placement section")
+	}
+}
+
+func TestSimulatePair(t *testing.T) {
+	a := &NF{Name: "a", Mod: GetElement("aggcounter").MustModule()}
+	b := &NF{Name: "b", Mod: GetElement("dpi").MustModule()}
+	rs, err := SimulatePair(DefaultParams(), a, b, MediumMix, 800, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 || rs[0].ThroughputMpps <= 0 || rs[1].ThroughputMpps <= 0 {
+		t.Errorf("bad pair results %+v", rs)
+	}
+}

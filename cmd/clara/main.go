@@ -1,0 +1,143 @@
+// Command clara analyzes an unported NF and prints its offloading
+// insights: predicted instruction counts, accelerator opportunities,
+// suggested core count, state placement, and coalescing packs.
+//
+// Usage:
+//
+//	clara -nf mazunat [-workload small|large|mix] [-quick]
+//	clara -src element.nfc [-workload mix]
+//	clara -nf udpcount -trace capture.bin   # profile over a recorded trace
+//	clara -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"clara"
+	"clara/internal/core"
+	"clara/internal/traffic"
+)
+
+func main() {
+	var (
+		nfName    = flag.String("nf", "", "analyze a library element by name")
+		srcPath   = flag.String("src", "", "analyze an NFC source file")
+		workload  = flag.String("workload", "mix", "workload: small | large | mix")
+		tracePath = flag.String("trace", "", "profile over a recorded trace file instead of a synthetic workload")
+		quick     = flag.Bool("quick", false, "fast, lower-accuracy training")
+		list      = flag.Bool("list", false, "list library elements and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Built-in NF elements:")
+		for _, e := range clara.Elements() {
+			fmt.Printf("  %-14s %s (%d LoC)\n", e.Name, e.Desc, e.LoC())
+		}
+		return
+	}
+
+	wl, err := pickWorkload(*workload)
+	if err != nil {
+		fatal(err)
+	}
+
+	var mod *clara.Module
+	var ps clara.ProfileSetup
+	switch {
+	case *nfName != "":
+		e := clara.GetElement(*nfName)
+		if e == nil {
+			fatal(fmt.Errorf("unknown element %q (try -list)", *nfName))
+		}
+		m, err := e.Module()
+		if err != nil {
+			fatal(err)
+		}
+		mod = m
+		ps = clara.ProfileSetup{Setup: e.Setup, LPMTable: e.Routes}
+	case *srcPath != "":
+		src, err := os.ReadFile(*srcPath)
+		if err != nil {
+			fatal(err)
+		}
+		mod, err = clara.CompileNF(*srcPath, string(src))
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	fmt.Fprintln(os.Stderr, "training Clara (predictor + algorithm ID + scale-out model)...")
+	tool, err := clara.Train(clara.TrainConfig{Quick: *quick, Seed: 42})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *tracePath != "" {
+		// Workload comes from a recorded trace (the paper's pcap profile
+		// input): run the workload-specific analyses over it directly.
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		pkts, err := traffic.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := traffic.NewReplayer(pkts)
+		if err != nil {
+			fatal(err)
+		}
+		prof, err := core.ProfileOnHostSource(mod, ps, rep, len(pkts))
+		if err != nil {
+			fatal(err)
+		}
+		placement, err := core.SuggestPlacement(mod, prof, tool.Params)
+		if err != nil {
+			fatal(err)
+		}
+		packs := core.SuggestPacks(mod, prof, tool.Coalesce)
+		fmt.Printf("trace-driven analysis over %d recorded packets (%s):\n", len(pkts), *tracePath)
+		fmt.Println("\nState placement:")
+		for g, r := range placement {
+			fmt.Printf("  %-16s -> %s\n", g, r)
+		}
+		if len(packs) > 0 {
+			fmt.Println("Coalescing packs:")
+			for i, p := range packs {
+				fmt.Printf("  pack %d: %v\n", i, p)
+			}
+		}
+		return
+	}
+
+	ins, err := tool.Analyze(mod, ps, wl)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(ins.Report())
+}
+
+func pickWorkload(name string) (traffic.Spec, error) {
+	switch name {
+	case "small":
+		return traffic.SmallFlows, nil
+	case "large":
+		return traffic.LargeFlows, nil
+	case "mix":
+		return traffic.MediumMix, nil
+	default:
+		return traffic.Spec{}, fmt.Errorf("unknown workload %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "clara:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,62 @@
+// Command clarabench regenerates the paper's evaluation: every table and
+// figure of §5, printed in paper order.
+//
+// Usage:
+//
+//	clarabench                 # full scale (minutes)
+//	clarabench -quick          # reduced scale (seconds)
+//	clarabench -only figure12  # one experiment
+//	clarabench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"clara/internal/experiments"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "reduced training/packet scale")
+		only  = flag.String("only", "", "run a single experiment by ID")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+		seed  = flag.Int64("seed", 42, "global seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Println(e.ID)
+		}
+		return
+	}
+
+	cfg := experiments.DefaultConfig()
+	cfg.Quick = *quick
+	cfg.Seed = *seed
+	ctx := experiments.NewContext(cfg)
+
+	run := experiments.All()
+	if *only != "" {
+		e := experiments.Get(*only)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "clarabench: unknown experiment %q (try -list)\n", *only)
+			os.Exit(2)
+		}
+		run = []experiments.Experiment{*e}
+	}
+
+	for _, e := range run {
+		start := time.Now()
+		t, err := e.Run(ctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clarabench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		t.Fprint(os.Stdout)
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

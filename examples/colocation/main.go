@@ -1,0 +1,59 @@
+// Colocation planner: given four NFs and one SmartNIC, measure every
+// pairing and report which two NFs share the NIC most gracefully (§4.5).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clara"
+)
+
+func main() {
+	params := clara.DefaultParams()
+	wl := clara.MediumMix
+	names := []string{"mazunat", "dnsproxy", "udpcount", "dpi"}
+
+	// Exclusive-use baselines.
+	solo := map[string]clara.Result{}
+	nfs := map[string]*clara.NF{}
+	for _, n := range names {
+		e := clara.GetElement(n)
+		mod, err := e.Module()
+		if err != nil {
+			log.Fatal(err)
+		}
+		nf := &clara.NF{Name: n, Mod: mod, Setup: e.Setup, LPMTable: e.Routes}
+		nfs[n] = nf
+		r, err := clara.Simulate(params, nf, wl, 2500, 24)
+		if err != nil {
+			log.Fatal(err)
+		}
+		solo[n] = r
+		fmt.Printf("solo %-9s %.2f Mpps  %.2f us (24 cores)\n", n, r.ThroughputMpps, r.AvgLatencyUs)
+	}
+
+	fmt.Println("\npairwise colocation (24+24 cores, shared memory system):")
+	type outcome struct {
+		pair string
+		norm float64
+	}
+	var best outcome
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			a, b := names[i], names[j]
+			rs, err := clara.SimulatePair(params, nfs[a], nfs[b], wl, 2500, 24)
+			if err != nil {
+				log.Fatal(err)
+			}
+			norm := (rs[0].ThroughputMpps + rs[1].ThroughputMpps) /
+				(solo[a].ThroughputMpps + solo[b].ThroughputMpps)
+			fmt.Printf("  %-9s + %-9s  normalized throughput %.3f\n", a, b, norm)
+			if norm > best.norm {
+				best = outcome{a + " + " + b, norm}
+			}
+		}
+	}
+	fmt.Printf("\nfriendliest colocation: %s (keeps %.1f%% of exclusive throughput)\n",
+		best.pair, 100*best.norm)
+}

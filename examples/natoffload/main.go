@@ -1,0 +1,59 @@
+// NAT offload: port the library's Mazu-NAT to the SmartNIC three ways —
+// naive, Clara-advised, and Clara-advised at the suggested core count —
+// and compare (the §5 porting methodology in miniature).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clara"
+)
+
+func main() {
+	e := clara.GetElement("mazunat")
+	mod, err := e.Module()
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := clara.DefaultParams()
+	wl := clara.SmallFlows
+
+	fmt.Println("training Clara (quick mode)...")
+	tool, err := clara.Train(clara.TrainConfig{Quick: true, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ins, err := tool.Analyze(mod, clara.ProfileSetup{Setup: e.Setup}, wl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(ins.Report())
+
+	naive := &clara.NF{Name: "mazunat-naive", Mod: mod, Setup: e.Setup}
+	advised := &clara.NF{
+		Name: "mazunat-clara", Mod: mod, Setup: e.Setup,
+		Placement: ins.Placement,
+		Packs:     ins.Packs,
+		Accel:     clara.AccelConfig{CsumEngine: true}, // checksum engine suggestion
+	}
+
+	fmt.Println("\nport comparison (40 cores, small flows):")
+	for _, nf := range []*clara.NF{naive, advised} {
+		r, err := clara.Simulate(params, nf, wl, 4000, 40)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-14s %.2f Mpps  %.2f us\n", nf.Name, r.ThroughputMpps, r.AvgLatencyUs)
+	}
+
+	if ins.SuggestedCores > 0 {
+		r, err := clara.Simulate(params, advised, wl, 4000, ins.SuggestedCores)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  at Clara's %d-core suggestion: %.2f Mpps  %.2f us (Th/Lat %.2f)\n",
+			ins.SuggestedCores, r.ThroughputMpps, r.AvgLatencyUs,
+			r.ThroughputMpps/r.AvgLatencyUs)
+	}
+}

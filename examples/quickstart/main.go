@@ -1,0 +1,68 @@
+// Quickstart: write a small NF in NFC, train Clara, and read its
+// offloading insights — the paper's headline workflow (analyze the
+// unported NF, no trial-and-error porting).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clara"
+)
+
+// A little stateful rate counter, written the way a host developer would:
+// procedural logic against the framework API, no SmartNIC specifics.
+const src = `
+map<u64,u64> flows[65536];
+global u32 total_pkts;
+global u32 total_bytes;
+
+void handle() {
+	if (pkt_eth_type() != 0x0800) { pkt_drop(); return; }
+	u64 key = (u64(pkt_ip_src()) << 32) | u64(pkt_ip_dst());
+	map_insert(flows, key, map_find(flows, key) + 1);
+	total_pkts += 1;
+	total_bytes += u32(pkt_len());
+	pkt_send(0);
+}
+`
+
+func main() {
+	mod, err := clara.CompileNF("ratecounter", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("training Clara (quick mode)...")
+	tool, err := clara.Train(clara.TrainConfig{Quick: true, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ins, err := tool.Analyze(mod, clara.ProfileSetup{}, clara.MediumMix)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(ins.Report())
+
+	// Apply the suggested placement and measure the difference on the
+	// simulated SmartNIC.
+	naive := &clara.NF{Name: "ratecounter-naive", Mod: mod}
+	tuned := &clara.NF{Name: "ratecounter-clara", Mod: mod, Placement: ins.Placement}
+	params := clara.DefaultParams()
+	cores := ins.SuggestedCores
+	if cores == 0 {
+		cores = 16
+	}
+	rN, err := clara.Simulate(params, naive, clara.MediumMix, 3000, cores)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rT, err := clara.Simulate(params, tuned, clara.MediumMix, 3000, cores)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nOn %d cores:\n", cores)
+	fmt.Printf("  naive port: %.2f Mpps, %.2f us\n", rN.ThroughputMpps, rN.AvgLatencyUs)
+	fmt.Printf("  Clara port: %.2f Mpps, %.2f us\n", rT.ThroughputMpps, rT.AvgLatencyUs)
+}

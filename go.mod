@@ -1,0 +1,3 @@
+module clara
+
+go 1.22

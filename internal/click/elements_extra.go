@@ -1,0 +1,143 @@
+package click
+
+// Extra elements beyond Table 2: exercise the Vector API (§3.3's second
+// stateful class) and classic policing patterns.
+
+// Dedup suppresses recently-seen flow signatures with a Vector scan —
+// Click's suppressor pattern. The vector delete in the eviction path is
+// exactly the host/NIC divergence the paper's reverse porting handles: on
+// the host the delete shifts the tail; on the NIC it tombstones.
+var Dedup = register(&Element{
+	Name:     "dedup",
+	Desc:     "recent-signature duplicate suppressor (Vector-based)",
+	Stateful: true,
+	Insights: []string{"pred", "rev", "scale"},
+	Src: `
+// dedup: drop packets whose signature appeared among the last few dozen;
+// evict the oldest entry when full.
+vec<u64> recent[48];
+global u32 dup_drops;
+global u32 evictions;
+
+void handle() {
+	u64 sig = (u64(pkt_ip_src()) << 32) | (u64(pkt_tcp_seq()) ^ u64(pkt_ip_dst()));
+	u32 n = vec_len(recent);
+	u32 i = 0;
+	u32 seen = 0;
+	// Scan occupied slots; on the NIC tombstones make the scan range the
+	// full capacity, so bound by it.
+	while (i < 48 && seen < n) {
+		u64 v = vec_get(recent, i);
+		if (v != 0) {
+			seen += 1;
+			if (v == sig) {
+				dup_drops += 1;
+				pkt_drop();
+				return;
+			}
+		}
+		i += 1;
+	}
+	if (n >= 40) {
+		vec_delete(recent, 0);
+		evictions += 1;
+	}
+	vec_push(recent, sig);
+	pkt_send(0);
+}
+`,
+})
+
+// TokenBucket polices traffic with a classic two-rate token bucket. Its
+// scalar state (tokens, timestamps, counters) is touched on every packet —
+// coalescing material alongside the Figure 13 elements.
+var TokenBucket = register(&Element{
+	Name:     "tokenbucket",
+	Desc:     "token-bucket rate limiter",
+	Stateful: true,
+	Insights: []string{"pred", "scale", "pack"},
+	Src: `
+// tokenbucket: refill from elapsed time, spend per byte; conforming
+// traffic forwards, excess drops.
+global u64 tb_last;
+global u32 tb_tokens;
+global u32 tb_conform;
+global u32 tb_exceed;
+global u32 tb_rate;   // tokens per microsecond
+global u32 tb_burst;  // bucket depth
+
+void handle() {
+	if (tb_rate == 0) {
+		tb_rate = 1500;
+		tb_burst = 150000;
+		tb_tokens = tb_burst;
+	}
+	u64 now = pkt_time();
+	if (tb_last == 0) { tb_last = now; }
+	u64 elapsed_us = (now - tb_last) / 1000;
+	if (elapsed_us > 0) {
+		u64 refill = elapsed_us * u64(tb_rate);
+		u64 filled = u64(tb_tokens) + refill;
+		if (filled > u64(tb_burst)) { filled = u64(tb_burst); }
+		tb_tokens = u32(filled);
+		tb_last = now;
+	}
+	u32 cost = u32(pkt_len());
+	if (tb_tokens >= cost) {
+		tb_tokens -= cost;
+		tb_conform += 1;
+		pkt_send(0);
+		return;
+	}
+	tb_exceed += 1;
+	pkt_drop();
+}
+`,
+})
+
+// ECMPBalancer spreads flows over a healthy-server set with rendezvous
+// hashing; health state lives in an array maintained by control packets.
+var ECMPBalancer = register(&Element{
+	Name:     "ecmp",
+	Desc:     "ECMP load balancer with health state",
+	Stateful: true,
+	Insights: []string{"pred", "scale", "place"},
+	Src: `
+// ecmp: highest-random-weight hashing over 16 backends; control packets
+// (proto 253) flip backend health.
+global u32 healthy[16];
+global u32 lb_sent[16];
+global u32 lb_nohealthy;
+
+void handle() {
+	if (pkt_ip_proto() == 253) {
+		// Control: src low byte = backend, ttl = up/down.
+		u32 b = pkt_ip_src() & 15;
+		if (pkt_ip_ttl() > 0) { healthy[b] = 1; } else { healthy[b] = 0; }
+		pkt_drop();
+		return;
+	}
+	u64 fkey = (u64(pkt_ip_src()) << 32) | u64(pkt_ip_dst());
+	u32 best = 0xffffffff;
+	u32 bestw = 0;
+	for (u32 b = 0; b < 16; b += 1) {
+		if (healthy[b] == 0) { continue; }
+		u32 w = hash32(fkey ^ (u64(b) * 2654435761));
+		if (best == 0xffffffff || w > bestw) {
+			best = b;
+			bestw = w;
+		}
+	}
+	if (best == 0xffffffff) {
+		lb_nohealthy += 1;
+		pkt_drop();
+		return;
+	}
+	pkt_set_ip_dst(0x0a030000 | best);
+	lb_sent[best] += 1;
+	pkt_csum_update();
+	pkt_send(best & 3);
+}
+`,
+	Setup: setupECMP,
+})

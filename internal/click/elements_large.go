@@ -1,0 +1,376 @@
+package click
+
+// Large elements: the bottom rows of Table 2 — the composed, multi-map NFs
+// used in the scale-out, placement, and colocation experiments.
+
+// IPLookup performs longest-prefix match with a procedural binary trie
+// walk (the 'radixiplookup' sub-element the paper's algorithm ID flags).
+var IPLookup = register(&Element{
+	Name:     "iplookup",
+	Desc:     "LPM forwarding via software radix trie",
+	Stateful: true,
+	Insights: []string{"pred", "algo", "rev", "scale", "place"},
+	Src: `
+// iplookup: walk a binary trie one address bit at a time, remembering the
+// last port seen (longest match). Ported naively from host code, each trie
+// step is a dependent stateful load — the pointer-chasing pattern §4.1
+// calls out.
+global u32 trie_left[65536];
+global u32 trie_right[65536];
+global u32 trie_port[65536];
+global u32 lkp_hits;
+global u32 lkp_misses;
+global u32 lkp_defaulted;
+
+void handle() {
+	if (pkt_eth_type() != 0x0800) { pkt_drop(); return; }
+	u32 addr = pkt_ip_dst();
+	u32 node = 0;
+	u32 best = 0xffffffff;
+	for (u32 depth = 0; depth < 32; depth += 1) {
+		u32 p = trie_port[node];
+		if (p != 0) { best = p - 1; }
+		u32 next = trie_left[node];
+		if (((addr >> (31 - depth)) & 1) != 0) { next = trie_right[node]; }
+		if (next == 0) { break; }
+		node = next;
+	}
+	if (best == 0xffffffff) {
+		lkp_misses += 1;
+		// Default route.
+		best = 0;
+		lkp_defaulted += 1;
+	} else {
+		lkp_hits += 1;
+	}
+	u8 ttl = pkt_ip_ttl();
+	if (ttl <= 1) { pkt_drop(); return; }
+	pkt_set_ip_ttl(ttl - 1);
+	pkt_csum_update();
+	pkt_send(best);
+}
+`,
+	Setup: setupIPLookupTrie,
+})
+
+// IPLookupAccel is the Clara port of iplookup: one LPM-engine lookup (and
+// the flow cache is recommended on top, configured at build time).
+var IPLookupAccel = register(&Element{
+	Name:     "iplookup_lpm",
+	Desc:     "iplookup ported to the LPM engine",
+	Stateful: true,
+	Insights: []string{"pred", "scale", "place"},
+	Src: `
+// iplookup_lpm: Clara's accelerator port — the trie walk becomes a single
+// LPM engine operation against the installed table.
+global u32 lkp_hits;
+global u32 lkp_misses;
+
+void handle() {
+	if (pkt_eth_type() != 0x0800) { pkt_drop(); return; }
+	u32 port = lpm_hw(pkt_ip_dst());
+	if (port == 0xffffffff) {
+		lkp_misses += 1;
+		port = 0;
+	} else {
+		lkp_hits += 1;
+	}
+	u8 ttl = pkt_ip_ttl();
+	if (ttl <= 1) { pkt_drop(); return; }
+	pkt_set_ip_ttl(ttl - 1);
+	pkt_csum_update();
+	pkt_send(port);
+}
+`,
+})
+
+// IPClassifier is a long multi-field packet classifier (Click's
+// IPClassifier pattern compiled into nested conditionals plus rule
+// tables).
+var IPClassifier = register(&Element{
+	Name:     "ipclassifier",
+	Desc:     "multi-field packet classifier",
+	Stateful: true,
+	Insights: []string{"pred", "rev", "scale", "place"},
+	Src: `
+// ipclassifier: a compiled classifier — protocol and flag tests, port
+// ranges, prefix tables, plus per-class accounting.
+global u32 class_pkts[16];
+global u32 class_bytes[16];
+global u32 pfx_table[1024];
+global u32 frag_pkts;
+global u32 bogon_pkts;
+
+u32 classify_ports(u16 sport, u16 dport) {
+	if (dport == 80 || dport == 8080) { return 1; }
+	if (dport == 443) { return 2; }
+	if (dport == 53 || sport == 53) { return 3; }
+	if (dport == 22) { return 4; }
+	if (dport >= 6000 && dport <= 6063) { return 5; }
+	if (dport >= 27000 && dport <= 27050) { return 6; }
+	if (sport >= 1024 && dport >= 1024) { return 7; }
+	return 8;
+}
+
+void handle() {
+	if (pkt_eth_type() != 0x0800) { class_pkts[0] += 1; pkt_send(0); return; }
+	u32 src = pkt_ip_src();
+	u32 dst = pkt_ip_dst();
+	// Bogon filtering.
+	if ((src >> 24) == 127 || (src >> 24) == 0) { bogon_pkts += 1; pkt_drop(); return; }
+	if ((src & 0xf0000000) == 0xe0000000) { bogon_pkts += 1; pkt_drop(); return; }
+	u8 proto = pkt_ip_proto();
+	u32 class = 0;
+	if (proto == 6) {
+		u8 flags = pkt_tcp_flags();
+		if ((flags & 0x02) != 0 && (flags & 0x10) == 0) {
+			class = 9; // new connection attempts
+		} else if ((flags & 0x04) != 0) {
+			class = 10;
+		} else {
+			class = classify_ports(pkt_tcp_sport(), pkt_tcp_dport());
+		}
+	} else if (proto == 17) {
+		u16 dport = pkt_udp_dport();
+		if (dport == 53) { class = 3; }
+		else if (dport == 4789 || dport == 4790) { class = 11; }
+		else { class = 12; }
+	} else if (proto == 1) {
+		class = 13;
+	} else {
+		class = 14;
+	}
+	// Prefix table refines the class for known networks.
+	u32 pfx = pfx_table[(dst >> 22) & 1023];
+	if (pfx != 0) { class = pfx & 15; }
+	u16 hl = u16(pkt_ip_hl()) << 2;
+	if (hl > 20) { frag_pkts += 1; }
+	class_pkts[class & 15] += 1;
+	class_bytes[class & 15] += u32(pkt_len());
+	if (class == 10 || class == 13) { pkt_drop(); return; }
+	pkt_send(class & 3);
+}
+`,
+	Setup: setupIPClassifier,
+})
+
+// DNSProxy proxies and caches DNS lookups.
+var DNSProxy = register(&Element{
+	Name:     "dnsproxy",
+	Desc:     "caching DNS proxy",
+	Stateful: true,
+	Insights: []string{"pred", "rev", "scale", "place", "coloc"},
+	Src: `
+// dnsproxy: hash the query name bytes, answer from cache when possible,
+// otherwise forward upstream and account the miss. Heavy payload access
+// plus two maps of very different temperature.
+map<u64,u64> answer_cache[65536];
+map<u64,u64> inflight[4096];
+global u32 dns_queries;
+global u32 dns_cache_hits;
+global u32 dns_upstream;
+global u32 dns_malformed;
+global u32 dns_responses;
+
+u64 qname_hash() {
+	// DNS header is 12 bytes; hash the QNAME labels after it.
+	u64 h = 1469598103934665603;
+	u32 n = u32(pkt_payload_len());
+	if (n > 64) { n = 64; }
+	for (u32 i = 12; i < n; i += 1) {
+		u8 c = pkt_payload(i);
+		if (c == 0) { break; }
+		h = (h ^ u64(c)) * 1099511628211;
+	}
+	return h;
+}
+
+void handle() {
+	if (pkt_ip_proto() != 17) { pkt_send(0); return; }
+	u16 dport = pkt_udp_dport();
+	u16 sport = pkt_udp_sport();
+	if (dport != 53 && sport != 53) { pkt_send(0); return; }
+	u32 n = u32(pkt_payload_len());
+	if (n < 12) { dns_malformed += 1; pkt_drop(); return; }
+	u16 qid = (u16(pkt_payload(0)) << 8) | u16(pkt_payload(1));
+	u8 qr = pkt_payload(2) >> 7;
+	if (sport == 53 && qr == 1) {
+		// Upstream response: cache it and complete the in-flight query.
+		dns_responses += 1;
+		u64 key = u64(qid);
+		if (map_contains(inflight, key)) {
+			u64 qh = map_find(inflight, key);
+			map_remove(inflight, key);
+			map_insert(answer_cache, qh, u64(pkt_ip_src()));
+		}
+		pkt_send(1);
+		return;
+	}
+	dns_queries += 1;
+	u64 qh = qname_hash();
+	if (map_contains(answer_cache, qh)) {
+		dns_cache_hits += 1;
+		// Answer from cache: swap the packet around.
+		u32 s = pkt_ip_src();
+		pkt_set_ip_src(pkt_ip_dst());
+		pkt_set_ip_dst(s);
+		pkt_set_udp_sport(53);
+		pkt_set_udp_dport(sport);
+		pkt_csum_update();
+		pkt_send(1);
+		return;
+	}
+	// Miss: forward upstream, remember the query id.
+	map_insert(inflight, u64(qid), qh);
+	dns_upstream += 1;
+	pkt_set_ip_dst(0x08080808);
+	pkt_set_udp_dport(53);
+	pkt_csum_update();
+	pkt_send(2);
+}
+`,
+})
+
+// MazuNAT is the full NAT of Mazu Networks' Click configuration: paired
+// translation tables, port allocation, and connection lifecycle.
+var MazuNAT = register(&Element{
+	Name:     "mazunat",
+	Desc:     "full NAT (Mazu Networks configuration)",
+	Stateful: true,
+	Insights: []string{"pred", "rev", "scale", "place", "coloc"},
+	Src: `
+// mazunat: NAT between the 192.168/16 inside and the 10.1.0.x public pool.
+// SYNs allocate a public (addr, port); FIN/RST tears the mapping down;
+// both directions are translated with checksum repair.
+map<u64,u64> nat_out[131072];
+map<u64,u64> nat_in[131072];
+global u32 nat_next_port;
+global u32 nat_active;
+global u32 nat_teardown;
+global u32 nat_dropped;
+global u32 nat_translated;
+
+u64 out_key() {
+	return (u64(pkt_ip_src()) << 32) | (u64(pkt_tcp_sport()) << 16) | u64(pkt_ip_proto());
+}
+
+u64 in_key() {
+	return (u64(pkt_ip_dst()) << 32) | (u64(pkt_tcp_dport()) << 16) | u64(pkt_ip_proto());
+}
+
+void handle() {
+	if (pkt_eth_type() != 0x0800) { nat_dropped += 1; pkt_drop(); return; }
+	u8 proto = pkt_ip_proto();
+	if (proto != 6 && proto != 17) { nat_dropped += 1; pkt_drop(); return; }
+	u32 src = pkt_ip_src();
+	u8 flags = 0;
+	if (proto == 6) { flags = pkt_tcp_flags(); }
+	if ((src & 0xffff0000) == 0xc0a80000) {
+		// Outbound.
+		u64 key = out_key();
+		if (map_contains(nat_out, key)) {
+			u64 m = map_find(nat_out, key);
+			pkt_set_ip_src(u32(m >> 16));
+			pkt_set_tcp_sport(u16(m & 0xffff));
+			nat_translated += 1;
+			if (proto == 6 && (flags & 0x05) != 0) {
+				// FIN or RST: tear down both directions.
+				map_remove(nat_out, key);
+				map_remove(nat_in, (m << 16) | u64(proto));
+				nat_teardown += 1;
+			}
+		} else {
+			if (proto == 6 && (flags & 0x02) == 0) {
+				// Mid-stream packet without a binding: drop.
+				nat_dropped += 1;
+				pkt_drop();
+				return;
+			}
+			// Allocate a public endpoint.
+			if (nat_next_port < 1024 || nat_next_port > 65000) { nat_next_port = 1024; }
+			u32 pub_ip = 0x0a010000 | (nat_next_port & 7);
+			u16 pub_port = u16(nat_next_port);
+			nat_next_port += 1;
+			u64 pub = (u64(pub_ip) << 16) | u64(pub_port);
+			map_insert(nat_out, key, pub);
+			map_insert(nat_in, (pub << 16) | u64(proto), key);
+			nat_active += 1;
+			pkt_set_ip_src(pub_ip);
+			pkt_set_tcp_sport(pub_port);
+			nat_translated += 1;
+		}
+		u8 ttl = pkt_ip_ttl();
+		if (ttl <= 1) { pkt_drop(); return; }
+		pkt_set_ip_ttl(ttl - 1);
+		pkt_csum_update();
+		pkt_send(0);
+		return;
+	}
+	// Inbound: translate back to the internal host.
+	u64 key = (u64(in_key()) << 16) | u64(proto);
+	if (map_contains(nat_in, key)) {
+		u64 orig = map_find(nat_in, key);
+		pkt_set_ip_dst(u32(orig >> 32));
+		pkt_set_tcp_dport(u16((orig >> 16) & 0xffff));
+		nat_translated += 1;
+		pkt_csum_update();
+		pkt_send(1);
+		return;
+	}
+	nat_dropped += 1;
+	pkt_drop();
+}
+`,
+})
+
+// WebGen generates web request load against configured servers.
+var WebGen = register(&Element{
+	Name:     "webgen",
+	Desc:     "web request generator",
+	Stateful: true,
+	Insights: []string{"pred", "rev", "scale", "place", "coloc"},
+	Src: `
+// webgen: rewrite incoming tokens into HTTP-ish request load against a
+// server pool, tracking per-server outstanding requests and latency
+// accounting.
+map<u64,u64> open_reqs[65536];
+global u32 srv_sent[64];
+global u32 srv_done[64];
+global u32 gen_seq;
+global u32 gen_errors;
+global u64 rtt_accum;
+
+void handle() {
+	if (pkt_ip_proto() != 6) { gen_errors += 1; pkt_drop(); return; }
+	u8 flags = pkt_tcp_flags();
+	if ((flags & 0x10) != 0 && (flags & 0x02) == 0 && pkt_tcp_sport() == 80) {
+		// A response: close out the request.
+		u64 key = (u64(pkt_ip_src()) << 32) | u64(pkt_tcp_dport());
+		if (map_contains(open_reqs, key)) {
+			u64 t0 = map_find(open_reqs, key);
+			map_remove(open_reqs, key);
+			rtt_accum += pkt_time() - t0;
+			u32 srv = pkt_ip_src() & 63;
+			srv_done[srv] += 1;
+		}
+		pkt_drop();
+		return;
+	}
+	// Generate a request: pick a server by weighted hash of a fresh id.
+	u32 id = rand32();
+	u32 srv = id & 63;
+	u32 dst = 0x0a020000 | srv;
+	u16 sport = u16(30000 + (gen_seq & 16383));
+	gen_seq += 1;
+	pkt_set_ip_dst(dst);
+	pkt_set_tcp_dport(80);
+	pkt_set_tcp_sport(sport);
+	pkt_set_tcp_seq(id);
+	pkt_set_tcp_flags(0x02);
+	srv_sent[srv] += 1;
+	map_insert(open_reqs, (u64(dst) << 32) | u64(sport), pkt_time());
+	pkt_csum_update();
+	pkt_send(0);
+}
+`,
+})

@@ -1,0 +1,387 @@
+package click
+
+// Medium elements: sketching, crypto decap, lookup and rewriting — the
+// Table 2 middle rows, including the elements whose procedural CRC/LPM
+// implementations Clara's algorithm identification targets (§5.3).
+
+// CMSketch estimates per-flow rates with a count-min sketch whose row
+// hashes are a *procedural CRC* over the flow key — the acceleration
+// opportunity Clara detects ("CRC acceleration opportunities in elements
+// like cmsketch", §5.3).
+var CMSketch = register(&Element{
+	Name:     "cmsketch",
+	Desc:     "count-min sketch heavy-hitter estimator (software CRC hashing)",
+	Stateful: true,
+	Insights: []string{"pred", "algo", "scale", "place", "coloc"},
+	Src: `
+// cmsketch: 4-row count-min sketch. Row hashes are CRC32 variants over the
+// 8-byte flow key, computed bit-serially in software — exactly what a
+// straight port from host code looks like before Clara points at the CRC
+// engine.
+global u32 cms_row0[4096];
+global u32 cms_row1[4096];
+global u32 cms_row2[4096];
+global u32 cms_row3[4096];
+global u32 cms_total;
+global u32 cms_heavy;
+
+u32 crc_key(u64 key, u32 poly) {
+	u32 crc = 0xffffffff;
+	for (u32 i = 0; i < 8; i += 1) {
+		u32 byte = u32((key >> (i << 3)) & 0xff);
+		crc = crc ^ byte;
+		for (u32 b = 0; b < 8; b += 1) {
+			if ((crc & 1) != 0) {
+				crc = (crc >> 1) ^ poly;
+			} else {
+				crc = crc >> 1;
+			}
+		}
+	}
+	return ~crc;
+}
+
+void handle() {
+	u64 key = (u64(pkt_ip_src()) << 32) | u64(pkt_ip_dst());
+	u32 h0 = crc_key(key, 0xedb88320) & 4095;
+	u32 h1 = crc_key(key, 0x82f63b78) & 4095;
+	u32 h2 = crc_key(key, 0xeb31d82e) & 4095;
+	u32 h3 = crc_key(key, 0xd5828281) & 4095;
+	cms_row0[h0] += 1;
+	cms_row1[h1] += 1;
+	cms_row2[h2] += 1;
+	cms_row3[h3] += 1;
+	// Estimate = min over rows.
+	u32 est = cms_row0[h0];
+	if (cms_row1[h1] < est) { est = cms_row1[h1]; }
+	if (cms_row2[h2] < est) { est = cms_row2[h2]; }
+	if (cms_row3[h3] < est) { est = cms_row3[h3]; }
+	cms_total += 1;
+	if (est > 1000) { cms_heavy += 1; }
+	pkt_send(0);
+}
+`,
+})
+
+// CMSketchAccel is the Clara-ported cmsketch: row hashes via the hardware
+// hash/CRC engine instead of bit-serial software.
+var CMSketchAccel = register(&Element{
+	Name:     "cmsketch_crc",
+	Desc:     "cmsketch ported to the CRC/hash engine",
+	Stateful: true,
+	Insights: []string{"pred", "scale", "place", "coloc"},
+	Src: `
+// cmsketch_crc: Clara's accelerator port of cmsketch — each row hash is a
+// single engine operation.
+global u32 cms_row0[4096];
+global u32 cms_row1[4096];
+global u32 cms_row2[4096];
+global u32 cms_row3[4096];
+global u32 cms_total;
+global u32 cms_heavy;
+
+void handle() {
+	u64 key = (u64(pkt_ip_src()) << 32) | u64(pkt_ip_dst());
+	u32 h0 = hash32(key) & 4095;
+	u32 h1 = hash32(key ^ 0x9e3779b97f4a7c15) & 4095;
+	u32 h2 = hash32(key ^ 0xc2b2ae3d27d4eb4f) & 4095;
+	u32 h3 = hash32(key ^ 0x165667b19e3779f9) & 4095;
+	cms_row0[h0] += 1;
+	cms_row1[h1] += 1;
+	cms_row2[h2] += 1;
+	cms_row3[h3] += 1;
+	u32 est = cms_row0[h0];
+	if (cms_row1[h1] < est) { est = cms_row1[h1]; }
+	if (cms_row2[h2] < est) { est = cms_row2[h2]; }
+	if (cms_row3[h3] < est) { est = cms_row3[h3]; }
+	cms_total += 1;
+	if (est > 1000) { cms_heavy += 1; }
+	pkt_send(0);
+}
+`,
+})
+
+// WepDecap decapsulates WEP-style frames: a reduced RC4 keystream xor plus
+// a software CRC-32 integrity check (the 'rc4' sub-element the paper's
+// algorithm ID flags, §5.3).
+var WepDecap = register(&Element{
+	Name:     "wepdecap",
+	Desc:     "WEP decapsulation (RC4 + software CRC check)",
+	Stateful: true,
+	Insights: []string{"pred", "algo", "scale", "place"},
+	Src: `
+// wepdecap: per-packet RC4-16 keystream (nibble-wide S-box; documented
+// substitution for full RC4 to bound per-packet setup cost) followed by a
+// software CRC-32 over the decrypted payload.
+global u32 rc4_s[16];
+global u32 wep_ok;
+global u32 wep_bad;
+
+void handle() {
+	u16 n = pkt_payload_len();
+	if (n < 8) { wep_bad += 1; pkt_drop(); return; }
+	// Key schedule: IV from the packet mixed with the shared key.
+	u32 iv = pkt_tcp_seq();
+	for (u32 i = 0; i < 16; i += 1) { rc4_s[i] = i; }
+	u32 j = 0;
+	for (u32 i = 0; i < 16; i += 1) {
+		j = (j + rc4_s[i] + ((iv >> ((i & 7) << 2)) & 15) + 0x5) & 15;
+		u32 tmp = rc4_s[i];
+		rc4_s[i] = rc4_s[j];
+		rc4_s[j] = tmp;
+	}
+	// PRGA: decrypt in place.
+	u32 a = 0;
+	u32 b = 0;
+	u32 limit = u32(n);
+	if (limit > 64) { limit = 64; }
+	for (u32 i = 0; i < limit; i += 1) {
+		a = (a + 1) & 15;
+		b = (b + rc4_s[a]) & 15;
+		u32 tmp = rc4_s[a];
+		rc4_s[a] = rc4_s[b];
+		rc4_s[b] = tmp;
+		u32 ks = rc4_s[(rc4_s[a] + rc4_s[b]) & 15];
+		pkt_set_payload(i, pkt_payload(i) ^ u8(ks));
+	}
+	// Integrity: bit-serial CRC-32 over the decrypted bytes.
+	u32 crc = 0xffffffff;
+	for (u32 i = 0; i < limit; i += 1) {
+		crc = crc ^ u32(pkt_payload(i));
+		for (u32 k = 0; k < 8; k += 1) {
+			if ((crc & 1) != 0) {
+				crc = (crc >> 1) ^ 0xedb88320;
+			} else {
+				crc = crc >> 1;
+			}
+		}
+	}
+	crc = ~crc;
+	if ((crc & 0xff) == 0x7) { wep_bad += 1; pkt_drop(); return; }
+	wep_ok += 1;
+	pkt_send(0);
+}
+`,
+})
+
+// WepDecapAccel is the Clara port: the integrity CRC runs on the CRC
+// engine.
+var WepDecapAccel = register(&Element{
+	Name:     "wepdecap_crc",
+	Desc:     "wepdecap ported to the CRC engine",
+	Stateful: true,
+	Insights: []string{"pred", "scale", "place"},
+	Src: `
+// wepdecap_crc: same RC4-16 decrypt, but the CRC-32 integrity check is one
+// engine call (Clara's §5.3 porting suggestion).
+global u32 rc4_s[16];
+global u32 wep_ok;
+global u32 wep_bad;
+
+void handle() {
+	u16 n = pkt_payload_len();
+	if (n < 8) { wep_bad += 1; pkt_drop(); return; }
+	u32 iv = pkt_tcp_seq();
+	for (u32 i = 0; i < 16; i += 1) { rc4_s[i] = i; }
+	u32 j = 0;
+	for (u32 i = 0; i < 16; i += 1) {
+		j = (j + rc4_s[i] + ((iv >> ((i & 7) << 2)) & 15) + 0x5) & 15;
+		u32 tmp = rc4_s[i];
+		rc4_s[i] = rc4_s[j];
+		rc4_s[j] = tmp;
+	}
+	u32 a = 0;
+	u32 b = 0;
+	u32 limit = u32(n);
+	if (limit > 64) { limit = 64; }
+	for (u32 i = 0; i < limit; i += 1) {
+		a = (a + 1) & 15;
+		b = (b + rc4_s[a]) & 15;
+		u32 tmp = rc4_s[a];
+		rc4_s[a] = rc4_s[b];
+		rc4_s[b] = tmp;
+		u32 ks = rc4_s[(rc4_s[a] + rc4_s[b]) & 15];
+		pkt_set_payload(i, pkt_payload(i) ^ u8(ks));
+	}
+	u32 crc = crc32_hw(0, limit);
+	if ((crc & 0xff) == 0x7) { wep_bad += 1; pkt_drop(); return; }
+	wep_ok += 1;
+	pkt_send(0);
+}
+`,
+})
+
+// IPRewriter rewrites flows according to installed mappings (Click's
+// IPRewriter pattern).
+var IPRewriter = register(&Element{
+	Name:     "iprewriter",
+	Desc:     "flow-level address/port rewriter",
+	Stateful: true,
+	Insights: []string{"pred", "rev", "scale", "place"},
+	Src: `
+// iprewriter: rewrite flows by installed mappings; learn mappings for new
+// outbound flows (pattern "keep source, rewrite destination").
+map<u64,u64> fwd_map[65536];
+map<u64,u64> rev_map[65536];
+global u32 rw_hits;
+global u32 rw_learned;
+global u32 rw_drops;
+
+void handle() {
+	if (pkt_eth_type() != 0x0800) { rw_drops += 1; pkt_drop(); return; }
+	u64 fkey = (u64(pkt_ip_src()) << 32) | u64(pkt_ip_dst());
+	if (map_contains(fwd_map, fkey)) {
+		u64 m = map_find(fwd_map, fkey);
+		pkt_set_ip_dst(u32(m >> 16));
+		pkt_set_tcp_dport(u16(m & 0xffff));
+		rw_hits += 1;
+		pkt_csum_update();
+		pkt_send(0);
+		return;
+	}
+	u64 rkey = (u64(pkt_ip_dst()) << 32) | u64(pkt_ip_src());
+	if (map_contains(rev_map, rkey)) {
+		u64 m = map_find(rev_map, rkey);
+		pkt_set_ip_src(u32(m >> 16));
+		pkt_set_tcp_sport(u16(m & 0xffff));
+		rw_hits += 1;
+		pkt_csum_update();
+		pkt_send(1);
+		return;
+	}
+	// New outbound flow: rewrite to the server pool and remember both
+	// directions.
+	u32 pool = 0x0a000a00 | (pkt_ip_src() & 0xf);
+	u16 pport = 8000 + (pkt_tcp_dport() & 0xff);
+	map_insert(fwd_map, fkey, (u64(pool) << 16) | u64(pport));
+	// Reverse key must match how replies compute it: (reply dst << 32) |
+	// reply src = (client << 32) | pool.
+	map_insert(rev_map, (u64(pkt_ip_src()) << 32) | u64(pool), (u64(pkt_ip_dst()) << 16) | u64(pkt_tcp_dport()));
+	rw_learned += 1;
+	pkt_set_ip_dst(pool);
+	pkt_set_tcp_dport(pport);
+	pkt_csum_update();
+	pkt_send(0);
+}
+`,
+})
+
+// UDPCount counts UDP traffic per source with a classifier front end.
+var UDPCount = register(&Element{
+	Name:     "udpcount",
+	Desc:     "UDP per-source counter",
+	Stateful: true,
+	Insights: []string{"pred", "rev", "scale", "place", "pack", "coloc"},
+	Src: `
+// udpcount: classify UDP, then count per-source and in aggregate. Small,
+// hot structures (the classifier table and the scalar tallies) versus one
+// large flow map — the §5.5 placement example.
+map<u64,u64> src_count[131072];
+global u32 port_class[256];
+global u32 udp_pkts;
+global u32 udp_bytes;
+global u32 tcp_pkts;
+global u32 other_pkts;
+global u32 dns_pkts;
+
+void handle() {
+	u8 proto = pkt_ip_proto();
+	if (proto == 6) { tcp_pkts += 1; pkt_send(0); return; }
+	if (proto != 17) { other_pkts += 1; pkt_send(0); return; }
+	u16 dport = pkt_udp_dport();
+	u32 class = port_class[u32(dport) & 255];
+	if (class == 2) { pkt_drop(); return; } // blocked service class
+	if (dport == 53) { dns_pkts += 1; }
+	udp_pkts += 1;
+	udp_bytes += u32(pkt_len());
+	u64 key = u64(pkt_ip_src());
+	map_insert(src_count, key, map_find(src_count, key) + 1);
+	pkt_send(0);
+}
+`,
+	Setup: setupUDPCount,
+})
+
+// DPI scans payloads for byte signatures (Figure 1's DPI bar).
+var DPI = register(&Element{
+	Name:     "dpi",
+	Desc:     "payload signature scanner",
+	Stateful: true,
+	Insights: []string{"pred", "scale", "coloc"},
+	Src: `
+// dpi: scan the payload for two byte signatures with a rolling window.
+// Cost scales with packet size, which is exactly the Figure 1 DPI
+// variability.
+global u32 sig_hits;
+global u32 scanned_bytes;
+global u32 clean_pkts;
+
+void handle() {
+	u32 n = u32(pkt_payload_len());
+	u32 w = 0;
+	u32 hit = 0;
+	for (u32 i = 0; i < n; i += 1) {
+		w = ((w << 8) | u32(pkt_payload(i))) & 0xffffff;
+		if (w == 0x474554) { hit = 1; }       // "GET"
+		if (w == 0x2f2e2e) { hit = 2; break; } // "/.."
+	}
+	scanned_bytes += n;
+	if (hit == 2) {
+		sig_hits += 1;
+		pkt_drop();
+		return;
+	}
+	clean_pkts += 1;
+	pkt_send(0);
+}
+`,
+})
+
+// Firewall enforces an address/port ACL with per-flow state (Figure 1's FW
+// bar: performance depends on where the flow state lives).
+var Firewall = register(&Element{
+	Name:     "firewall",
+	Desc:     "stateful ACL firewall",
+	Stateful: true,
+	Insights: []string{"pred", "rev", "scale", "place", "coloc"},
+	Src: `
+// firewall: exact-match deny list plus stateful flow admission — new flows
+// are admitted only on SYN, established flows pass by table hit.
+map<u64,u64> deny[8192];
+map<u64,u64> flows[131072];
+global u32 fw_pass;
+global u32 fw_deny;
+global u32 fw_newflow;
+
+void handle() {
+	if (pkt_eth_type() != 0x0800) { pkt_drop(); return; }
+	u64 src = u64(pkt_ip_src());
+	if (map_contains(deny, src)) {
+		fw_deny += 1;
+		pkt_drop();
+		return;
+	}
+	u16 dport = pkt_tcp_dport();
+	if (dport == 23 || dport == 2323 || dport == 445) {
+		fw_deny += 1;
+		pkt_drop();
+		return;
+	}
+	u64 fkey = (u64(pkt_ip_src()) << 32) | u64(pkt_ip_dst());
+	if (map_contains(flows, fkey)) {
+		fw_pass += 1;
+		pkt_send(0);
+		return;
+	}
+	if (pkt_ip_proto() == 6 && (pkt_tcp_flags() & 0x02) != 0) {
+		map_insert(flows, fkey, u64(pkt_time()));
+		fw_newflow += 1;
+		pkt_send(0);
+		return;
+	}
+	fw_deny += 1;
+	pkt_drop();
+}
+`,
+	Setup: setupFirewall,
+})

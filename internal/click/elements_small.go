@@ -1,0 +1,364 @@
+package click
+
+// Small elements: the stateless header manipulators and light stateful
+// counters of Table 2's upper rows.
+
+// AnonIPAddr anonymizes source and destination addresses with a keyed
+// multiplicative mix (prefix-preserving enough for lab traces).
+var AnonIPAddr = register(&Element{
+	Name:     "anonipaddr",
+	Desc:     "IP address anonymizer",
+	Insights: []string{"pred", "scale"},
+	Src: `
+// anonipaddr: anonymize addresses with a keyed Feistel-ish mix so traces
+// can leave the lab. Stateless: every packet is rewritten independently.
+void handle() {
+	if (pkt_eth_type() != 0x0800) { pkt_send(0); return; }
+	u32 key = 0x9e3779b9;
+	u32 src = pkt_ip_src();
+	u32 dst = pkt_ip_dst();
+	u32 a = (src ^ key) * 2654435761;
+	a = a ^ (a >> 13);
+	a = a * 2246822519;
+	a = a ^ (a >> 16);
+	u32 b = (dst + key) * 2654435761;
+	b = b ^ (b >> 15);
+	b = b * 3266489917;
+	b = b ^ (b >> 13);
+	// Preserve the /8 so operators can still eyeball networks.
+	pkt_set_ip_src((src & 0xff000000) | (a & 0x00ffffff));
+	pkt_set_ip_dst((dst & 0xff000000) | (b & 0x00ffffff));
+	pkt_csum_update();
+	pkt_send(0);
+}
+`,
+})
+
+// TCPAck turns an inbound TCP segment into its acknowledgment.
+var TCPAck = register(&Element{
+	Name:     "tcpack",
+	Desc:     "TCP acknowledgment generator",
+	Insights: []string{"pred", "scale"},
+	Src: `
+// tcpack: acknowledge inbound TCP segments (reflector-style).
+void handle() {
+	if (pkt_ip_proto() != 6) { pkt_drop(); return; }
+	u8 flags = pkt_tcp_flags();
+	if ((flags & 0x04) != 0) { pkt_drop(); return; } // RST
+	u32 seq = pkt_tcp_seq();
+	u16 seg = pkt_ip_len() - (u16(pkt_ip_hl()) << 2) - (u16(pkt_tcp_off()) << 2);
+	u32 ackno = seq + u32(seg);
+	if ((flags & 0x02) != 0) { ackno += 1; } // SYN consumes a sequence number
+	if ((flags & 0x01) != 0) { ackno += 1; } // FIN too
+	u32 s = pkt_ip_src();
+	pkt_set_ip_src(pkt_ip_dst());
+	pkt_set_ip_dst(s);
+	u16 sp = pkt_tcp_sport();
+	pkt_set_tcp_sport(pkt_tcp_dport());
+	pkt_set_tcp_dport(sp);
+	pkt_set_tcp_ack(ackno);
+	pkt_set_tcp_flags(0x10);
+	pkt_csum_update();
+	pkt_send(1);
+}
+`,
+})
+
+// UDPIPEncap rewrites packets into a fixed UDP/IP encapsulation.
+var UDPIPEncap = register(&Element{
+	Name:     "udpipencap",
+	Desc:     "UDP/IP encapsulation",
+	Insights: []string{"pred", "scale"},
+	Src: `
+// udpipencap: stamp a canonical UDP/IP header onto the packet (tunnel
+// ingress). The outer addresses are configuration constants.
+void handle() {
+	u32 tunnel_src = 0x0a000001;
+	u32 tunnel_dst = 0x0a0000fe;
+	u16 base_port = 4789;
+	// Spread tunnels across 16 UDP source ports for RSS at the far end.
+	u16 entropy = u16(pkt_ip_src() ^ pkt_ip_dst());
+	entropy = entropy ^ (entropy >> 8);
+	pkt_set_ip_src(tunnel_src);
+	pkt_set_ip_dst(tunnel_dst);
+	pkt_set_udp_sport(base_port + (entropy & 15));
+	pkt_set_udp_dport(base_port);
+	u8 ttl = pkt_ip_ttl();
+	if (ttl <= 1) { pkt_drop(); return; }
+	pkt_set_ip_ttl(64);
+	pkt_csum_update();
+	pkt_send(2);
+}
+`,
+})
+
+// ForceTCP coerces packets into well-formed TCP (test-harness element).
+var ForceTCP = register(&Element{
+	Name:     "forcetcp",
+	Desc:     "coerce packets into valid TCP",
+	Insights: []string{"pred", "scale"},
+	Src: `
+// forcetcp: Click's test element that rewrites arbitrary packets into
+// plausible TCP segments (used to feed TCP-only elements).
+void handle() {
+	if (pkt_eth_type() != 0x0800) { pkt_drop(); return; }
+	u16 sport = pkt_tcp_sport();
+	u16 dport = pkt_tcp_dport();
+	if (sport == 0) { sport = 1024 + (u16(pkt_ip_src()) & 0x3ff); }
+	if (dport == 0) { dport = 80; }
+	u8 flags = pkt_tcp_flags();
+	// Strip illegal flag combinations: SYN+FIN, SYN+RST.
+	if ((flags & 0x03) == 0x03) { flags = flags & 0xfe; }
+	if ((flags & 0x06) == 0x06) { flags = flags & 0xfb; }
+	if (flags == 0) { flags = 0x10; }
+	u16 hl = u16(pkt_ip_hl()) << 2;
+	if (hl < 20) { pkt_drop(); return; }
+	u16 tl = pkt_ip_len();
+	if (tl < hl + 20) { pkt_drop(); return; }
+	pkt_set_tcp_sport(sport);
+	pkt_set_tcp_dport(dport);
+	pkt_set_tcp_flags(flags);
+	pkt_csum_update();
+	pkt_send(0);
+}
+`,
+})
+
+// TCPResp crafts a canned TCP response (SYN-ACK or ACK echo).
+var TCPResp = register(&Element{
+	Name:     "tcpresp",
+	Desc:     "TCP responder",
+	Insights: []string{"pred", "scale"},
+	Src: `
+// tcpresp: answer SYNs with SYN-ACKs and data with ACKs; a miniature
+// server front end used for load testing.
+u32 cookie(u32 a, u32 b, u16 p) {
+	u32 h = a ^ (b * 2654435761) ^ u32(p);
+	h = h ^ (h >> 11);
+	h = h * 2246822519;
+	h = h ^ (h >> 15);
+	return h;
+}
+
+void handle() {
+	if (pkt_ip_proto() != 6) { pkt_drop(); return; }
+	u8 flags = pkt_tcp_flags();
+	u32 s = pkt_ip_src();
+	u32 d = pkt_ip_dst();
+	u16 sp = pkt_tcp_sport();
+	u16 dp = pkt_tcp_dport();
+	// Capture the inbound sequence number before any header rewriting.
+	u32 iseq = pkt_tcp_seq();
+	pkt_set_ip_src(d);
+	pkt_set_ip_dst(s);
+	pkt_set_tcp_sport(dp);
+	pkt_set_tcp_dport(sp);
+	if ((flags & 0x02) != 0) {
+		// SYN: reply SYN-ACK with a stateless cookie as our ISN.
+		u32 isn = cookie(s, d, sp);
+		pkt_set_tcp_seq(isn);
+		pkt_set_tcp_ack(iseq + 1);
+		pkt_set_tcp_flags(0x12);
+	} else if ((flags & 0x01) != 0) {
+		// FIN: acknowledge and close.
+		pkt_set_tcp_ack(iseq + 1);
+		pkt_set_tcp_flags(0x11);
+	} else {
+		u16 seg = pkt_ip_len() - (u16(pkt_ip_hl()) << 2) - (u16(pkt_tcp_off()) << 2);
+		pkt_set_tcp_ack(iseq + u32(seg));
+		pkt_set_tcp_flags(0x10);
+	}
+	pkt_csum_update();
+	pkt_send(1);
+}
+`,
+})
+
+// AggCounter aggregates packet and byte counts by address prefix.
+var AggCounter = register(&Element{
+	Name:     "aggcounter",
+	Desc:     "per-prefix packet/byte aggregation",
+	Stateful: true,
+	Insights: []string{"pred", "scale", "pack"},
+	Src: `
+// aggcounter: aggregate traffic by /16 prefix with global tallies. The
+// scalar tallies are accessed together on every packet — prime coalescing
+// material (Figure 13).
+global u32 agg_pkts[4096];
+global u32 agg_bytes[4096];
+global u32 total_pkts;
+global u32 total_bytes;
+global u32 nonip_pkts;
+global u32 max_bucket;
+
+void handle() {
+	if (pkt_eth_type() != 0x0800) {
+		nonip_pkts += 1;
+		pkt_send(0);
+		return;
+	}
+	u32 bucket = (pkt_ip_src() >> 16) & 4095;
+	u32 len = u32(pkt_len());
+	agg_pkts[bucket] += 1;
+	agg_bytes[bucket] += len;
+	total_pkts += 1;
+	total_bytes += len;
+	if (agg_pkts[bucket] > max_bucket) { max_bucket = agg_pkts[bucket]; }
+	pkt_send(0);
+}
+`,
+})
+
+// TimeFilter drops packets outside a rolling admission window.
+var TimeFilter = register(&Element{
+	Name:     "timefilter",
+	Desc:     "time-window admission filter",
+	Stateful: true,
+	Insights: []string{"pred", "scale", "pack"},
+	Src: `
+// timefilter: admit packets within a rolling time window and keep window
+// accounting. Window state scalars travel together (Figure 13).
+global u64 win_start;
+global u64 win_end;
+global u32 win_pkts;
+global u32 win_bytes;
+global u32 dropped_early;
+global u32 dropped_late;
+global u32 windows_rolled;
+
+void handle() {
+	u64 now = pkt_time();
+	if (win_end == 0) {
+		win_start = now;
+		win_end = now + 1000000; // 1ms windows
+	}
+	if (now < win_start) {
+		dropped_early += 1;
+		pkt_drop();
+		return;
+	}
+	if (now > win_end) {
+		// Roll the window forward; carry nothing over.
+		win_start = win_end;
+		win_end = win_end + 1000000;
+		win_pkts = 0;
+		win_bytes = 0;
+		windows_rolled += 1;
+	}
+	if (win_pkts >= 100000) {
+		dropped_late += 1;
+		pkt_drop();
+		return;
+	}
+	win_pkts += 1;
+	win_bytes += u32(pkt_len());
+	pkt_send(0);
+}
+`,
+})
+
+// TCPGen generates TCP load and tracks connection progress.
+var TCPGen = register(&Element{
+	Name:     "tcpgen",
+	Desc:     "TCP traffic generator",
+	Stateful: true,
+	Insights: []string{"pred", "scale", "pack"},
+	Src: `
+// tcpgen: rewrite incoming packets into generated TCP load, tracking a
+// single generator connection's progress. The port pair and the
+// ACK-machine scalars cluster separately; good_pkt/bad_pkt are never
+// accessed with them (the §5.6 example).
+global u32 gen_init;
+global u32 tcp_state;
+global u32 send_next;
+global u32 recv_next;
+global u32 iss;
+global u16 gen_sport;
+global u16 gen_dport;
+global u32 good_pkt;
+global u32 bad_pkt;
+
+void handle() {
+	if (pkt_ip_proto() != 6) {
+		bad_pkt += 1;
+		pkt_drop();
+		return;
+	}
+	if (gen_init == 0) {
+		gen_init = 1;
+		gen_sport = 33000 + (u16(rand32()) & 8191);
+		gen_dport = 80;
+		iss = rand32();
+		send_next = iss + 1;
+		tcp_state = 1; // SYN sent
+	}
+	pkt_set_tcp_sport(gen_sport);
+	pkt_set_tcp_dport(gen_dport);
+	u8 flags = pkt_tcp_flags();
+	if (tcp_state == 1 && (flags & 0x12) == 0x12) {
+		// SYN-ACK: move to established.
+		if (pkt_tcp_ack() == iss + 1) {
+			tcp_state = 2;
+			recv_next = pkt_tcp_seq() + 1;
+			good_pkt += 1;
+		} else {
+			bad_pkt += 1;
+		}
+	} else if (tcp_state == 2) {
+		u16 seg = pkt_ip_len() - (u16(pkt_ip_hl()) << 2) - (u16(pkt_tcp_off()) << 2);
+		if (pkt_tcp_seq() == recv_next) {
+			recv_next += u32(seg);
+			good_pkt += 1;
+		} else {
+			bad_pkt += 1;
+		}
+	}
+	pkt_set_tcp_seq(send_next);
+	pkt_set_tcp_ack(recv_next);
+	send_next += 64;
+	pkt_set_tcp_flags(0x10);
+	pkt_csum_update();
+	pkt_send(3);
+}
+`,
+})
+
+// WebTCP tracks server-side TCP connection health (Figure 13's fourth
+// element).
+var WebTCP = register(&Element{
+	Name:     "webtcp",
+	Desc:     "web-server TCP state tracker",
+	Stateful: true,
+	Insights: []string{"pred", "scale", "pack"},
+	Src: `
+// webtcp: track web-server connection health: handshake progress, bytes
+// in flight, and retransmission symptoms.
+global u32 syn_seen;
+global u32 est_seen;
+global u32 fin_seen;
+global u32 rst_seen;
+global u32 bytes_in;
+global u32 bytes_out;
+global u32 retrans;
+global u32 last_seq;
+
+void handle() {
+	if (pkt_ip_proto() != 6) { pkt_drop(); return; }
+	u8 flags = pkt_tcp_flags();
+	u16 seg = pkt_ip_len() - (u16(pkt_ip_hl()) << 2) - (u16(pkt_tcp_off()) << 2);
+	if ((flags & 0x02) != 0) { syn_seen += 1; }
+	if ((flags & 0x10) != 0 && (flags & 0x02) == 0) { est_seen += 1; }
+	if ((flags & 0x01) != 0) { fin_seen += 1; }
+	if ((flags & 0x04) != 0) { rst_seen += 1; pkt_drop(); return; }
+	u32 seq = pkt_tcp_seq();
+	if (seq == last_seq && seg > 0) { retrans += 1; }
+	last_seq = seq;
+	if (pkt_tcp_dport() == 80 || pkt_tcp_dport() == 443) {
+		bytes_in += u32(seg);
+	} else {
+		bytes_out += u32(seg);
+	}
+	pkt_send(0);
+}
+`,
+})

@@ -1,0 +1,122 @@
+package click
+
+import (
+	"fmt"
+	"math/rand"
+
+	"clara/internal/interp"
+)
+
+// GenRoutes deterministically generates n LPM rules: a default-ish /8 for
+// the 10/8 server space plus more-specific /16s and /24s, so generated
+// workloads (which target 10.0.0.0/24 by default) exercise multiple match
+// lengths.
+func GenRoutes(n int, seed int64) []interp.Route {
+	rng := rand.New(rand.NewSource(seed))
+	routes := []interp.Route{{Prefix: 0x0A000000, Len: 8, Port: 1}}
+	for len(routes) < n {
+		var r interp.Route
+		switch rng.Intn(3) {
+		case 0:
+			r = interp.Route{Prefix: 0x0A000000 | uint32(rng.Intn(256))<<16, Len: 16}
+		case 1:
+			r = interp.Route{Prefix: 0x0A000000 | uint32(rng.Intn(1<<16))<<8, Len: 24}
+		default:
+			r = interp.Route{Prefix: 0x0A000000 | uint32(rng.Intn(1<<24)), Len: 32}
+		}
+		r.Port = uint32(rng.Intn(15))
+		routes = append(routes, r)
+	}
+	return routes[:n]
+}
+
+// InstallTrie builds a binary trie from routes into the three global
+// arrays (left, right, port). Ports are stored +1 so 0 can mean "no route
+// at this node".
+func InstallTrie(m *interp.Machine, routes []interp.Route, left, right, port string, capacity int) error {
+	l := make([]uint64, capacity)
+	r := make([]uint64, capacity)
+	p := make([]uint64, capacity)
+	next := 1 // node 0 is the root
+	for _, rt := range routes {
+		node := 0
+		for d := 0; d < rt.Len; d++ {
+			bit := (rt.Prefix >> (31 - d)) & 1
+			arr := l
+			if bit == 1 {
+				arr = r
+			}
+			if arr[node] == 0 {
+				if next >= capacity {
+					return fmt.Errorf("click: trie overflow (%d nodes)", capacity)
+				}
+				arr[node] = uint64(next)
+				next++
+			}
+			node = int(arr[node])
+		}
+		p[node] = uint64(rt.Port) + 1
+	}
+	if err := m.SetArray(left, l); err != nil {
+		return err
+	}
+	if err := m.SetArray(right, r); err != nil {
+		return err
+	}
+	return m.SetArray(port, p)
+}
+
+// DefaultRouteCount is the rule-table size installed by iplookup's default
+// setup (Figure 10(c) sweeps this).
+const DefaultRouteCount = 256
+
+func setupIPLookupTrie(m *interp.Machine) error {
+	return InstallTrie(m, Get("iplookup").Routes, "trie_left", "trie_right", "trie_port", 65536)
+}
+
+func setupUDPCount(m *interp.Machine) error {
+	// Port classes: 0 default, 1 monitored, 2 blocked.
+	classes := make([]uint64, 256)
+	for _, blocked := range []int{19, 111, 137} { // chargen, portmap, netbios
+		classes[blocked] = 2
+	}
+	for _, mon := range []int{53, 123, 161} {
+		classes[mon] = 1
+	}
+	return m.SetArray("port_class", classes)
+}
+
+func setupFirewall(m *interp.Machine) error {
+	// Seed the deny list with a deterministic blocked set.
+	rng := rand.New(rand.NewSource(97))
+	for i := 0; i < 512; i++ {
+		addr := 0xC0A80000 | uint32(rng.Intn(1<<16))
+		if err := m.MapSeed("deny", uint64(addr), 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func setupIPClassifier(m *interp.Machine) error {
+	pfx := make([]uint64, 1024)
+	rng := rand.New(rand.NewSource(53))
+	for i := 0; i < 128; i++ {
+		pfx[rng.Intn(1024)] = uint64(1 + rng.Intn(8))
+	}
+	return m.SetArray("pfx_table", pfx)
+}
+
+func init() {
+	IPLookup.Routes = GenRoutes(DefaultRouteCount, 41)
+	IPLookupAccel.Routes = IPLookup.Routes
+}
+
+func setupECMP(m *interp.Machine) error {
+	// Twelve of sixteen backends start healthy.
+	h := make([]uint64, 16)
+	for i := 0; i < 12; i++ {
+		h[i] = 1
+	}
+	return m.SetArray("healthy", h)
+}

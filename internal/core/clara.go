@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"clara/internal/ir"
+	"clara/internal/isa"
+	"clara/internal/niccc"
+	"clara/internal/nicsim"
+	"clara/internal/traffic"
+)
+
+// Clara bundles the trained analysis components into the tool the paper
+// describes: given an unported NF and a workload specification, emit
+// offloading insights (Figure 2c).
+type Clara struct {
+	Predictor *Predictor
+	AlgoID    *AlgoIdentifier
+	Scaleout  *ScaleoutModel
+	Params    nicsim.Params
+	Coalesce  CoalesceConfig
+}
+
+// Insights is the full report for one NF and workload.
+type Insights struct {
+	NF       string
+	Workload string
+
+	// Cross-platform prediction (§3).
+	Prediction *ModulePrediction
+
+	// Accelerator opportunities (§4.1).
+	Algorithm int // AlgoCRC / AlgoLPM / AlgoNone
+
+	// Multicore scale-out (§4.2).
+	SuggestedCores int
+
+	// NF state placement (§4.3).
+	Placement nicsim.Placement
+
+	// Memory access coalescing (§4.4).
+	Packs [][]string
+}
+
+// Analyze runs every analysis on an unported NF.
+func (c *Clara) Analyze(mod *ir.Module, ps ProfileSetup, wl traffic.Spec) (*Insights, error) {
+	ins := &Insights{NF: mod.Name, Workload: wl.Name}
+
+	mp, err := c.Predictor.PredictModule(mod, niccc.AccelConfig{})
+	if err != nil {
+		return nil, err
+	}
+	ins.Prediction = mp
+
+	if c.AlgoID != nil {
+		ins.Algorithm = c.AlgoID.Classify(mod)
+	}
+
+	prof, err := ProfileOnHost(mod, ps, wl, 800)
+	if err != nil {
+		return nil, err
+	}
+	if len(mod.Globals) > 0 {
+		pl, err := SuggestPlacement(mod, prof, c.Params)
+		if err != nil {
+			return nil, err
+		}
+		ins.Placement = pl
+		ins.Packs = SuggestPacks(mod, prof, c.Coalesce)
+	}
+
+	if c.Scaleout != nil {
+		stateBytes := 0
+		for _, g := range mod.Globals {
+			stateBytes += g.SizeBytes()
+		}
+		ins.SuggestedCores = c.Scaleout.Suggest(ScaleoutFeatures(mp, prof, wl, stateBytes))
+	}
+	return ins, nil
+}
+
+// Report renders the insights as the CLI's human-readable output.
+func (ins *Insights) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Clara offloading insights — NF %q, workload %q\n", ins.NF, ins.Workload)
+	fmt.Fprintf(&b, "\nPredicted performance parameters (per handler invocation):\n")
+	fmt.Fprintf(&b, "  compute instructions (core logic): %.1f\n", ins.Prediction.TotalCompute)
+	fmt.Fprintf(&b, "  framework API instructions:        %d (reverse-ported, exact)\n", ins.Prediction.TotalAPI)
+	fmt.Fprintf(&b, "  stateful memory accesses (static): %d\n", ins.Prediction.TotalMem)
+
+	fmt.Fprintf(&b, "\nAccelerator opportunities: ")
+	if ins.Algorithm == AlgoNone {
+		b.WriteString("none detected\n")
+	} else {
+		fmt.Fprintf(&b, "%s — rewrite the matching code to the %s engine\n",
+			AlgoName(ins.Algorithm), AlgoName(ins.Algorithm))
+	}
+
+	if ins.SuggestedCores > 0 {
+		fmt.Fprintf(&b, "\nMulticore scale-out: use ~%d cores for this workload\n", ins.SuggestedCores)
+	}
+
+	if len(ins.Placement) > 0 {
+		fmt.Fprintf(&b, "\nState placement:\n")
+		byRegion := map[isa.Region][]string{}
+		for g, r := range ins.Placement {
+			byRegion[r] = append(byRegion[r], g)
+		}
+		for r := isa.CLS; r <= isa.EMEM; r++ {
+			if gs := byRegion[r]; len(gs) > 0 {
+				fmt.Fprintf(&b, "  %-4s: %s\n", r, strings.Join(sorted(gs), ", "))
+			}
+		}
+	}
+	if len(ins.Packs) > 0 {
+		fmt.Fprintf(&b, "\nCoalescing packs (allocate adjacently, fetch together):\n")
+		for i, p := range ins.Packs {
+			fmt.Fprintf(&b, "  pack %d: %s\n", i, strings.Join(p, ", "))
+		}
+	}
+	return b.String()
+}
+
+func sorted(xs []string) []string {
+	out := append([]string(nil), xs...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// ReversePortNICMapSource is the NFC source of the NIC-style map lookup —
+// the reverse-ported Click element of §3.3. Its control flow mirrors the
+// SmartNIC library (fixed bucket slots probed in order, free slot ends the
+// chain) so host execution triggers the same branch behaviour as the NIC;
+// internal/interp's NICMap mode implements exactly these semantics, and
+// the vendor library's instruction counts (niccc.Library) are its compiled
+// cost.
+const ReversePortNICMapSource = `
+// Reverse-ported HashMap.find: fixed buckets of 4 slots, no growth.
+global u64 slot_key[4096];
+global u64 slot_val[4096];
+global u32 slot_used[4096];
+
+u64 nic_map_find(u64 key) {
+	u32 bucket = (hash32(key) & 1023) * 4;
+	for (u32 i = 0; i < 4; i += 1) {
+		u32 s = bucket + i;
+		if (slot_used[s] == 0) { return 0; }
+		if (slot_used[s] == 1 && slot_key[s] == key) { return slot_val[s]; }
+	}
+	return 0;
+}
+
+void handle() {
+	u64 v = nic_map_find(u64(pkt_ip_src()));
+	if (v == 0) { pkt_drop(); return; }
+	pkt_send(u32(v));
+}
+`
+
+// HostMapSource is the host-style (Click) counterpart: elastic growth with
+// linear probing. The asymmetry between the two sources is what reverse
+// porting eliminates from Clara's analysis inputs.
+const HostMapSource = `
+// Click-style HashMap.find: open addressing with linear probing over a
+// table that reallocates as it fills (growth elided: probe semantics only).
+global u64 slot_key[8192];
+global u64 slot_val[8192];
+global u32 slot_used[8192];
+
+u64 click_map_find(u64 key) {
+	u32 idx = hash32(key) & 8191;
+	for (u32 i = 0; i < 8192; i += 1) {
+		u32 s = (idx + i) & 8191;
+		if (slot_used[s] == 0) { return 0; }
+		if (slot_key[s] == key) { return slot_val[s]; }
+	}
+	return 0;
+}
+
+void handle() {
+	u64 v = click_map_find(u64(pkt_ip_src()));
+	if (v == 0) { pkt_drop(); return; }
+	pkt_send(u32(v));
+}
+`

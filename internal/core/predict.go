@@ -1,0 +1,334 @@
+// Package core implements Clara itself: cross-platform instruction
+// prediction (§3), and the porting-strategy analyses — algorithm
+// identification, multicore scale-out, NF state placement, memory access
+// coalescing, and NF colocation (§4).
+//
+// Everything here observes only what the paper's Clara can observe: the
+// unported NF's IR, workload profiles gathered on the host, and black-box
+// measurements of training programs on the (simulated) SmartNIC. The
+// vendor compiler's internals (internal/niccc) are never inspected — they
+// are only sampled through compiled training pairs.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"clara/internal/ir"
+	"clara/internal/lang"
+	"clara/internal/ml"
+	"clara/internal/niccc"
+	"clara/internal/stats"
+	"clara/internal/synth"
+)
+
+// PredictorConfig controls training of the §3.2 LSTM+FC model.
+type PredictorConfig struct {
+	// TrainPrograms is the number of synthesized training programs.
+	TrainPrograms int
+	// Profile guides the synthesizer (zero value: measure the Click
+	// library corpus).
+	Profile *synth.Profile
+	Hidden  int
+	Epochs  int
+	// CompactVocab applies the paper's vocabulary compaction; disabling it
+	// is the ablation discussed in §6 ("applying LSTM without vocabulary
+	// compaction shows much lower performance").
+	CompactVocab bool
+	// Ensemble averages this many independently-seeded LSTMs (1 = the
+	// paper's single model; small ensembles reduce variance on blocks far
+	// from the synthesized training distribution).
+	Ensemble int
+	// PredictAPI is the reverse-porting ablation (§3.3): instead of taking
+	// framework library instruction counts from the reverse-ported code
+	// (exact), the LSTM must predict them too.
+	PredictAPI bool
+	Seed       int64
+}
+
+func (c PredictorConfig) norm() PredictorConfig {
+	if c.TrainPrograms == 0 {
+		c.TrainPrograms = 220
+	}
+	if c.Hidden == 0 {
+		c.Hidden = 28
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 24
+	}
+	if c.Ensemble == 0 {
+		c.Ensemble = 1
+	}
+	return c
+}
+
+// BlockSample pairs one basic block's word sequence with its NIC
+// compilation ground truth.
+type BlockSample struct {
+	Words     []string
+	Compute   int // NIC core compute instructions (excl. library bodies)
+	APIInstrs int // library-routine instructions in the block (reverse-ported)
+	Mem       int // NIC stateful memory instructions
+	IRMem     int // memory accesses counted directly from the IR
+	IRCompute int // compute instructions counted directly from the IR
+}
+
+// BlockCorpus extracts per-block samples from modules by compiling them
+// with the vendor toolchain (accelerators off: training programs are naive
+// ports, like the paper's).
+func BlockCorpus(mods []*ir.Module, compact bool) ([]BlockSample, error) {
+	var out []BlockSample
+	for _, m := range mods {
+		prog, err := niccc.Compile(m, niccc.Options{})
+		if err != nil {
+			return nil, err
+		}
+		f := m.Handler()
+		for bi, b := range f.Blocks {
+			irMem, irCompute, apiInstrs := 0, 0, 0
+			for _, in := range b.Instrs {
+				if in.Op.IsStatefulMem() {
+					irMem++
+				}
+				if in.Op.IsCompute() || in.Op.IsTerminator() {
+					irCompute++
+				}
+				if in.Op == ir.OpCall {
+					if n, ok := niccc.APIInstrCount(in.Callee, niccc.AccelConfig{}); ok {
+						apiInstrs += n
+					}
+				}
+			}
+			out = append(out, BlockSample{
+				Words:     ir.BlockWords(b, compact),
+				Compute:   prog.Blocks[bi].ComputeCount,
+				APIInstrs: apiInstrs,
+				Mem:       prog.Blocks[bi].MemCount,
+				IRMem:     irMem,
+				IRCompute: irCompute,
+			})
+		}
+	}
+	return out, nil
+}
+
+// SynthTrainingModules generates the synthesized training corpus (the data
+// synthesis step of §3.2).
+func SynthTrainingModules(n int, prof synth.Profile, seed int64) ([]*ir.Module, error) {
+	var mods []*ir.Module
+	for i := 0; i < n; i++ {
+		m, _, err := synth.GenerateModule(synth.Config{Profile: prof, Seed: seed + int64(i)}, lang.Compile)
+		if err != nil {
+			return nil, err
+		}
+		mods = append(mods, m)
+	}
+	return mods, nil
+}
+
+// CorpusProfile measures the Click element corpus to guide synthesis.
+func CorpusProfile(mods []*ir.Module) synth.Profile {
+	return synth.ProfileFromModules(mods)
+}
+
+// Predictor is the trained cross-platform performance predictor.
+type Predictor struct {
+	cfg    PredictorConfig
+	Vocab  *ir.Vocab
+	models []*ml.LSTM
+	// TrainLoss is the final mean training loss (convergence telemetry).
+	TrainLoss float64
+}
+
+// TrainPredictor synthesizes a corpus, compiles it with the black-box
+// toolchain, and fits the LSTM+FC model.
+func TrainPredictor(cfg PredictorConfig, corpusProfile synth.Profile) (*Predictor, error) {
+	cfg = cfg.norm()
+	// Close the generator loop on the corpus profile so the synthesized
+	// training distribution actually lands on the target (Table 1).
+	probe := cfg.TrainPrograms / 5
+	if probe < 10 {
+		probe = 10
+	}
+	guide, err := synth.Calibrate(corpusProfile, probe, cfg.Seed+9999, lang.Compile)
+	if err != nil {
+		return nil, err
+	}
+	mods, err := SynthTrainingModules(cfg.TrainPrograms, guide, cfg.Seed+1000)
+	if err != nil {
+		return nil, err
+	}
+	vocab := ir.BuildVocab(mods, cfg.CompactVocab)
+	samples, err := BlockCorpus(mods, cfg.CompactVocab)
+	if err != nil {
+		return nil, err
+	}
+	// The model learns the *residual* between the NIC instruction count
+	// and the raw IR compute count: the fusions, expansions and spills the
+	// closed-source toolchain applies are the opaque part; the IR count is
+	// a visible prior. Residual targets transfer much better to program
+	// shapes outside the synthesized distribution.
+	seq := make([]ml.SeqSample, 0, len(samples))
+	for _, s := range samples {
+		if len(s.Words) == 0 {
+			continue
+		}
+		target := float64(s.Compute - s.IRCompute)
+		if cfg.PredictAPI {
+			// Ablation: the model must absorb library-routine costs too.
+			target = float64(s.Compute + s.APIInstrs - s.IRCompute)
+		}
+		seq = append(seq, ml.SeqSample{
+			Tokens: vocab.Encode(s.Words),
+			Target: []float64{target},
+		})
+	}
+	p := &Predictor{cfg: cfg, Vocab: vocab}
+	for k := 0; k < cfg.Ensemble; k++ {
+		model, loss := ml.TrainLSTM(seq, ml.LSTMConfig{
+			Vocab: vocab.Size(), Hidden: cfg.Hidden, Out: 1,
+			Epochs: cfg.Epochs, Seed: cfg.Seed + int64(k)*7919,
+		})
+		p.models = append(p.models, model)
+		p.TrainLoss += loss / float64(cfg.Ensemble)
+	}
+	return p, nil
+}
+
+// PredictBlock predicts one block's NIC compute-instruction count and
+// counts its stateful memory accesses directly from the IR (§3.2: memory
+// accesses "have a clear correspondence to the load/store instructions at
+// the IR level").
+func (p *Predictor) PredictBlock(b *ir.Block) (compute float64, mem int) {
+	words := ir.BlockWords(b, p.cfg.CompactVocab)
+	irCompute := 0
+	for _, in := range b.Instrs {
+		if in.Op.IsStatefulMem() {
+			mem++
+		}
+		if in.Op.IsCompute() || in.Op.IsTerminator() {
+			irCompute++
+		}
+	}
+	if len(words) > 0 {
+		var resid float64
+		toks := p.Vocab.Encode(words)
+		for _, m := range p.models {
+			resid += m.PredictRaw(toks)[0]
+		}
+		resid /= float64(len(p.models))
+		compute = float64(irCompute) + resid
+		if compute < 0 {
+			compute = 0
+		}
+	}
+	return compute, mem
+}
+
+// BlockPrediction is one block's predicted parameters.
+type BlockPrediction struct {
+	Block   int
+	Compute float64
+	Mem     int
+	API     int // exact reverse-ported API instruction count
+}
+
+// ModulePrediction is the §3 output for one NF: its predicted performance
+// parameters on the SmartNIC.
+type ModulePrediction struct {
+	Name         string
+	Blocks       []BlockPrediction
+	TotalCompute float64
+	TotalMem     int
+	TotalAPI     int
+}
+
+// PredictModule runs the full Figure 3 algorithm on an unported NF:
+// LSTM inference for core-logic blocks, direct IR counting for stateful
+// memory, and reverse-ported library costs for framework API calls.
+func (p *Predictor) PredictModule(m *ir.Module, accel niccc.AccelConfig) (*ModulePrediction, error) {
+	f := m.Handler()
+	if f == nil {
+		return nil, fmt.Errorf("core: module %s has no handler", m.Name)
+	}
+	out := &ModulePrediction{Name: m.Name}
+	for bi, b := range f.Blocks {
+		compute, mem := p.PredictBlock(b)
+		api := 0
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpCall {
+				n, ok := niccc.APIInstrCount(in.Callee, accel)
+				if !ok {
+					return nil, fmt.Errorf("core: API %q has no reverse port", in.Callee)
+				}
+				api += n
+			}
+		}
+		out.Blocks = append(out.Blocks, BlockPrediction{Block: bi, Compute: compute, Mem: mem, API: api})
+		out.TotalCompute += compute
+		out.TotalMem += mem
+		out.TotalAPI += api
+	}
+	return out, nil
+}
+
+// EvalResult reports prediction accuracy against the vendor toolchain's
+// ground truth for one NF.
+type EvalResult struct {
+	Name        string
+	WMAPE       float64 // per-block compute prediction error
+	MemAccuracy float64 // fraction of blocks with exact memory counts
+	Blocks      int
+}
+
+// Evaluate measures per-code-block accuracy on an NF (the §5.2
+// methodology: compare against the instruction counts of the compiled
+// port).
+func (p *Predictor) Evaluate(m *ir.Module) (EvalResult, error) {
+	prog, err := niccc.Compile(m, niccc.Options{})
+	if err != nil {
+		return EvalResult{}, err
+	}
+	f := m.Handler()
+	var truth, pred []float64
+	var memErr, memTruth float64
+	for bi, b := range f.Blocks {
+		compute, mem := p.PredictBlock(b)
+		gt := prog.Blocks[bi].ComputeCount
+		if p.cfg.PredictAPI {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpCall {
+					if n, ok := niccc.APIInstrCount(in.Callee, niccc.AccelConfig{}); ok {
+						gt += n
+					}
+				}
+			}
+		}
+		if gt == 0 && len(b.Instrs) <= 1 {
+			continue // empty join blocks carry no signal
+		}
+		truth = append(truth, float64(gt))
+		pred = append(pred, compute)
+		memErr += math.Abs(float64(prog.Blocks[bi].MemCount - mem))
+		memTruth += float64(prog.Blocks[bi].MemCount)
+	}
+	res := EvalResult{Name: m.Name, WMAPE: stats.WMAPE(truth, pred), Blocks: len(truth)}
+	if memTruth > 0 {
+		res.MemAccuracy = 1 - memErr/memTruth
+	} else {
+		res.MemAccuracy = 1
+	}
+	return res, nil
+}
+
+// BagOfWords featurizes a word sequence as a vocabulary histogram plus a
+// length feature — the representation the non-sequence baselines (DNN,
+// AutoML) consume.
+func BagOfWords(v *ir.Vocab, words []string) []float64 {
+	x := make([]float64, v.Size()+1)
+	for _, w := range words {
+		x[v.Index(w)]++
+	}
+	x[v.Size()] = float64(len(words))
+	return x
+}

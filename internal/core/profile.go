@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+
+	"clara/internal/interp"
+	"clara/internal/ir"
+	"clara/internal/traffic"
+)
+
+// HostProfile is the workload-specific access profile Clara collects by
+// running the NF on the host (with reverse-ported data-structure
+// semantics, so control flow matches the NIC implementation — §3.3, §4.3).
+type HostProfile struct {
+	Packets int
+	// GlobalFreq is stateful accesses per packet, per global (map probes
+	// count as accesses to the map).
+	GlobalFreq map[string]float64
+	// BlockAccess[global][block] counts accesses per basic block (the
+	// §4.4 access vectors before normalization).
+	BlockAccess map[string][]float64
+	// BlockFreq counts block executions.
+	BlockFreq []float64
+}
+
+// AccessVector returns the normalized per-block access vector of a global
+// (the [p1..pk] of §4.4), or nil if it was never accessed.
+func (hp *HostProfile) AccessVector(global string) []float64 {
+	counts, ok := hp.BlockAccess[global]
+	if !ok {
+		return nil
+	}
+	var total float64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]float64, len(counts))
+	for i, c := range counts {
+		out[i] = c / total
+	}
+	return out
+}
+
+// ProfileSetup bundles what host profiling needs to execute an element.
+type ProfileSetup struct {
+	Setup    func(*interp.Machine) error
+	LPMTable []interp.Route
+	Seed     uint64
+}
+
+// ProfileOnHost executes n workload packets through the NF with
+// NIC-faithful (reverse-ported) data-structure semantics and collects the
+// access profile.
+func ProfileOnHost(mod *ir.Module, ps ProfileSetup, wl traffic.Spec, n int) (*HostProfile, error) {
+	gen, err := traffic.NewGenerator(wl)
+	if err != nil {
+		return nil, err
+	}
+	return ProfileOnHostSource(mod, ps, gen, n)
+}
+
+// ProfileOnHostSource profiles over any packet source, e.g. a recorded
+// trace (the paper's pcap-based profiles, §4.3).
+func ProfileOnHostSource(mod *ir.Module, ps ProfileSetup, gen traffic.Source, n int) (*HostProfile, error) {
+	m, err := interp.New(mod, interp.Config{Mode: interp.NICMap, LPMTable: ps.LPMTable, Seed: ps.Seed})
+	if err != nil {
+		return nil, err
+	}
+	if ps.Setup != nil {
+		if err := ps.Setup(m); err != nil {
+			return nil, err
+		}
+	}
+	nblocks := len(mod.Handler().Blocks)
+	hp := &HostProfile{
+		Packets:     n,
+		GlobalFreq:  map[string]float64{},
+		BlockAccess: map[string][]float64{},
+		BlockFreq:   make([]float64, nblocks),
+	}
+	touch := func(global string, block int, weight float64) {
+		hp.GlobalFreq[global] += weight
+		va := hp.BlockAccess[global]
+		if va == nil {
+			va = make([]float64, nblocks)
+			hp.BlockAccess[global] = va
+		}
+		va[block] += weight
+	}
+	m.SetHooks(interp.Hooks{
+		OnBlock: func(b int) { hp.BlockFreq[b]++ },
+		OnState: func(g string, store bool, _ uint64, b int) { touch(g, b, 1) },
+		OnAPI: func(name, g string, probes int, _ uint64, b int) {
+			if g != "" && probes > 0 {
+				touch(g, b, float64(probes))
+			}
+		},
+	})
+	for i := 0; i < n; i++ {
+		p := gen.Next()
+		if err := m.RunPacket(&p); err != nil {
+			return nil, fmt.Errorf("core: profiling %s: %w", mod.Name, err)
+		}
+	}
+	for g := range hp.GlobalFreq {
+		hp.GlobalFreq[g] /= float64(n)
+	}
+	return hp, nil
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"clara/internal/click"
+	"clara/internal/traffic"
+)
+
+// TestProfileFromRecordedTrace: profiling over a recorded+reloaded trace
+// must equal profiling over the live generator that produced it (the
+// paper's pcap-driven workload profiles, §4.3).
+func TestProfileFromRecordedTrace(t *testing.T) {
+	e := click.Get("udpcount")
+	mod := e.MustModule()
+	const n = 400
+
+	live, err := ProfileOnHost(mod, ProfileSetup{Setup: e.Setup}, traffic.MediumMix, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pkts := traffic.MustTrace(traffic.MediumMix, n)
+	var buf bytes.Buffer
+	if err := traffic.WriteTrace(&buf, pkts); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := traffic.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := traffic.NewReplayer(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := ProfileOnHostSource(mod, ProfileSetup{Setup: e.Setup}, rep, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(live.GlobalFreq, replayed.GlobalFreq) {
+		t.Errorf("frequencies diverge:\n live %v\n trace %v", live.GlobalFreq, replayed.GlobalFreq)
+	}
+	if !reflect.DeepEqual(live.BlockFreq, replayed.BlockFreq) {
+		t.Errorf("block frequencies diverge")
+	}
+}

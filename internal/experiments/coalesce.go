@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"clara/internal/core"
+	"clara/internal/nicsim"
+	"clara/internal/traffic"
+)
+
+// coalesceNFs are the four elements with extensive global-variable use
+// evaluated by §5.6 and §5.8.
+var coalesceNFs = []string{"aggcounter", "timefilter", "webtcp", "tcpgen"}
+
+// coalesceMetric runs one pack plan and reports the cores needed to reach
+// 95% of peak throughput plus the latency at that operating point.
+func coalesceMetric(ctx *Context, name string, packs [][]string) (cores int, lat float64, err error) {
+	params := ctx.Cfg.Params
+	wl := traffic.MediumMix
+	b, err := elementNF(name, func(nf *nicsim.NF) { nf.Packs = packs }).Build(params)
+	if err != nil {
+		return 0, 0, err
+	}
+	ts, err := nicsim.GenTraces(b, wl, ctx.packets(2500), params)
+	if err != nil {
+		return 0, 0, err
+	}
+	rs, err := nicsim.SweepCores(params, ts, nicsim.DefaultCoreSweep)
+	if err != nil {
+		return 0, 0, err
+	}
+	cores = nicsim.CoresToSaturate(rs, 0.95)
+	for _, r := range rs {
+		if r.Cores == cores {
+			lat = r.AvgLatencyUs
+		}
+	}
+	return cores, lat, nil
+}
+
+// Figure13 reproduces the coalescing evaluation: cores-to-saturation and
+// latency, naive vs Clara's k-means packing (§5.6: latency −42–68%, cores
+// −25–55%).
+func Figure13(ctx *Context) (*Table, error) {
+	wl := traffic.MediumMix
+	t := &Table{
+		ID:     "figure13",
+		Title:  "Memory access coalescing: naive vs Clara packing",
+		Header: []string{"NF", "port", "cores-to-saturate", "latency(us)", "packs"},
+	}
+	for _, name := range coalesceNFs {
+		mod := elementNF(name, nil).Mod
+		prof, err := core.ProfileOnHost(mod, profileSetup(name), wl, ctx.packets(1200))
+		if err != nil {
+			return nil, err
+		}
+		packs := core.SuggestPacks(mod, prof, core.CoalesceConfig{Seed: ctx.Cfg.Seed})
+		nc, nl, err := coalesceMetric(ctx, name, nil)
+		if err != nil {
+			return nil, err
+		}
+		cc, cl, err := coalesceMetric(ctx, name, packs)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(name, "naive", fmt.Sprintf("%d", nc), f2(nl), "")
+		t.AddRow(name, "Clara", fmt.Sprintf("%d", cc), f2(cl), packsString(packs))
+		t.Notef("%s: latency %+.0f%%, cores %+.0f%%", name, 100*(cl-nl)/nl, 100*float64(cc-nc)/float64(nc))
+	}
+	t.Notef("paper: latency down 42–68%%, core counts down 25–55%%")
+	return t, nil
+}
+
+func packsString(packs [][]string) string {
+	s := ""
+	for i, p := range packs {
+		if i > 0 {
+			s += " | "
+		}
+		for j, v := range p {
+			if j > 0 {
+				s += "+"
+			}
+			s += v
+		}
+	}
+	return s
+}
+
+// Figure16 reproduces the expert-emulation comparison for coalescing:
+// Clara's clustering vs an exhaustive sweep over all pack partitions of
+// the hottest variables (§5.8: the expert holds a small advantage).
+func Figure16(ctx *Context) (*Table, error) {
+	wl := traffic.MediumMix
+	t := &Table{
+		ID:     "figure16",
+		Title:  "Coalescing: Clara(k-means) vs expert (exhaustive partitions)",
+		Header: []string{"NF", "port", "cores-to-saturate", "latency(us)"},
+	}
+	for _, name := range coalesceNFs {
+		mod := elementNF(name, nil).Mod
+		prof, err := core.ProfileOnHost(mod, profileSetup(name), wl, ctx.packets(1200))
+		if err != nil {
+			return nil, err
+		}
+		packs := core.SuggestPacks(mod, prof, core.CoalesceConfig{Seed: ctx.Cfg.Seed})
+		cc, cl, err := coalesceMetric(ctx, name, packs)
+		if err != nil {
+			return nil, err
+		}
+
+		// Expert: all partitions of the variables in the top-3 hottest
+		// blocks (capped at 5 variables, as in §5.8 where "the total
+		// number of variables is too large for an exhaustive analysis").
+		hot := core.HotScalars(mod, prof, 3, 5)
+		parts := core.Partitions(hot)
+		if ctx.Cfg.Quick && len(parts) > 10 {
+			parts = parts[:10]
+		}
+		bestCores, bestLat := math.MaxInt32, math.Inf(1)
+		for _, part := range parts {
+			pc, plat, err := coalesceMetric(ctx, name, core.PacksFromPartition(part))
+			if err != nil {
+				return nil, err
+			}
+			if pc < bestCores || (pc == bestCores && plat < bestLat) {
+				bestCores, bestLat = pc, plat
+			}
+		}
+		t.AddRow(name, "Clara", fmt.Sprintf("%d", cc), f2(cl))
+		t.AddRow(name, "expert", fmt.Sprintf("%d", bestCores), f2(bestLat))
+	}
+	t.Notef("paper: exhaustive tuning delivers a small advantage; Clara remains competitive")
+	return t, nil
+}

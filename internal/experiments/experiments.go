@@ -1,0 +1,234 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) on the simulated SmartNIC. Each experiment function
+// returns a Table whose rows mirror what the paper plots or tabulates; the
+// cmd/clarabench binary runs them all and EXPERIMENTS.md records
+// paper-vs-measured.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"clara/internal/click"
+	"clara/internal/core"
+	"clara/internal/nicsim"
+	"clara/internal/synth"
+	"clara/internal/traffic"
+)
+
+// Config controls experiment scale.
+type Config struct {
+	Params nicsim.Params
+	Seed   int64
+	// Quick shrinks training sets and packet counts so the full suite runs
+	// in seconds (tests); the bench uses full scale.
+	Quick bool
+}
+
+// DefaultConfig returns the full-scale configuration.
+func DefaultConfig() Config {
+	return Config{Params: nicsim.DefaultParams(), Seed: 42}
+}
+
+// Table is one regenerated table/figure.
+type Table struct {
+	ID     string // e.g. "figure8"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Notef appends a formatted note.
+func (t *Table) Notef(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Fprint renders the table.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			wdt := 0
+			if i < len(widths) {
+				wdt = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", wdt, c)
+		}
+		fmt.Fprintln(w, "  "+strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	printRow(t.Header)
+	for _, r := range t.Rows {
+		printRow(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Context lazily shares expensive trained components across experiments.
+type Context struct {
+	Cfg Config
+
+	pred     *core.Predictor
+	algoID   *core.AlgoIdentifier
+	scaleout *core.ScaleoutModel
+}
+
+// NewContext returns a context for cfg.
+func NewContext(cfg Config) *Context {
+	if cfg.Params.NumCores == 0 {
+		cfg.Params = nicsim.DefaultParams()
+	}
+	return &Context{Cfg: cfg}
+}
+
+// f formats a float compactly.
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// Predictor trains (once) the §3 instruction predictor on a corpus profile
+// measured from the element library.
+func (c *Context) Predictor() (*core.Predictor, error) {
+	if c.pred != nil {
+		return c.pred, nil
+	}
+	mods, err := click.Modules(click.Table2Order)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.PredictorConfig{CompactVocab: true, Seed: c.Cfg.Seed, TrainPrograms: 320}
+	if c.Cfg.Quick {
+		cfg.TrainPrograms = 60
+		cfg.Epochs = 8
+		cfg.Hidden = 18
+	}
+	p, err := core.TrainPredictor(cfg, core.CorpusProfile(mods))
+	if err != nil {
+		return nil, err
+	}
+	c.pred = p
+	return p, nil
+}
+
+// AlgoID trains (once) the §4.1 classifier.
+func (c *Context) AlgoID() (*core.AlgoIdentifier, error) {
+	if c.algoID != nil {
+		return c.algoID, nil
+	}
+	n := 60
+	if c.Cfg.Quick {
+		n = 16
+	}
+	id, err := core.TrainAlgoIdentifier(algoTrainCorpus(n, c.Cfg.Seed), 48, c.Cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	c.algoID = id
+	return id, nil
+}
+
+// Scaleout trains (once) the §4.2 cost model.
+func (c *Context) Scaleout() (*core.ScaleoutModel, error) {
+	if c.scaleout != nil {
+		return c.scaleout, nil
+	}
+	pred, err := c.Predictor()
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.ScaleoutConfig{Params: c.Cfg.Params, Seed: c.Cfg.Seed}
+	if c.Cfg.Quick {
+		cfg.TrainPrograms = 10
+		cfg.PacketsPerTrace = 500
+		cfg.CoreGrid = []int{2, 8, 16, 32, 48, 60}
+	}
+	sm, err := core.TrainScaleout(cfg, pred)
+	if err != nil {
+		return nil, err
+	}
+	c.scaleout = sm
+	return sm, nil
+}
+
+// packets scales a packet count down in quick mode.
+func (c *Context) packets(full int) int {
+	if c.Cfg.Quick {
+		n := full / 5
+		if n < 300 {
+			n = 300
+		}
+		return n
+	}
+	return full
+}
+
+// elementNF builds a nicsim.NF for a library element with porting options
+// applied by mut.
+func elementNF(name string, mut func(*nicsim.NF)) *nicsim.NF {
+	e := click.Get(name)
+	if e == nil {
+		panic("experiments: unknown element " + name)
+	}
+	nf := &nicsim.NF{
+		Name:     name,
+		Mod:      e.MustModule(),
+		Setup:    e.Setup,
+		LPMTable: e.Routes,
+	}
+	if mut != nil {
+		mut(nf)
+	}
+	return nf
+}
+
+// runNF builds, traces, and simulates one NF configuration.
+func runNF(params nicsim.Params, nf *nicsim.NF, wl traffic.Spec, packets, cores int) (nicsim.Result, *nicsim.TraceSet, error) {
+	b, err := nf.Build(params)
+	if err != nil {
+		return nicsim.Result{}, nil, err
+	}
+	ts, err := nicsim.GenTraces(b, wl, packets, params)
+	if err != nil {
+		return nicsim.Result{}, nil, err
+	}
+	r, err := nicsim.Simulate(params, cores, ts)
+	return r, ts, err
+}
+
+// profileSetup extracts the element's host-profiling setup.
+func profileSetup(name string) core.ProfileSetup {
+	e := click.Get(name)
+	return core.ProfileSetup{Setup: e.Setup, LPMTable: e.Routes}
+}
+
+// algoTrainCorpus builds the training corpus for algorithm identification:
+// n synthesized variants per class, plus the library's non-CRC/LPM
+// elements as extra real negatives.
+func algoTrainCorpus(n int, seed int64) []synth.LabeledProgram {
+	corpus := synth.AlgoCorpus(n, seed)
+	for _, name := range []string{"tcpack", "udpipencap", "forcetcp", "aggcounter", "timefilter"} {
+		corpus = append(corpus, synth.LabeledProgram{
+			Name: "click_" + name, Src: click.Get(name).Src, Label: synth.LabelNone,
+		})
+	}
+	return corpus
+}

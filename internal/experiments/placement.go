@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"math"
+
+	"clara/internal/core"
+	"clara/internal/nicsim"
+	"clara/internal/stats"
+	"clara/internal/traffic"
+)
+
+// placementRun measures one NF under a given placement.
+func placementRun(ctx *Context, name string, pl nicsim.Placement, wl traffic.Spec, cores int) (nicsim.Result, error) {
+	n := ctx.packets(3000)
+	r, _, err := runNF(ctx.Cfg.Params, elementNF(name, func(nf *nicsim.NF) {
+		nf.Placement = pl
+	}), wl, n, cores)
+	return r, err
+}
+
+// Figure12 reproduces the NF state placement evaluation: Clara's ILP
+// placement vs the naive all-EMEM baseline on the four complex NFs under
+// small flows (§5.5: latency −33% and throughput +89% on average).
+func Figure12(ctx *Context) (*Table, error) {
+	params := ctx.Cfg.Params
+	wl := traffic.SmallFlows
+	// An operating point below the ingress ceiling, where placement
+	// headroom translates into throughput (the paper's ports are far from
+	// line rate on the tested NFs).
+	cores := 10
+
+	t := &Table{
+		ID:     "figure12",
+		Title:  "NF state placement: Clara(ILP) vs naive(all-EMEM), small flows",
+		Header: []string{"NF", "port", "throughput(Mpps)", "latency(us)"},
+	}
+	var latGain, thGain []float64
+	for _, name := range complexNFs {
+		mod := elementNF(name, nil).Mod
+		prof, err := core.ProfileOnHost(mod, profileSetup(name), wl, ctx.packets(1200))
+		if err != nil {
+			return nil, err
+		}
+		pl, err := core.SuggestPlacement(mod, prof, params)
+		if err != nil {
+			return nil, err
+		}
+		naive, err := placementRun(ctx, name, core.NaivePlacement(mod), wl, cores)
+		if err != nil {
+			return nil, err
+		}
+		clara, err := placementRun(ctx, name, pl, wl, cores)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(name, "naive", f2(naive.ThroughputMpps), f2(naive.AvgLatencyUs))
+		t.AddRow(name, "Clara", f2(clara.ThroughputMpps), f2(clara.AvgLatencyUs))
+		latGain = append(latGain, 1-clara.AvgLatencyUs/naive.AvgLatencyUs)
+		thGain = append(thGain, clara.ThroughputMpps/naive.ThroughputMpps-1)
+	}
+	t.Notef("average latency reduction %s (paper: 33%%); average throughput gain %s (paper: 89%%)",
+		pct(stats.Mean(latGain)), pct(stats.Mean(thGain)))
+	return t, nil
+}
+
+// Figure15 reproduces the expert-emulation comparison for placement:
+// Clara's ILP vs an exhaustive sweep over per-structure placements (§5.8:
+// Clara's latency up to 9.7% higher, throughput up to 7.6% lower).
+func Figure15(ctx *Context) (*Table, error) {
+	params := ctx.Cfg.Params
+	wl := traffic.SmallFlows
+	cores := 10
+
+	t := &Table{
+		ID:     "figure15",
+		Title:  "Placement: Clara(ILP) vs expert (exhaustive sweep), small flows",
+		Header: []string{"NF", "port", "throughput(Mpps)", "latency(us)"},
+	}
+	var worstLat, worstTh float64
+	for _, name := range complexNFs {
+		mod := elementNF(name, nil).Mod
+		prof, err := core.ProfileOnHost(mod, profileSetup(name), wl, ctx.packets(1200))
+		if err != nil {
+			return nil, err
+		}
+		pl, err := core.SuggestPlacement(mod, prof, params)
+		if err != nil {
+			return nil, err
+		}
+		clara, err := placementRun(ctx, name, pl, wl, cores)
+		if err != nil {
+			return nil, err
+		}
+
+		// Expert: measure every feasible candidate, keep the best ratio.
+		cands := core.PlacementCandidates(mod, params)
+		if ctx.Cfg.Quick && len(cands) > 8 {
+			cands = cands[:8]
+		}
+		best := nicsim.Result{}
+		bestScore := math.Inf(-1)
+		for _, cand := range cands {
+			r, err := placementRun(ctx, name, cand, wl, cores)
+			if err != nil {
+				return nil, err
+			}
+			if s := r.Ratio(); s > bestScore {
+				bestScore = s
+				best = r
+			}
+		}
+		t.AddRow(name, "Clara", f2(clara.ThroughputMpps), f2(clara.AvgLatencyUs))
+		t.AddRow(name, "expert", f2(best.ThroughputMpps), f2(best.AvgLatencyUs))
+		if d := clara.AvgLatencyUs/best.AvgLatencyUs - 1; d > worstLat {
+			worstLat = d
+		}
+		if d := 1 - clara.ThroughputMpps/best.ThroughputMpps; d > worstTh {
+			worstTh = d
+		}
+	}
+	t.Notef("Clara latency up to %s higher, throughput up to %s lower than exhaustive (paper: 9.7%% / 7.6%%)",
+		pct(worstLat), pct(worstTh))
+	return t, nil
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestQuickSuiteRuns exercises every experiment end-to-end at quick scale:
+// each must produce a non-empty table without errors.
+func TestQuickSuiteRuns(t *testing.T) {
+	ctx := NewContext(Config{Quick: true, Seed: 42, Params: DefaultConfig().Params})
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tb, err := e.Run(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tb.Rows) == 0 {
+				t.Fatal("empty table")
+			}
+			var buf bytes.Buffer
+			tb.Fprint(&buf)
+			if !strings.Contains(buf.String(), e.ID) {
+				t.Errorf("rendered table missing its ID header")
+			}
+		})
+	}
+}
+
+func TestGetExperiment(t *testing.T) {
+	if Get("figure8") == nil {
+		t.Error("figure8 missing")
+	}
+	if Get("nope") != nil {
+		t.Error("phantom experiment")
+	}
+}

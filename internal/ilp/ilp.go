@@ -1,0 +1,182 @@
+// Package ilp solves the small 0/1 integer linear programs Clara's NF state
+// placement formulates (§4.3): assign each of k data structures to one of t
+// memory levels, minimizing Σ L_j · f_i · x_ij subject to per-level
+// capacity. Problem sizes are tiny (k is "typically small", and "ILP
+// solving finishes within a few seconds in all cases"), so an exact
+// branch-and-bound with an admissible relaxation bound suffices.
+package ilp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Assignment is the per-item chosen bin.
+type Assignment []int
+
+// Problem is a generalized-assignment minimization instance.
+type Problem struct {
+	// Cost[i][j] is the objective contribution of placing item i in bin j
+	// (math.Inf(1) forbids the pairing).
+	Cost [][]float64
+	// Size[i] is item i's capacity consumption.
+	Size []int
+	// Cap[j] is bin j's capacity.
+	Cap []int
+}
+
+// Validate checks structural consistency.
+func (p *Problem) Validate() error {
+	if len(p.Cost) != len(p.Size) {
+		return fmt.Errorf("ilp: %d cost rows for %d items", len(p.Cost), len(p.Size))
+	}
+	for i, row := range p.Cost {
+		if len(row) != len(p.Cap) {
+			return fmt.Errorf("ilp: item %d has %d costs for %d bins", i, len(row), len(p.Cap))
+		}
+		if p.Size[i] < 0 {
+			return fmt.Errorf("ilp: item %d has negative size", i)
+		}
+	}
+	return nil
+}
+
+// Solve finds a minimum-cost feasible assignment, or an error if none
+// exists. The search is exact: branch on items in decreasing size order,
+// bound with the sum of each unassigned item's cheapest still-feasible bin
+// (an admissible relaxation that ignores future capacity interaction).
+func Solve(p *Problem) (Assignment, float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, 0, err
+	}
+	n := len(p.Size)
+	t := len(p.Cap)
+	if n == 0 {
+		return Assignment{}, 0, nil
+	}
+
+	// Branch order: big items first prunes earlier.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if p.Size[order[a]] != p.Size[order[b]] {
+			return p.Size[order[a]] > p.Size[order[b]]
+		}
+		return order[a] < order[b]
+	})
+
+	// minCost[i] = cheapest bin cost for item i ignoring capacity.
+	minCost := make([]float64, n)
+	for i := 0; i < n; i++ {
+		minCost[i] = math.Inf(1)
+		for j := 0; j < t; j++ {
+			if p.Cost[i][j] < minCost[i] {
+				minCost[i] = p.Cost[i][j]
+			}
+		}
+		if math.IsInf(minCost[i], 1) {
+			return nil, 0, fmt.Errorf("ilp: item %d has no feasible bin", i)
+		}
+	}
+	// tailBound[d] = Σ minCost of items ordered at depth >= d.
+	tailBound := make([]float64, n+1)
+	for d := n - 1; d >= 0; d-- {
+		tailBound[d] = tailBound[d+1] + minCost[order[d]]
+	}
+
+	best := math.Inf(1)
+	bestAssign := make(Assignment, n)
+	cur := make(Assignment, n)
+	left := append([]int(nil), p.Cap...)
+
+	var dfs func(depth int, cost float64)
+	dfs = func(depth int, cost float64) {
+		if cost+tailBound[depth] >= best {
+			return
+		}
+		if depth == n {
+			best = cost
+			copy(bestAssign, cur)
+			return
+		}
+		i := order[depth]
+		// Try bins cheapest-first for this item.
+		type jc struct {
+			j int
+			c float64
+		}
+		cands := make([]jc, 0, t)
+		for j := 0; j < t; j++ {
+			if p.Size[i] <= left[j] && !math.IsInf(p.Cost[i][j], 1) {
+				cands = append(cands, jc{j, p.Cost[i][j]})
+			}
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].c != cands[b].c {
+				return cands[a].c < cands[b].c
+			}
+			return cands[a].j < cands[b].j
+		})
+		for _, cand := range cands {
+			cur[i] = cand.j
+			left[cand.j] -= p.Size[i]
+			dfs(depth+1, cost+cand.c)
+			left[cand.j] += p.Size[i]
+		}
+	}
+	dfs(0, 0)
+	if math.IsInf(best, 1) {
+		return nil, 0, fmt.Errorf("ilp: infeasible (capacity exceeded for every assignment)")
+	}
+	return bestAssign, best, nil
+}
+
+// Enumerate exhaustively searches all t^n assignments and returns the best
+// (testing oracle and the paper's "expert emulation" baseline, §5.8). It
+// refuses instances with more than maxExhaustive combinations.
+func Enumerate(p *Problem, maxExhaustive int) (Assignment, float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, 0, err
+	}
+	n, t := len(p.Size), len(p.Cap)
+	total := 1
+	for i := 0; i < n; i++ {
+		total *= t
+		if total > maxExhaustive {
+			return nil, 0, fmt.Errorf("ilp: %d combinations exceed limit %d", total, maxExhaustive)
+		}
+	}
+	best := math.Inf(1)
+	var bestAssign Assignment
+	cur := make(Assignment, n)
+	for code := 0; code < total; code++ {
+		c := code
+		for i := 0; i < n; i++ {
+			cur[i] = c % t
+			c /= t
+		}
+		left := append([]int(nil), p.Cap...)
+		cost := 0.0
+		ok := true
+		for i := 0; i < n && ok; i++ {
+			j := cur[i]
+			if math.IsInf(p.Cost[i][j], 1) || p.Size[i] > left[j] {
+				ok = false
+				break
+			}
+			left[j] -= p.Size[i]
+			cost += p.Cost[i][j]
+		}
+		if ok && cost < best {
+			best = cost
+			bestAssign = append(Assignment(nil), cur...)
+		}
+	}
+	if bestAssign == nil {
+		return nil, 0, fmt.Errorf("ilp: infeasible")
+	}
+	return bestAssign, best, nil
+}

@@ -1,0 +1,131 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSolveSimple(t *testing.T) {
+	// Two items, two bins; both prefer bin 0 but it only fits one.
+	p := &Problem{
+		Cost: [][]float64{{1, 10}, {2, 4}},
+		Size: []int{5, 5},
+		Cap:  []int{5, 10},
+	}
+	a, cost, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 5 { // item0->bin0 (1), item1->bin1 (4)
+		t.Fatalf("cost = %f, want 5 (assign %v)", cost, a)
+	}
+	if a[0] != 0 || a[1] != 1 {
+		t.Errorf("assignment = %v", a)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	p := &Problem{
+		Cost: [][]float64{{1, 1}},
+		Size: []int{100},
+		Cap:  []int{5, 50},
+	}
+	if _, _, err := Solve(p); err == nil {
+		t.Error("infeasible instance solved")
+	}
+}
+
+func TestSolveForbiddenPairs(t *testing.T) {
+	inf := math.Inf(1)
+	p := &Problem{
+		Cost: [][]float64{{inf, 3}, {1, inf}},
+		Size: []int{1, 1},
+		Cap:  []int{10, 10},
+	}
+	a, cost, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != 1 || a[1] != 0 || cost != 4 {
+		t.Errorf("assign %v cost %f", a, cost)
+	}
+}
+
+func TestSolveEmpty(t *testing.T) {
+	a, cost, err := Solve(&Problem{Cap: []int{1}})
+	if err != nil || len(a) != 0 || cost != 0 {
+		t.Errorf("empty solve: %v %f %v", a, cost, err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := &Problem{Cost: [][]float64{{1}}, Size: []int{1, 2}, Cap: []int{3}}
+	if err := p.Validate(); err == nil {
+		t.Error("row/item mismatch accepted")
+	}
+	p = &Problem{Cost: [][]float64{{1, 2}}, Size: []int{1}, Cap: []int{3}}
+	if err := p.Validate(); err == nil {
+		t.Error("cost width mismatch accepted")
+	}
+	p = &Problem{Cost: [][]float64{{1}}, Size: []int{-1}, Cap: []int{3}}
+	if err := p.Validate(); err == nil {
+		t.Error("negative size accepted")
+	}
+}
+
+// TestSolveMatchesExhaustive cross-checks branch-and-bound against brute
+// force on random instances shaped like real placement problems.
+func TestSolveMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(6)
+		bins := 2 + rng.Intn(3)
+		p := &Problem{Cap: make([]int, bins)}
+		for j := range p.Cap {
+			p.Cap[j] = 5 + rng.Intn(30)
+		}
+		for i := 0; i < n; i++ {
+			row := make([]float64, bins)
+			for j := range row {
+				row[j] = float64(1 + rng.Intn(100))
+			}
+			p.Cost = append(p.Cost, row)
+			p.Size = append(p.Size, 1+rng.Intn(12))
+		}
+		a1, c1, err1 := Solve(p)
+		a2, c2, err2 := Enumerate(p, 1<<20)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("trial %d: feasibility disagrees: %v vs %v", trial, err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if math.Abs(c1-c2) > 1e-9 {
+			t.Fatalf("trial %d: cost %f (bb %v) != %f (exh %v)", trial, c1, a1, c2, a2)
+		}
+		// Verify feasibility of the returned assignment.
+		left := append([]int(nil), p.Cap...)
+		for i, j := range a1 {
+			left[j] -= p.Size[i]
+			if left[j] < 0 {
+				t.Fatalf("trial %d: assignment violates capacity", trial)
+			}
+		}
+	}
+}
+
+func TestEnumerateLimit(t *testing.T) {
+	p := &Problem{
+		Cost: make([][]float64, 30),
+		Size: make([]int, 30),
+		Cap:  []int{1000, 1000, 1000, 1000},
+	}
+	for i := range p.Cost {
+		p.Cost[i] = []float64{1, 2, 3, 4}
+		p.Size[i] = 1
+	}
+	if _, _, err := Enumerate(p, 1000); err == nil {
+		t.Error("enumerate accepted an oversized instance")
+	}
+}

@@ -1,0 +1,518 @@
+// Package interp executes IR modules over packets. It serves two roles
+// from the paper:
+//
+//   - Host execution: Clara runs the (reverse-ported) Click NF on the host
+//     with a workload to collect stateful access frequencies (§4.3, §4.4).
+//     Host mode uses elastic, linear-probing map semantics like Click's
+//     HashMap.
+//
+//   - NIC-semantics execution: the SmartNIC simulator (internal/nicsim)
+//     needs functional execution with *Netronome-style* data structures —
+//     fixed bucket arrays, no dynamic growth, deletions that only mark
+//     entries invalid (§3.3). NIC mode provides those semantics and reports
+//     per-call probe counts so the simulator can charge memory traffic.
+//
+// The interpreter precompiles IR into a flat internal form so per-packet
+// execution involves no map lookups or allocation.
+package interp
+
+import (
+	"fmt"
+
+	"clara/internal/ir"
+	"clara/internal/traffic"
+)
+
+// MapMode selects the stateful data-structure semantics.
+type MapMode uint8
+
+// Map semantics.
+const (
+	HostMap MapMode = iota // elastic, linear probing (Click HashMap)
+	NICMap                 // fixed buckets, no growth (Netronome library)
+)
+
+// BucketSlots is the number of entries per NIC map bucket.
+const BucketSlots = 4
+
+// Hooks receive execution events; any field may be nil. Block indices refer
+// to the handler function's CFG.
+type Hooks struct {
+	// OnBlock fires when a basic block begins executing.
+	OnBlock func(block int)
+	// OnState fires for each stateful global access (GLoad/GStore); addr
+	// is the element index for arrays (0 for scalars).
+	OnState func(global string, store bool, addr uint64, block int)
+	// OnLocal fires for each local slot access (stateless traffic).
+	OnLocal func(store bool, block int)
+	// OnCompute fires once per block with the count of compute
+	// instructions retired in that visit.
+	OnCompute func(block, n int)
+	// OnAPI fires for each framework API call. probes carries the call's
+	// dynamic work: slot probes for map APIs, bytes processed for
+	// checksum/CRC, 0 otherwise. addr localizes the access (bucket base
+	// slot for maps) for cache modeling.
+	OnAPI func(name, global string, probes int, addr uint64, block int)
+}
+
+// Route is one LPM rule for the lpm_hw engine.
+type Route struct {
+	Prefix uint32
+	Len    int // prefix length in bits, 0..32
+	Port   uint32
+}
+
+// Config configures a Machine.
+type Config struct {
+	Mode MapMode
+	// Fuel bounds interpreted steps per packet (0 = default).
+	Fuel int
+	// LPMTable backs the lpm_hw accelerator.
+	LPMTable []Route
+	// Seed seeds the rand32 intrinsic.
+	Seed uint64
+}
+
+const defaultFuel = 1 << 20
+
+// ErrFuel is returned when a packet exceeds the step budget.
+var ErrFuel = fmt.Errorf("interp: fuel exhausted (runaway loop?)")
+
+// API opcodes (internal dense encoding of the intrinsics).
+const (
+	apiPktLen = iota
+	apiEthType
+	apiIPProto
+	apiIPSrc
+	apiIPDst
+	apiIPTTL
+	apiIPLen
+	apiIPHL
+	apiTCPSport
+	apiTCPDport
+	apiTCPSeq
+	apiTCPAck
+	apiTCPFlags
+	apiTCPOff
+	apiUDPSport
+	apiUDPDport
+	apiPayload
+	apiPayloadLen
+	apiTime
+	apiSetIPSrc
+	apiSetIPDst
+	apiSetIPTTL
+	apiSetTCPSport
+	apiSetTCPDport
+	apiSetTCPSeq
+	apiSetTCPAck
+	apiSetTCPFlags
+	apiSetUDPSport
+	apiSetUDPDport
+	apiSetPayload
+	apiCsumUpdate
+	apiSend
+	apiDrop
+	apiHash32
+	apiRand32
+	apiCRC32HW
+	apiLPMHW
+	apiMapFind
+	apiMapContains
+	apiMapInsert
+	apiMapRemove
+	apiMapSize
+	apiVecPush
+	apiVecGet
+	apiVecSet
+	apiVecDelete
+	apiVecLen
+)
+
+var apiCodes = map[string]int{
+	"pkt_len": apiPktLen, "pkt_eth_type": apiEthType, "pkt_ip_proto": apiIPProto,
+	"pkt_ip_src": apiIPSrc, "pkt_ip_dst": apiIPDst, "pkt_ip_ttl": apiIPTTL,
+	"pkt_ip_len": apiIPLen, "pkt_ip_hl": apiIPHL,
+	"pkt_tcp_sport": apiTCPSport, "pkt_tcp_dport": apiTCPDport,
+	"pkt_tcp_seq": apiTCPSeq, "pkt_tcp_ack": apiTCPAck,
+	"pkt_tcp_flags": apiTCPFlags, "pkt_tcp_off": apiTCPOff,
+	"pkt_udp_sport": apiUDPSport, "pkt_udp_dport": apiUDPDport,
+	"pkt_payload": apiPayload, "pkt_payload_len": apiPayloadLen, "pkt_time": apiTime,
+	"pkt_set_ip_src": apiSetIPSrc, "pkt_set_ip_dst": apiSetIPDst, "pkt_set_ip_ttl": apiSetIPTTL,
+	"pkt_set_tcp_sport": apiSetTCPSport, "pkt_set_tcp_dport": apiSetTCPDport,
+	"pkt_set_tcp_seq": apiSetTCPSeq, "pkt_set_tcp_ack": apiSetTCPAck,
+	"pkt_set_tcp_flags": apiSetTCPFlags,
+	"pkt_set_udp_sport": apiSetUDPSport, "pkt_set_udp_dport": apiSetUDPDport,
+	"pkt_set_payload": apiSetPayload,
+	"pkt_csum_update": apiCsumUpdate, "pkt_send": apiSend, "pkt_drop": apiDrop,
+	"hash32": apiHash32, "rand32": apiRand32,
+	"crc32_hw": apiCRC32HW, "lpm_hw": apiLPMHW,
+	"map_find": apiMapFind, "map_contains": apiMapContains,
+	"map_insert": apiMapInsert, "map_remove": apiMapRemove, "map_size": apiMapSize,
+	"vec_push": apiVecPush, "vec_get": apiVecGet, "vec_set": apiVecSet,
+	"vec_delete": apiVecDelete, "vec_len": apiVecLen,
+}
+
+// argKind for compiled operands.
+const (
+	argConst = iota
+	argVal
+)
+
+type cArg struct {
+	kind uint8
+	idx  int
+	c    uint64
+}
+
+type cInstr struct {
+	op     ir.Op
+	pred   ir.Pred
+	mask   uint64
+	id     int
+	args   []cArg
+	slot   int
+	gidx   int // index into machine global tables
+	api    int
+	t, f   int
+	global string // retained for hooks
+	callee string
+}
+
+type cBlock struct {
+	instrs   []cInstr
+	nCompute int
+}
+
+// mslot is one NIC-map slot.
+type mslot struct {
+	key   uint64
+	val   uint64
+	state uint8 // 0 free, 1 used, 2 invalid (deleted)
+}
+
+type nicMapState struct {
+	slots   []mslot
+	buckets int
+	size    int
+	// FailedInserts counts inserts dropped because a bucket was full —
+	// the kind of behavioural divergence reverse porting exists to expose.
+	failedInserts int
+}
+
+// vecState backs a Click-Vector-style global. In host mode the slice
+// grows elastically and deletions shift; in NIC mode capacity is fixed and
+// deletions tombstone (§3.3).
+type vecState struct {
+	vals  []uint64
+	valid []bool // NIC mode only
+	live  int
+	nic   bool
+	cap   int
+	// dropped counts pushes refused by a full NIC vector.
+	dropped int
+}
+
+type globalState struct {
+	g *ir.Global
+	// exactly one of these is active, by g.Kind
+	scalar uint64
+	array  []uint64
+	hmap   map[uint64]uint64
+	nmap   *nicMapState
+	vec    *vecState
+}
+
+// Machine executes one module over packets.
+type Machine struct {
+	Mod    *ir.Module
+	cfg    Config
+	hooks  Hooks
+	blocks []cBlock
+	vals   []uint64
+	slots  []uint64
+	gl     []*globalState
+	gidx   map[string]int
+	rng    uint64
+	pkt    *traffic.Packet
+	fuel   int
+
+	// Steps is the cumulative interpreted instruction count.
+	Steps uint64
+}
+
+// New compiles mod's handler for execution.
+func New(mod *ir.Module, cfg Config) (*Machine, error) {
+	f := mod.Handler()
+	if f == nil {
+		return nil, fmt.Errorf("interp: module %s has no handler", mod.Name)
+	}
+	if cfg.Fuel == 0 {
+		cfg.Fuel = defaultFuel
+	}
+	m := &Machine{
+		Mod:  mod,
+		cfg:  cfg,
+		vals: make([]uint64, f.NumVals),
+		slots: make([]uint64, func() int {
+			if f.NSlots == 0 {
+				return 1
+			}
+			return f.NSlots
+		}()),
+		gidx: make(map[string]int, len(mod.Globals)),
+		rng:  cfg.Seed*2654435761 + 0x9E3779B97F4A7C15,
+	}
+	for i, g := range mod.Globals {
+		st := &globalState{g: g}
+		switch g.Kind {
+		case ir.GArray:
+			st.array = make([]uint64, g.Len)
+		case ir.GMap:
+			if cfg.Mode == HostMap {
+				st.hmap = make(map[uint64]uint64)
+			} else {
+				buckets := g.Len / BucketSlots
+				if buckets == 0 {
+					buckets = 1
+				}
+				st.nmap = &nicMapState{slots: make([]mslot, buckets*BucketSlots), buckets: buckets}
+			}
+		case ir.GVec:
+			st.vec = &vecState{nic: cfg.Mode == NICMap, cap: g.Len}
+			if st.vec.nic {
+				st.vec.vals = make([]uint64, g.Len)
+				st.vec.valid = make([]bool, g.Len)
+			}
+		}
+		m.gl = append(m.gl, st)
+		m.gidx[g.Name] = i
+	}
+	m.blocks = make([]cBlock, len(f.Blocks))
+	for bi, b := range f.Blocks {
+		cb := &m.blocks[bi]
+		for _, in := range b.Instrs {
+			ci, err := m.compileInstr(in)
+			if err != nil {
+				return nil, fmt.Errorf("interp: %s: %w", mod.Name, err)
+			}
+			if in.Op.IsCompute() {
+				cb.nCompute++
+			}
+			cb.instrs = append(cb.instrs, ci)
+		}
+	}
+	return m, nil
+}
+
+// SetHooks installs execution hooks (may be called between packets).
+func (m *Machine) SetHooks(h Hooks) { m.hooks = h }
+
+func maskOf(ty ir.Type) uint64 {
+	switch ty {
+	case ir.Bool:
+		return 1
+	case ir.U8:
+		return 0xff
+	case ir.U16:
+		return 0xffff
+	case ir.U32:
+		return 0xffffffff
+	default:
+		return ^uint64(0)
+	}
+}
+
+func (m *Machine) compileArg(v ir.Value) (cArg, error) {
+	switch v.Kind {
+	case ir.VConst:
+		return cArg{kind: argConst, c: uint64(v.Const) & maskOf(v.Ty)}, nil
+	case ir.VInstr:
+		return cArg{kind: argVal, idx: v.ID}, nil
+	default:
+		return cArg{}, fmt.Errorf("unsupported operand kind %d (params must be inlined)", v.Kind)
+	}
+}
+
+func (m *Machine) compileInstr(in *ir.Instr) (cInstr, error) {
+	ci := cInstr{
+		op: in.Op, pred: in.Pred, mask: maskOf(in.Ty), id: in.ID,
+		slot: in.Slot, t: in.True, f: in.False,
+		global: in.Global, callee: in.Callee, gidx: -1, api: -1,
+	}
+	for _, a := range in.Args {
+		ca, err := m.compileArg(a)
+		if err != nil {
+			return ci, err
+		}
+		ci.args = append(ci.args, ca)
+	}
+	if in.Op == ir.OpGLoad || in.Op == ir.OpGStore || (in.Op == ir.OpCall && in.Global != "") {
+		gi, ok := m.gidx[in.Global]
+		if !ok {
+			return ci, fmt.Errorf("unknown global %q", in.Global)
+		}
+		ci.gidx = gi
+	}
+	if in.Op == ir.OpCall {
+		code, ok := apiCodes[in.Callee]
+		if !ok {
+			return ci, fmt.Errorf("unknown framework API %q", in.Callee)
+		}
+		ci.api = code
+	}
+	return ci, nil
+}
+
+func (m *Machine) arg(a cArg) uint64 {
+	if a.kind == argConst {
+		return a.c
+	}
+	return m.vals[a.idx]
+}
+
+// RunPacket executes the handler for one packet. The packet's disposition
+// fields are updated in place.
+func (m *Machine) RunPacket(p *traffic.Packet) error {
+	p.Reset()
+	m.pkt = p
+	m.fuel = m.cfg.Fuel
+	bi := 0
+	for {
+		if m.hooks.OnBlock != nil {
+			m.hooks.OnBlock(bi)
+		}
+		cb := &m.blocks[bi]
+		if m.hooks.OnCompute != nil && cb.nCompute > 0 {
+			m.hooks.OnCompute(bi, cb.nCompute)
+		}
+		next := -1
+		for i := range cb.instrs {
+			in := &cb.instrs[i]
+			m.fuel--
+			if m.fuel < 0 {
+				return ErrFuel
+			}
+			m.Steps++
+			switch in.op {
+			case ir.OpAdd:
+				m.vals[in.id] = (m.arg(in.args[0]) + m.arg(in.args[1])) & in.mask
+			case ir.OpSub:
+				m.vals[in.id] = (m.arg(in.args[0]) - m.arg(in.args[1])) & in.mask
+			case ir.OpMul:
+				m.vals[in.id] = (m.arg(in.args[0]) * m.arg(in.args[1])) & in.mask
+			case ir.OpUDiv:
+				d := m.arg(in.args[1])
+				if d == 0 {
+					m.vals[in.id] = in.mask // all-ones, like NIC firmware
+				} else {
+					m.vals[in.id] = (m.arg(in.args[0]) / d) & in.mask
+				}
+			case ir.OpURem:
+				d := m.arg(in.args[1])
+				if d == 0 {
+					m.vals[in.id] = 0
+				} else {
+					m.vals[in.id] = (m.arg(in.args[0]) % d) & in.mask
+				}
+			case ir.OpAnd:
+				m.vals[in.id] = m.arg(in.args[0]) & m.arg(in.args[1]) & in.mask
+			case ir.OpOr:
+				m.vals[in.id] = (m.arg(in.args[0]) | m.arg(in.args[1])) & in.mask
+			case ir.OpXor:
+				m.vals[in.id] = (m.arg(in.args[0]) ^ m.arg(in.args[1])) & in.mask
+			case ir.OpShl:
+				sh := m.arg(in.args[1]) & 63
+				m.vals[in.id] = (m.arg(in.args[0]) << sh) & in.mask
+			case ir.OpLShr:
+				sh := m.arg(in.args[1]) & 63
+				m.vals[in.id] = (m.arg(in.args[0]) >> sh) & in.mask
+			case ir.OpNot:
+				m.vals[in.id] = ^m.arg(in.args[0]) & in.mask
+			case ir.OpZExt, ir.OpTrunc:
+				m.vals[in.id] = m.arg(in.args[0]) & in.mask
+			case ir.OpICmp:
+				a, b := m.arg(in.args[0]), m.arg(in.args[1])
+				var r bool
+				switch in.pred {
+				case ir.PredEQ:
+					r = a == b
+				case ir.PredNE:
+					r = a != b
+				case ir.PredULT:
+					r = a < b
+				case ir.PredULE:
+					r = a <= b
+				case ir.PredUGT:
+					r = a > b
+				case ir.PredUGE:
+					r = a >= b
+				}
+				if r {
+					m.vals[in.id] = 1
+				} else {
+					m.vals[in.id] = 0
+				}
+			case ir.OpLLoad:
+				m.vals[in.id] = m.slots[in.slot]
+				if m.hooks.OnLocal != nil {
+					m.hooks.OnLocal(false, bi)
+				}
+			case ir.OpLStore:
+				m.slots[in.slot] = m.arg(in.args[0]) & in.mask
+				if m.hooks.OnLocal != nil {
+					m.hooks.OnLocal(true, bi)
+				}
+			case ir.OpGLoad:
+				g := m.gl[in.gidx]
+				var idx uint64
+				if g.g.Kind == ir.GScalar {
+					m.vals[in.id] = g.scalar
+				} else {
+					idx = m.arg(in.args[0]) % uint64(len(g.array))
+					m.vals[in.id] = g.array[idx]
+				}
+				if m.hooks.OnState != nil {
+					m.hooks.OnState(in.global, false, idx, bi)
+				}
+			case ir.OpGStore:
+				g := m.gl[in.gidx]
+				v := m.arg(in.args[0]) & in.mask
+				var idx uint64
+				if g.g.Kind == ir.GScalar {
+					g.scalar = v
+				} else {
+					idx = m.arg(in.args[1]) % uint64(len(g.array))
+					g.array[idx] = v
+				}
+				if m.hooks.OnState != nil {
+					m.hooks.OnState(in.global, true, idx, bi)
+				}
+			case ir.OpCall:
+				if err := m.call(in, bi); err != nil {
+					return err
+				}
+			case ir.OpBr:
+				next = in.t
+			case ir.OpCondBr:
+				if m.arg(in.args[0]) != 0 {
+					next = in.t
+				} else {
+					next = in.f
+				}
+			case ir.OpRet:
+				return nil
+			}
+		}
+		if next < 0 {
+			return fmt.Errorf("interp: block %d fell through", bi)
+		}
+		bi = next
+	}
+}
+
+func (m *Machine) emitAPI(name, global string, probes int, addr uint64, block int) {
+	if m.hooks.OnAPI != nil {
+		m.hooks.OnAPI(name, global, probes, addr, block)
+	}
+}

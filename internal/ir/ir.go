@@ -1,0 +1,580 @@
+// Package ir defines the typed, SSA-flavored intermediate representation
+// that Clara analyzes. It plays the role LLVM IR plays in the paper: NF
+// programs written in the NFC mini-language (internal/lang) are lowered to
+// this IR "with most optimizations disabled" — in particular, function-local
+// variables remain explicit stack-slot loads and stores (as LLVM -O0 would
+// emit), so that the NIC compiler's register allocation is something a
+// learned model has to infer, exactly as in the paper (§3.2).
+//
+// The IR distinguishes, by opcode, the three instruction classes the paper's
+// analysis cares about (Figure 5):
+//
+//   - compute instructions (arithmetic, logic, compares, casts),
+//   - memory accesses to stateful NF variables (GLoad/GStore on globals),
+//   - stateless local-variable traffic (LLoad/LStore on stack slots), and
+//   - NF framework API calls (Call), which are reverse ported rather than
+//     predicted.
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type is an IR value type. The NFC language is an unsigned-integer subset
+// (plus booleans), which mirrors the restricted C dialects of baremetal
+// SmartNICs.
+type Type uint8
+
+// Value types.
+const (
+	Void Type = iota
+	Bool      // 1-bit truth value (icmp results, conditions)
+	U8
+	U16
+	U32
+	U64
+)
+
+// Size returns the size of the type in bytes (Bool occupies one byte in
+// stateful storage).
+func (t Type) Size() int {
+	switch t {
+	case U8, Bool:
+		return 1
+	case U16:
+		return 2
+	case U32:
+		return 4
+	case U64:
+		return 8
+	default:
+		return 0
+	}
+}
+
+// Bits returns the width of the type in bits.
+func (t Type) Bits() int {
+	if t == Bool {
+		return 1
+	}
+	return t.Size() * 8
+}
+
+func (t Type) String() string {
+	switch t {
+	case Void:
+		return "void"
+	case Bool:
+		return "i1"
+	case U8:
+		return "u8"
+	case U16:
+		return "u16"
+	case U32:
+		return "u32"
+	case U64:
+		return "u64"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Op is an IR opcode.
+type Op uint8
+
+// Opcodes.
+const (
+	OpInvalid Op = iota
+
+	// Compute.
+	OpAdd
+	OpSub
+	OpMul
+	OpUDiv
+	OpURem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpLShr
+	OpICmp // predicate in Instr.Pred
+	OpZExt
+	OpTrunc
+	OpNot // bitwise complement
+
+	// Stateless local-variable traffic (stack slots; the NIC compiler
+	// register-allocates these away, possibly with spills).
+	OpLLoad  // result <- slot
+	OpLStore // slot <- arg
+
+	// Stateful memory accesses (global NF state).
+	OpGLoad  // result <- global[index?]
+	OpGStore // global[index?] <- value
+
+	// NF framework API call (reverse ported, never predicted).
+	OpCall
+
+	// Control flow (block terminators).
+	OpBr     // unconditional
+	OpCondBr // Args[0] = condition; True/False successors
+	OpRet    // optional Args[0]
+)
+
+var opNames = [...]string{
+	OpInvalid: "invalid",
+	OpAdd:     "add",
+	OpSub:     "sub",
+	OpMul:     "mul",
+	OpUDiv:    "udiv",
+	OpURem:    "urem",
+	OpAnd:     "and",
+	OpOr:      "or",
+	OpXor:     "xor",
+	OpShl:     "shl",
+	OpLShr:    "lshr",
+	OpICmp:    "icmp",
+	OpZExt:    "zext",
+	OpTrunc:   "trunc",
+	OpNot:     "not",
+	OpLLoad:   "lload",
+	OpLStore:  "lstore",
+	OpGLoad:   "gload",
+	OpGStore:  "gstore",
+	OpCall:    "call",
+	OpBr:      "br",
+	OpCondBr:  "cbr",
+	OpRet:     "ret",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// IsCompute reports whether the opcode is a stateless compute instruction.
+func (o Op) IsCompute() bool {
+	switch o {
+	case OpAdd, OpSub, OpMul, OpUDiv, OpURem, OpAnd, OpOr, OpXor,
+		OpShl, OpLShr, OpICmp, OpZExt, OpTrunc, OpNot:
+		return true
+	}
+	return false
+}
+
+// IsStatefulMem reports whether the opcode accesses stateful (global) NF
+// memory. These are the accesses the paper counts directly from the IR.
+func (o Op) IsStatefulMem() bool { return o == OpGLoad || o == OpGStore }
+
+// IsLocalMem reports whether the opcode accesses a function-local stack
+// slot (stateless variable traffic).
+func (o Op) IsLocalMem() bool { return o == OpLLoad || o == OpLStore }
+
+// IsTerminator reports whether the opcode terminates a basic block.
+func (o Op) IsTerminator() bool { return o == OpBr || o == OpCondBr || o == OpRet }
+
+// Pred is an integer-comparison predicate for OpICmp.
+type Pred uint8
+
+// Comparison predicates (unsigned).
+const (
+	PredNone Pred = iota
+	PredEQ
+	PredNE
+	PredULT
+	PredULE
+	PredUGT
+	PredUGE
+)
+
+func (p Pred) String() string {
+	switch p {
+	case PredEQ:
+		return "eq"
+	case PredNE:
+		return "ne"
+	case PredULT:
+		return "ult"
+	case PredULE:
+		return "ule"
+	case PredUGT:
+		return "ugt"
+	case PredUGE:
+		return "uge"
+	default:
+		return "none"
+	}
+}
+
+// Negate returns the logically negated predicate.
+func (p Pred) Negate() Pred {
+	switch p {
+	case PredEQ:
+		return PredNE
+	case PredNE:
+		return PredEQ
+	case PredULT:
+		return PredUGE
+	case PredULE:
+		return PredUGT
+	case PredUGT:
+		return PredULE
+	case PredUGE:
+		return PredULT
+	default:
+		return PredNone
+	}
+}
+
+// ValueKind discriminates the operand kinds an instruction may reference.
+// The kinds double as the paper's "vocabulary compaction" (§3.2): a concrete
+// operand is abstracted to its kind when instructions are encoded for the
+// sequence model.
+type ValueKind uint8
+
+// Operand kinds.
+const (
+	VInvalid ValueKind = iota
+	VInstr             // result of another instruction (a virtual register)
+	VConst             // integer literal
+	VParam             // function parameter
+)
+
+// Value is an instruction operand.
+type Value struct {
+	Kind  ValueKind
+	ID    int   // instruction ID for VInstr, parameter index for VParam
+	Const int64 // literal for VConst
+	Ty    Type
+}
+
+// ConstVal returns a constant operand of the given type.
+func ConstVal(c int64, ty Type) Value { return Value{Kind: VConst, Const: c, Ty: ty} }
+
+// InstrVal returns an operand referring to instruction id.
+func InstrVal(id int, ty Type) Value { return Value{Kind: VInstr, ID: id, Ty: ty} }
+
+// ParamVal returns an operand referring to parameter index.
+func ParamVal(idx int, ty Type) Value { return Value{Kind: VParam, ID: idx, Ty: ty} }
+
+func (v Value) String() string {
+	switch v.Kind {
+	case VInstr:
+		return fmt.Sprintf("%%%d", v.ID)
+	case VConst:
+		return fmt.Sprintf("%d", v.Const)
+	case VParam:
+		return fmt.Sprintf("$%d", v.ID)
+	default:
+		return "<invalid>"
+	}
+}
+
+// Instr is a single IR instruction. Instructions producing a value carry a
+// non-negative ID unique within their function.
+type Instr struct {
+	ID   int // SSA value number; -1 when the instruction produces no value
+	Op   Op
+	Ty   Type // result type (or stored value type for stores)
+	Pred Pred // icmp predicate
+
+	Args []Value
+
+	// Slot is the stack-slot index for LLoad/LStore.
+	Slot int
+
+	// Global is the referenced global's name for GLoad/GStore, and the
+	// state argument for map/vector framework calls.
+	Global string
+
+	// Callee is the framework API name for OpCall.
+	Callee string
+
+	// True/False are successor block indices for terminators (True doubles
+	// as the unconditional target for OpBr).
+	True, False int
+}
+
+// Uses returns the operand values of the instruction.
+func (in *Instr) Uses() []Value { return in.Args }
+
+func (in *Instr) String() string {
+	var b strings.Builder
+	if in.ID >= 0 {
+		fmt.Fprintf(&b, "%%%d = ", in.ID)
+	}
+	b.WriteString(in.Op.String())
+	if in.Op == OpICmp {
+		b.WriteByte(' ')
+		b.WriteString(in.Pred.String())
+	}
+	if in.Ty != Void {
+		b.WriteByte(' ')
+		b.WriteString(in.Ty.String())
+	}
+	switch in.Op {
+	case OpLLoad, OpLStore:
+		fmt.Fprintf(&b, " slot%d", in.Slot)
+	case OpGLoad, OpGStore:
+		fmt.Fprintf(&b, " @%s", in.Global)
+	case OpCall:
+		fmt.Fprintf(&b, " @%s", in.Callee)
+		if in.Global != "" {
+			fmt.Fprintf(&b, "<%s>", in.Global)
+		}
+	}
+	for i, a := range in.Args {
+		if i == 0 {
+			b.WriteByte(' ')
+		} else {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.String())
+	}
+	switch in.Op {
+	case OpBr:
+		fmt.Fprintf(&b, " b%d", in.True)
+	case OpCondBr:
+		fmt.Fprintf(&b, " b%d, b%d", in.True, in.False)
+	}
+	return b.String()
+}
+
+// Block is a basic block: a straight-line instruction sequence ending in a
+// terminator. Blocks correspond to the CFG nodes of Figure 2(b).
+type Block struct {
+	Index  int
+	Name   string
+	Instrs []*Instr
+}
+
+// Terminator returns the block's terminating instruction, or nil if the
+// block is not yet terminated.
+func (b *Block) Terminator() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	t := b.Instrs[len(b.Instrs)-1]
+	if !t.Op.IsTerminator() {
+		return nil
+	}
+	return t
+}
+
+// Succs returns the indices of the block's successor blocks.
+func (b *Block) Succs() []int {
+	t := b.Terminator()
+	if t == nil {
+		return nil
+	}
+	switch t.Op {
+	case OpBr:
+		return []int{t.True}
+	case OpCondBr:
+		if t.True == t.False {
+			return []int{t.True}
+		}
+		return []int{t.True, t.False}
+	default:
+		return nil
+	}
+}
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	Ty   Type
+}
+
+// Func is an IR function: a list of basic blocks, entry first.
+type Func struct {
+	Name    string
+	Params  []Param
+	Ret     Type
+	Blocks  []*Block
+	NumVals int // number of SSA values (instruction IDs are [0, NumVals))
+	NSlots  int // number of local stack slots
+}
+
+// Entry returns the entry block.
+func (f *Func) Entry() *Block { return f.Blocks[0] }
+
+// Preds computes the predecessor lists of all blocks.
+func (f *Func) Preds() [][]int {
+	preds := make([][]int, len(f.Blocks))
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			preds[s] = append(preds[s], b.Index)
+		}
+	}
+	return preds
+}
+
+// GlobalKind discriminates stateful NF data-structure kinds.
+type GlobalKind uint8
+
+// Global kinds.
+const (
+	GScalar GlobalKind = iota
+	GArray
+	GMap
+	GVec
+)
+
+func (k GlobalKind) String() string {
+	switch k {
+	case GScalar:
+		return "scalar"
+	case GArray:
+		return "array"
+	case GMap:
+		return "map"
+	case GVec:
+		return "vec"
+	default:
+		return "?"
+	}
+}
+
+// Global is a stateful NF variable: a scalar counter, a fixed-capacity
+// array, or a hash map (Click HashMap analog). Data-structure sizes are
+// static, as required by baremetal NICs without dynamic allocation.
+type Global struct {
+	Name string
+	Kind GlobalKind
+	Elem Type // scalar/array element type; map value type
+	Key  Type // map key type
+	Len  int  // array length or map capacity (entries)
+}
+
+// mapSlotOverhead is the per-entry metadata overhead (occupancy tag) of a
+// map entry in stateful storage, in bytes.
+const mapSlotOverhead = 1
+
+// SizeBytes returns the stateful-storage footprint of the global.
+func (g *Global) SizeBytes() int {
+	switch g.Kind {
+	case GScalar:
+		return g.Elem.Size()
+	case GArray:
+		return g.Len * g.Elem.Size()
+	case GMap:
+		return g.Len * (g.Key.Size() + g.Elem.Size() + mapSlotOverhead)
+	case GVec:
+		// element + occupancy tag per slot, plus a length word
+		return g.Len*(g.Elem.Size()+1) + 4
+	default:
+		return 0
+	}
+}
+
+// Module is a compilation unit: one NF element. By convention the packet
+// handler is the function named "handle".
+type Module struct {
+	Name    string
+	Globals []*Global
+	Funcs   []*Func
+}
+
+// HandlerName is the conventional name of an NF element's per-packet entry
+// point (the analog of Click's simple_action).
+const HandlerName = "handle"
+
+// Global returns the named global, or nil.
+func (m *Module) Global(name string) *Global {
+	for _, g := range m.Globals {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+// Func returns the named function, or nil.
+func (m *Module) Func(name string) *Func {
+	for _, f := range m.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Handler returns the packet-handler function, or nil.
+func (m *Module) Handler() *Func { return m.Func(HandlerName) }
+
+// String renders the module in a textual form resembling LLVM assembly.
+func (m *Module) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s\n", m.Name)
+	for _, g := range m.Globals {
+		switch g.Kind {
+		case GScalar:
+			fmt.Fprintf(&b, "global %s @%s\n", g.Elem, g.Name)
+		case GArray:
+			fmt.Fprintf(&b, "global %s @%s[%d]\n", g.Elem, g.Name, g.Len)
+		case GMap:
+			fmt.Fprintf(&b, "global map<%s,%s> @%s[%d]\n", g.Key, g.Elem, g.Name, g.Len)
+		case GVec:
+			fmt.Fprintf(&b, "global vec<%s> @%s[%d]\n", g.Elem, g.Name, g.Len)
+		}
+	}
+	for _, f := range m.Funcs {
+		fmt.Fprintf(&b, "func @%s(", f.Name)
+		for i, p := range f.Params {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s %s", p.Ty, p.Name)
+		}
+		fmt.Fprintf(&b, ") %s {\n", f.Ret)
+		for _, blk := range f.Blocks {
+			fmt.Fprintf(&b, "b%d: ; %s\n", blk.Index, blk.Name)
+			for _, in := range blk.Instrs {
+				fmt.Fprintf(&b, "  %s\n", in)
+			}
+		}
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+// Stats summarizes a module the way Table 2 summarizes an element.
+type Stats struct {
+	Compute   int // compute IR instructions
+	LocalMem  int // stateless local slot accesses
+	StateMem  int // stateful global accesses (static count)
+	APICalls  int // framework API call sites
+	Blocks    int
+	Stateful  bool // has globals
+	StateSize int  // total stateful bytes
+}
+
+// ModuleStats computes static instruction statistics over all functions.
+func ModuleStats(m *Module) Stats {
+	var s Stats
+	for _, f := range m.Funcs {
+		s.Blocks += len(f.Blocks)
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				switch {
+				case in.Op.IsCompute():
+					s.Compute++
+				case in.Op.IsLocalMem():
+					s.LocalMem++
+				case in.Op.IsStatefulMem():
+					s.StateMem++
+				case in.Op == OpCall:
+					s.APICalls++
+				}
+			}
+		}
+	}
+	s.Stateful = len(m.Globals) > 0
+	for _, g := range m.Globals {
+		s.StateSize += g.SizeBytes()
+	}
+	return s
+}

@@ -1,0 +1,192 @@
+// Package isa defines the instruction set of the simulated baremetal
+// SmartNIC ("NFP", loosely modeled on the Netronome flow processors the
+// paper targets). The vendor compiler (internal/niccc) lowers IR to this
+// ISA; the simulator (internal/nicsim) charges cycles for it.
+//
+// The ISA is deliberately not a superset of the IR: multiplies are
+// sequenced (no single-cycle multiplier), compares fuse into branches,
+// casts vanish into register semantics, and immediates above 8 bits need a
+// separate load — the cross-ISA wrinkles that make instruction counts
+// nonlinear in the IR and motivate learned prediction (paper §3.2).
+package isa
+
+import "fmt"
+
+// Region identifies a level of the NIC memory hierarchy, in increasing
+// size and latency order (paper §4.3).
+type Region uint8
+
+// Memory regions.
+const (
+	LMEM Region = iota // per-core local memory (register spill space)
+	CLS                // cluster local scratch
+	CTM                // cluster target memory
+	IMEM               // internal SRAM
+	EMEM               // external DRAM (with a small SRAM cache in front)
+	NumRegions
+)
+
+func (r Region) String() string {
+	switch r {
+	case LMEM:
+		return "LMEM"
+	case CLS:
+		return "CLS"
+	case CTM:
+		return "CTM"
+	case IMEM:
+		return "IMEM"
+	case EMEM:
+		return "EMEM"
+	default:
+		return fmt.Sprintf("region(%d)", uint8(r))
+	}
+}
+
+// Op is a NIC instruction opcode.
+type Op uint8
+
+// Opcodes.
+const (
+	OpNop      Op = iota
+	OpImmed       // load a >8-bit immediate into a register
+	OpALU         // single-cycle ALU operation (add/sub/logic/shift/compare)
+	OpMulStep     // one step of the sequenced multiplier
+	OpDivStep     // one step of the software divide loop
+	OpSpill       // local-memory spill/fill of a register-allocated local
+	OpBr          // unconditional branch
+	OpBcc         // fused compare-and-branch
+	OpMemRead     // read from a stateful memory region
+	OpMemWrite    // write to a stateful memory region
+	OpLibCall     // NF framework library routine (reverse-ported code)
+	OpCsum        // ingress checksum engine
+	OpCrc         // CRC engine
+	OpLpm         // LPM engine
+	OpHash        // hash engine
+	OpSend        // packet egress
+	OpDrop        // packet drop
+	OpRet         // handler return
+)
+
+var opNames = [...]string{
+	OpNop: "nop", OpImmed: "immed", OpALU: "alu", OpMulStep: "mul_step",
+	OpDivStep: "div_step", OpSpill: "spill", OpBr: "br", OpBcc: "bcc",
+	OpMemRead: "mem[read]", OpMemWrite: "mem[write]", OpLibCall: "libcall",
+	OpCsum: "csum", OpCrc: "crc", OpLpm: "lpm", OpHash: "hash",
+	OpSend: "send", OpDrop: "drop", OpRet: "rtn",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// IsCompute reports whether the instruction retires on the core pipeline
+// (vs memory or an engine) and therefore counts toward the paper's
+// "number of compute instructions".
+func (o Op) IsCompute() bool {
+	switch o {
+	case OpImmed, OpALU, OpMulStep, OpDivStep, OpSpill, OpBr, OpBcc, OpNop:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether the instruction accesses stateful memory.
+func (o Op) IsMem() bool { return o == OpMemRead || o == OpMemWrite }
+
+// Cycles returns the core-pipeline cost of the instruction. Memory and
+// engine instructions additionally incur latency modeled by the simulator.
+func (o Op) Cycles() int {
+	switch o {
+	case OpNop, OpImmed, OpALU, OpMulStep, OpDivStep:
+		return 1
+	case OpSpill:
+		return 2 // LMEM round trip
+	case OpBr:
+		return 1
+	case OpBcc:
+		return 2 // compare + taken-branch bubble
+	case OpMemRead, OpMemWrite:
+		return 1 // issue cost; latency charged by the simulator
+	case OpSend, OpDrop, OpRet:
+		return 1
+	default:
+		return 0 // engines and libcalls are costed elsewhere
+	}
+}
+
+// Instr is one NIC instruction.
+type Instr struct {
+	Op   Op
+	Sub  string // ALU sub-operation or library routine name
+	Size int    // access size in bytes for memory instructions
+	// Global is the stateful variable a memory instruction or stateful
+	// libcall targets; the simulator resolves it to a Region through the
+	// active placement.
+	Global string
+}
+
+func (i Instr) String() string {
+	s := i.Op.String()
+	if i.Sub != "" {
+		s += "." + i.Sub
+	}
+	if i.Global != "" {
+		s += " @" + i.Global
+	}
+	if i.Size != 0 {
+		s += fmt.Sprintf(" %dB", i.Size)
+	}
+	return s
+}
+
+// Block is the compiled form of one IR basic block.
+type Block struct {
+	Instrs []Instr
+	// Cached summaries (filled by Summarize).
+	ComputeCount  int // instructions counted by cross-platform prediction
+	MemCount      int // stateful memory instructions
+	ComputeCycles int // core cycles for the compute portion
+}
+
+// Summarize recomputes the cached summary fields.
+func (b *Block) Summarize() {
+	b.ComputeCount, b.MemCount, b.ComputeCycles = 0, 0, 0
+	for _, in := range b.Instrs {
+		if in.Op.IsCompute() {
+			b.ComputeCount++
+			b.ComputeCycles += in.Op.Cycles()
+		}
+		if in.Op.IsMem() {
+			b.MemCount++
+		}
+	}
+}
+
+// Program is a compiled NF handler: one compiled block per IR block, same
+// indexing.
+type Program struct {
+	Name   string
+	Blocks []Block
+}
+
+// TotalCompute sums compute instructions over all blocks.
+func (p *Program) TotalCompute() int {
+	n := 0
+	for i := range p.Blocks {
+		n += p.Blocks[i].ComputeCount
+	}
+	return n
+}
+
+// TotalMem sums stateful memory instructions over all blocks.
+func (p *Program) TotalMem() int {
+	n := 0
+	for i := range p.Blocks {
+		n += p.Blocks[i].MemCount
+	}
+	return n
+}

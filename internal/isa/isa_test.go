@@ -1,0 +1,98 @@
+package isa
+
+import "testing"
+
+func TestRegionOrderingAndNames(t *testing.T) {
+	order := []Region{LMEM, CLS, CTM, IMEM, EMEM}
+	names := []string{"LMEM", "CLS", "CTM", "IMEM", "EMEM"}
+	for i, r := range order {
+		if r.String() != names[i] {
+			t.Errorf("region %d name %q, want %q", i, r.String(), names[i])
+		}
+	}
+	if NumRegions != 5 {
+		t.Errorf("NumRegions = %d", NumRegions)
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	computeOps := []Op{OpImmed, OpALU, OpMulStep, OpDivStep, OpSpill, OpBr, OpBcc, OpNop}
+	for _, op := range computeOps {
+		if !op.IsCompute() {
+			t.Errorf("%s should be compute", op)
+		}
+		if op.IsMem() {
+			t.Errorf("%s should not be memory", op)
+		}
+	}
+	for _, op := range []Op{OpMemRead, OpMemWrite} {
+		if !op.IsMem() || op.IsCompute() {
+			t.Errorf("%s misclassified", op)
+		}
+	}
+	// Engines and libcalls are neither.
+	for _, op := range []Op{OpCsum, OpCrc, OpLpm, OpHash, OpLibCall, OpSend, OpDrop, OpRet} {
+		if op.IsCompute() || op.IsMem() {
+			t.Errorf("%s misclassified", op)
+		}
+	}
+}
+
+func TestCyclesPositiveForCompute(t *testing.T) {
+	for op := OpNop; op <= OpRet; op++ {
+		if op.IsCompute() && op.Cycles() <= 0 {
+			t.Errorf("%s has nonpositive cycles", op)
+		}
+	}
+	if OpBcc.Cycles() <= OpALU.Cycles() {
+		t.Error("branch should cost at least as much as an ALU op")
+	}
+}
+
+func TestBlockSummarize(t *testing.T) {
+	b := Block{Instrs: []Instr{
+		{Op: OpImmed}, {Op: OpALU, Sub: "add"}, {Op: OpALU, Sub: "xor"},
+		{Op: OpMemRead, Size: 4, Global: "g"},
+		{Op: OpMemWrite, Size: 8, Global: "g"},
+		{Op: OpLibCall, Sub: "map_find", Global: "m"},
+		{Op: OpCrc},
+		{Op: OpBcc},
+	}}
+	b.Summarize()
+	if b.ComputeCount != 4 {
+		t.Errorf("compute = %d, want 4", b.ComputeCount)
+	}
+	if b.MemCount != 2 {
+		t.Errorf("mem = %d, want 2", b.MemCount)
+	}
+	if b.ComputeCycles != 1+1+1+2 {
+		t.Errorf("cycles = %d, want 5", b.ComputeCycles)
+	}
+}
+
+func TestProgramTotals(t *testing.T) {
+	p := Program{Blocks: []Block{
+		{Instrs: []Instr{{Op: OpALU}, {Op: OpMemRead, Size: 4}}},
+		{Instrs: []Instr{{Op: OpALU}, {Op: OpALU}}},
+	}}
+	for i := range p.Blocks {
+		p.Blocks[i].Summarize()
+	}
+	if p.TotalCompute() != 3 {
+		t.Errorf("total compute = %d", p.TotalCompute())
+	}
+	if p.TotalMem() != 1 {
+		t.Errorf("total mem = %d", p.TotalMem())
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	in := Instr{Op: OpMemRead, Size: 4, Global: "flows"}
+	if s := in.String(); s != "mem[read] @flows 4B" {
+		t.Errorf("String() = %q", s)
+	}
+	in = Instr{Op: OpALU, Sub: "add"}
+	if s := in.String(); s != "alu.add" {
+		t.Errorf("String() = %q", s)
+	}
+}

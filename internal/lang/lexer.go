@@ -1,0 +1,200 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// TokKind is a lexical token kind.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TEOF TokKind = iota
+	TIdent
+	TInt
+	TKeyword
+	TPunct
+)
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string
+	Val  uint64 // for TInt
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	if t.Kind == TEOF {
+		return "<eof>"
+	}
+	return t.Text
+}
+
+var keywords = map[string]bool{
+	"global": true, "map": true, "vec": true, "void": true,
+	"u8": true, "u16": true, "u32": true, "u64": true, "bool": true,
+	"if": true, "else": true, "while": true, "for": true,
+	"return": true, "break": true, "continue": true,
+	"true": true, "false": true,
+}
+
+// Lexer tokenizes NFC source.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src, line: 1, col: 1} }
+
+func (lx *Lexer) peekByte() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *Lexer) next() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	// Skip whitespace and comments.
+	for lx.pos < len(lx.src) {
+		c := lx.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.next()
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.next()
+			}
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '*':
+			lx.next()
+			lx.next()
+			for lx.pos < len(lx.src) {
+				if lx.peekByte() == '*' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/' {
+					lx.next()
+					lx.next()
+					break
+				}
+				lx.next()
+			}
+		default:
+			goto tokenStart
+		}
+	}
+tokenStart:
+	if lx.pos >= len(lx.src) {
+		return Token{Kind: TEOF, Line: lx.line, Col: lx.col}, nil
+	}
+	line, col := lx.line, lx.col
+	c := lx.peekByte()
+
+	switch {
+	case isIdentStart(c):
+		start := lx.pos
+		for lx.pos < len(lx.src) && isIdentPart(lx.peekByte()) {
+			lx.next()
+		}
+		text := lx.src[start:lx.pos]
+		kind := TIdent
+		if keywords[text] {
+			kind = TKeyword
+		}
+		return Token{Kind: kind, Text: text, Line: line, Col: col}, nil
+
+	case isDigit(c):
+		start := lx.pos
+		if c == '0' && lx.pos+1 < len(lx.src) && (lx.src[lx.pos+1] == 'x' || lx.src[lx.pos+1] == 'X') {
+			lx.next()
+			lx.next()
+			for lx.pos < len(lx.src) && isHexDigit(lx.peekByte()) {
+				lx.next()
+			}
+		} else {
+			for lx.pos < len(lx.src) && isDigit(lx.peekByte()) {
+				lx.next()
+			}
+		}
+		text := lx.src[start:lx.pos]
+		v, err := strconv.ParseUint(text, 0, 64)
+		if err != nil {
+			return Token{}, fmt.Errorf("line %d: bad integer literal %q", line, text)
+		}
+		return Token{Kind: TInt, Text: text, Val: v, Line: line, Col: col}, nil
+	}
+
+	// Punctuation: longest match first.
+	three := ""
+	if lx.pos+3 <= len(lx.src) {
+		three = lx.src[lx.pos : lx.pos+3]
+	}
+	two := ""
+	if lx.pos+2 <= len(lx.src) {
+		two = lx.src[lx.pos : lx.pos+2]
+	}
+	switch three {
+	case "<<=", ">>=":
+		lx.next()
+		lx.next()
+		lx.next()
+		return Token{Kind: TPunct, Text: three, Line: line, Col: col}, nil
+	}
+	switch two {
+	case "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+		"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=":
+		lx.next()
+		lx.next()
+		return Token{Kind: TPunct, Text: two, Line: line, Col: col}, nil
+	}
+	switch c {
+	case '+', '-', '*', '/', '%', '&', '|', '^', '~', '!', '<', '>', '=',
+		'(', ')', '{', '}', '[', ']', ',', ';':
+		lx.next()
+		return Token{Kind: TPunct, Text: string(c), Line: line, Col: col}, nil
+	}
+	return Token{}, fmt.Errorf("line %d:%d: unexpected character %q", line, col, string(c))
+}
+
+// LexAll tokenizes the whole input (testing helper).
+func LexAll(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var out []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TEOF {
+			return out, nil
+		}
+	}
+}

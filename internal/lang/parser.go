@@ -1,0 +1,720 @@
+package lang
+
+import (
+	"fmt"
+
+	"clara/internal/ir"
+)
+
+// Parser is a recursive-descent parser for NFC.
+type Parser struct {
+	lx   *Lexer
+	tok  Token
+	peek Token
+	has2 bool
+	name string
+}
+
+// Parse parses a full NFC element source into a File.
+func Parse(name, src string) (*File, error) {
+	p := &Parser{lx: NewLexer(src), name: name}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	f := &File{Name: name}
+	for p.tok.Kind != TEOF {
+		switch {
+		case p.isKw("global") || p.isKw("map") || p.isKw("vec"):
+			g, err := p.parseGlobal()
+			if err != nil {
+				return nil, err
+			}
+			f.Globals = append(f.Globals, g)
+		case p.isKw("void") || p.isType():
+			fn, err := p.parseFunc()
+			if err != nil {
+				return nil, err
+			}
+			f.Funcs = append(f.Funcs, fn)
+		default:
+			return nil, p.errf("expected declaration, got %q", p.tok)
+		}
+	}
+	return f, nil
+}
+
+func (p *Parser) errf(format string, args ...any) error {
+	return fmt.Errorf("%s:%d: %s", p.name, p.tok.Line, fmt.Sprintf(format, args...))
+}
+
+func (p *Parser) advance() error {
+	if p.has2 {
+		p.tok = p.peek
+		p.has2 = false
+		return nil
+	}
+	t, err := p.lx.Next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *Parser) peekTok() Token {
+	if !p.has2 {
+		t, err := p.lx.Next()
+		if err != nil {
+			// Surface the error at the next advance; return EOF here.
+			t = Token{Kind: TEOF}
+		}
+		p.peek = t
+		p.has2 = true
+	}
+	return p.peek
+}
+
+func (p *Parser) isKw(k string) bool { return p.tok.Kind == TKeyword && p.tok.Text == k }
+
+func (p *Parser) isPunct(s string) bool { return p.tok.Kind == TPunct && p.tok.Text == s }
+
+func (p *Parser) isType() bool {
+	if p.tok.Kind != TKeyword {
+		return false
+	}
+	switch p.tok.Text {
+	case "u8", "u16", "u32", "u64", "bool":
+		return true
+	}
+	return false
+}
+
+func (p *Parser) typeOf(t Token) ir.Type {
+	switch t.Text {
+	case "u8":
+		return ir.U8
+	case "u16":
+		return ir.U16
+	case "u32":
+		return ir.U32
+	case "u64":
+		return ir.U64
+	case "bool":
+		return ir.Bool
+	}
+	return ir.Void
+}
+
+func (p *Parser) expectPunct(s string) error {
+	if !p.isPunct(s) {
+		return p.errf("expected %q, got %q", s, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *Parser) expectIdent() (Token, error) {
+	if p.tok.Kind != TIdent {
+		return Token{}, p.errf("expected identifier, got %q", p.tok)
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+func (p *Parser) expectInt() (uint64, error) {
+	if p.tok.Kind != TInt {
+		return 0, p.errf("expected integer, got %q", p.tok)
+	}
+	v := p.tok.Val
+	return v, p.advance()
+}
+
+// parseGlobal parses:
+//
+//	global u32 name;            (scalar)
+//	global u32 name[256];       (array)
+//	map<u64,u64> name[4096];    (hash map)
+//	vec<u64> name[256];         (vector)
+func (p *Parser) parseGlobal() (*GlobalDecl, error) {
+	line := p.tok.Line
+	if p.isKw("vec") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("<"); err != nil {
+			return nil, err
+		}
+		if !p.isType() {
+			return nil, p.errf("expected element type")
+		}
+		elem := p.typeOf(p.tok)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(">"); err != nil {
+			return nil, err
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("["); err != nil {
+			return nil, err
+		}
+		n, err := p.expectInt()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &GlobalDecl{Name: name.Text, Kind: ir.GVec, Elem: elem, Len: int(n), Line: line}, nil
+	}
+	if p.isKw("map") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("<"); err != nil {
+			return nil, err
+		}
+		if !p.isType() {
+			return nil, p.errf("expected key type")
+		}
+		key := p.typeOf(p.tok)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		if !p.isType() {
+			return nil, p.errf("expected value type")
+		}
+		val := p.typeOf(p.tok)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(">"); err != nil {
+			return nil, err
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("["); err != nil {
+			return nil, err
+		}
+		n, err := p.expectInt()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &GlobalDecl{Name: name.Text, Kind: ir.GMap, Key: key, Elem: val, Len: int(n), Line: line}, nil
+	}
+
+	// global <type> name ( [N] )? ;
+	if err := p.advance(); err != nil { // consume 'global'
+		return nil, err
+	}
+	if !p.isType() {
+		return nil, p.errf("expected type after 'global'")
+	}
+	elem := p.typeOf(p.tok)
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	g := &GlobalDecl{Name: name.Text, Kind: ir.GScalar, Elem: elem, Line: line}
+	if p.isPunct("[") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		n, err := p.expectInt()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+		g.Kind = ir.GArray
+		g.Len = int(n)
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func (p *Parser) parseFunc() (*FuncDecl, error) {
+	line := p.tok.Line
+	ret := ir.Void
+	if p.isType() {
+		ret = p.typeOf(p.tok)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var params []ir.Param
+	for !p.isPunct(")") {
+		if len(params) > 0 {
+			if err := p.expectPunct(","); err != nil {
+				return nil, err
+			}
+		}
+		if !p.isType() {
+			return nil, p.errf("expected parameter type")
+		}
+		ty := p.typeOf(p.tok)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		pn, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		params = append(params, ir.Param{Name: pn.Text, Ty: ty})
+	}
+	if err := p.advance(); err != nil { // consume ')'
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &FuncDecl{Name: name.Text, Params: params, Ret: ret, Body: body, Line: line}, nil
+}
+
+func (p *Parser) parseBlock() (*BlockStmt, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{}
+	for !p.isPunct("}") {
+		if p.tok.Kind == TEOF {
+			return nil, p.errf("unexpected EOF in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.List = append(b.List, s)
+	}
+	return b, p.advance()
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	line := p.tok.Line
+	switch {
+	case p.isPunct("{"):
+		return p.parseBlock()
+
+	case p.isType():
+		return p.parseVarDeclOrCast()
+
+	case p.isKw("if"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Cond: cond, Then: then, Line: line}
+		if p.isKw("else") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.isKw("if") {
+				inner, err := p.parseStmt()
+				if err != nil {
+					return nil, err
+				}
+				st.Else = &BlockStmt{List: []Stmt{inner}}
+			} else {
+				st.Else, err = p.parseBlock()
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		return st, nil
+
+	case p.isKw("while"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Line: line}, nil
+
+	case p.isKw("for"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		st := &ForStmt{Line: line}
+		if !p.isPunct(";") {
+			var err error
+			if p.isType() {
+				st.Init, err = p.parseVarDeclOrCast()
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				st.Init, err = p.parseSimpleStmt()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectPunct(";"); err != nil {
+					return nil, err
+				}
+			}
+		} else if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if !p.isPunct(";") {
+			var err error
+			st.Cond, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		if !p.isPunct(")") {
+			var err error
+			st.Post, err = p.parseSimpleStmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		st.Body = body
+		return st, nil
+
+	case p.isKw("return"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		st := &ReturnStmt{Line: line}
+		if !p.isPunct(";") {
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Value = v
+		}
+		return st, p.expectPunct(";")
+
+	case p.isKw("break"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Line: line}, p.expectPunct(";")
+
+	case p.isKw("continue"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Line: line}, p.expectPunct(";")
+
+	default:
+		st, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		return st, p.expectPunct(";")
+	}
+}
+
+// parseVarDeclOrCast parses a statement that begins with a type keyword.
+// That is always a variable declaration at statement position ("u32 x = ..;").
+func (p *Parser) parseVarDeclOrCast() (Stmt, error) {
+	line := p.tok.Line
+	ty := p.typeOf(p.tok)
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	d := &VarDecl{Name: name.Text, Ty: ty, Line: line}
+	if p.isPunct("=") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		d.Init, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return d, p.expectPunct(";")
+}
+
+// parseSimpleStmt parses an assignment or expression statement, without the
+// trailing semicolon (for-loop posts reuse it).
+func (p *Parser) parseSimpleStmt() (Stmt, error) {
+	line := p.tok.Line
+	if p.tok.Kind == TIdent {
+		// Look ahead: ident (= | op=) → assignment to scalar; ident [ ... ] (=|op=)
+		// → array element; otherwise an expression statement.
+		nxt := p.peekTok()
+		if nxt.Kind == TPunct {
+			switch nxt.Text {
+			case "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=":
+				name := p.tok.Text
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				op := p.tok.Text
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				v, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				as := &AssignStmt{Target: &LValue{Name: name, Line: line}, Value: v, Line: line}
+				if op != "=" {
+					as.Op = op[:len(op)-1]
+				}
+				return as, nil
+			case "[":
+				// Could be an indexed assignment or an indexed read inside a
+				// larger expression statement; NFC expression statements are
+				// calls only, so '[' after ident at statement position is an
+				// indexed assignment.
+				name := p.tok.Text
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				if err := p.advance(); err != nil { // consume '['
+					return nil, err
+				}
+				idx, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectPunct("]"); err != nil {
+					return nil, err
+				}
+				op := p.tok.Text
+				switch op {
+				case "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=":
+				default:
+					return nil, p.errf("expected assignment operator, got %q", p.tok)
+				}
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				v, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				as := &AssignStmt{Target: &LValue{Name: name, Index: idx, Line: line}, Value: v, Line: line}
+				if op != "=" {
+					as.Op = op[:len(op)-1]
+				}
+				return as, nil
+			}
+		}
+	}
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &ExprStmt{X: x, Line: line}, nil
+}
+
+// Binary operator precedence (higher binds tighter).
+var binPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseBinary(1) }
+
+func (p *Parser) parseBinary(minPrec int) (Expr, error) {
+	x, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if p.tok.Kind != TPunct {
+			return x, nil
+		}
+		prec, ok := binPrec[p.tok.Text]
+		if !ok || prec < minPrec {
+			return x, nil
+		}
+		op := p.tok.Text
+		line := p.tok.Line
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		y, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Op: op, X: x, Y: y, Line: line}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if p.tok.Kind == TPunct {
+		switch p.tok.Text {
+		case "!", "~", "-":
+			op := p.tok.Text
+			line := p.tok.Line
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &UnaryExpr{Op: op, X: x, Line: line}, nil
+		}
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	line := p.tok.Line
+	switch {
+	case p.tok.Kind == TInt:
+		v := p.tok.Val
+		return &IntLit{Val: v, Line: line}, p.advance()
+
+	case p.isKw("true"):
+		return &BoolLit{Val: true, Line: line}, p.advance()
+
+	case p.isKw("false"):
+		return &BoolLit{Val: false, Line: line}, p.advance()
+
+	case p.isType():
+		ty := p.typeOf(p.tok)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return &CastExpr{Ty: ty, X: x, Line: line}, nil
+
+	case p.tok.Kind == TIdent:
+		name := p.tok.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		switch {
+		case p.isPunct("("):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			c := &CallExpr{Name: name, Line: line}
+			for !p.isPunct(")") {
+				if len(c.Args) > 0 {
+					if err := p.expectPunct(","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				c.Args = append(c.Args, a)
+			}
+			return c, p.advance()
+		case p.isPunct("["):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Name: name, Index: idx, Line: line}, nil
+		default:
+			return &Ident{Name: name, Line: line}, nil
+		}
+
+	case p.isPunct("("):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return x, p.expectPunct(")")
+	}
+	return nil, p.errf("unexpected token %q in expression", p.tok)
+}

@@ -1,0 +1,84 @@
+package lang
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestCompileNeverPanicsOnGarbage feeds the full pipeline random byte
+// soup and truncated/mutated valid programs: every input must produce a
+// value or an error, never a panic.
+func TestCompileNeverPanicsOnGarbage(t *testing.T) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("compiler panicked: %v", r)
+		}
+	}()
+
+	rng := rand.New(rand.NewSource(99))
+	alphabet := "abcdefgxyz0123456789 \t\n(){}[]<>=+-*/%&|^~!;,.\"'uvoidglobalmapwhileforif"
+	for i := 0; i < 300; i++ {
+		n := rng.Intn(200)
+		var b strings.Builder
+		for j := 0; j < n; j++ {
+			b.WriteByte(alphabet[rng.Intn(len(alphabet))])
+		}
+		_, _ = Compile("garbage", b.String())
+	}
+
+	valid := `
+map<u64,u64> m[1024];
+global u32 c;
+void handle() {
+	u64 k = u64(pkt_ip_src());
+	for (u32 i = 0; i < 8; i += 1) {
+		c ^= u32(k >> i);
+	}
+	if (map_contains(m, k)) { c += 1; } else { map_insert(m, k, 1); }
+	pkt_send(0);
+}
+`
+	// Truncations.
+	for cut := 0; cut < len(valid); cut += 7 {
+		_, _ = Compile("trunc", valid[:cut])
+	}
+	// Single-byte mutations.
+	for i := 0; i < 400; i++ {
+		pos := rng.Intn(len(valid))
+		mut := valid[:pos] + string(alphabet[rng.Intn(len(alphabet))]) + valid[pos+1:]
+		_, _ = Compile("mut", mut)
+	}
+}
+
+// TestDeeplyNestedStructures exercises recursion limits gracefully.
+func TestDeeplyNestedStructures(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("void handle() {\n\tu32 x = ")
+	for i := 0; i < 200; i++ {
+		b.WriteString("(1 + ")
+	}
+	b.WriteString("2")
+	for i := 0; i < 200; i++ {
+		b.WriteString(")")
+	}
+	b.WriteString(";\n\tpkt_send(0);\n}\n")
+	if _, err := Compile("deep-expr", b.String()); err != nil {
+		t.Fatalf("deep expression rejected: %v", err)
+	}
+
+	b.Reset()
+	b.WriteString("void handle() {\n")
+	for i := 0; i < 60; i++ {
+		b.WriteString(strings.Repeat("\t", i+1))
+		b.WriteString("if (pkt_ip_ttl() > 0) {\n")
+	}
+	b.WriteString(strings.Repeat("\t", 61) + "pkt_drop();\n")
+	for i := 60; i > 0; i-- {
+		b.WriteString(strings.Repeat("\t", i) + "}\n")
+	}
+	b.WriteString("}\n")
+	if _, err := Compile("deep-if", b.String()); err != nil {
+		t.Fatalf("deep nesting rejected: %v", err)
+	}
+}

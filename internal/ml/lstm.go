@@ -1,0 +1,255 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// SeqSample is one training pair for sequence models: an encoded
+// instruction sequence (vocabulary indices) and its regression targets
+// (e.g. [compute instructions, memory instructions]).
+type SeqSample struct {
+	Tokens []int
+	Target []float64
+}
+
+// LSTMConfig configures the LSTM+FC model of §3.2 (Figure 6).
+type LSTMConfig struct {
+	Vocab       int
+	Hidden      int
+	Out         int
+	LR          float64
+	Epochs      int
+	Clip        float64
+	TargetScale float64 // targets are divided by this during training
+	Seed        int64
+}
+
+func (c LSTMConfig) norm() LSTMConfig {
+	if c.Hidden == 0 {
+		c.Hidden = 32
+	}
+	if c.Out == 0 {
+		c.Out = 1
+	}
+	if c.LR == 0 {
+		c.LR = 0.004
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 30
+	}
+	if c.Clip == 0 {
+		c.Clip = 5
+	}
+	if c.TargetScale == 0 {
+		c.TargetScale = 10
+	}
+	return c
+}
+
+// LSTM is a single-layer LSTM over one-hot tokens with a linear read-out
+// from the final hidden state. One-hot input makes the input projection a
+// per-token row lookup, which is exactly what the paper's compacted
+// vocabulary enables.
+type LSTM struct {
+	cfg    LSTMConfig
+	params []float64
+	// offsets into params
+	oWx, oWh, oB, oWo, oBo int
+}
+
+// NewLSTM allocates a randomly initialized model.
+func NewLSTM(cfg LSTMConfig) *LSTM {
+	cfg = cfg.norm()
+	V, H, D := cfg.Vocab, cfg.Hidden, cfg.Out
+	m := &LSTM{cfg: cfg}
+	m.oWx = 0
+	m.oWh = m.oWx + V*4*H
+	m.oB = m.oWh + H*4*H
+	m.oWo = m.oB + 4*H
+	m.oBo = m.oWo + H*D
+	m.params = make([]float64, m.oBo+D)
+	rng := rand.New(rand.NewSource(cfg.Seed + 101))
+	randInit(rng, m.params[m.oWx:m.oWh], 0.25)
+	randInit(rng, m.params[m.oWh:m.oB], 1/math.Sqrt(float64(H)))
+	randInit(rng, m.params[m.oWo:m.oBo], 1/math.Sqrt(float64(H)))
+	// Forget-gate bias starts positive (standard trick for gradient flow).
+	b := m.params[m.oB : m.oB+4*H]
+	for i := H; i < 2*H; i++ {
+		b[i] = 1
+	}
+	return m
+}
+
+// step state kept for BPTT.
+type lstmStep struct {
+	tok        int
+	i, f, g, o []float64
+	c, tc, h   []float64
+}
+
+func (m *LSTM) forward(tokens []int) ([]lstmStep, []float64) {
+	H, D := m.cfg.Hidden, m.cfg.Out
+	p := m.params
+	steps := make([]lstmStep, len(tokens))
+	hPrev := make([]float64, H)
+	cPrev := make([]float64, H)
+	z := make([]float64, 4*H)
+	for t, tok := range tokens {
+		wx := p[m.oWx+tok*4*H : m.oWx+(tok+1)*4*H]
+		copy(z, wx)
+		Axpy(1, p[m.oB:m.oB+4*H], z)
+		for j := 0; j < H; j++ {
+			hj := hPrev[j]
+			if hj == 0 {
+				continue
+			}
+			row := p[m.oWh+j*4*H : m.oWh+(j+1)*4*H]
+			Axpy(hj, row, z)
+		}
+		st := lstmStep{
+			tok: tok,
+			i:   make([]float64, H), f: make([]float64, H),
+			g: make([]float64, H), o: make([]float64, H),
+			c: make([]float64, H), tc: make([]float64, H), h: make([]float64, H),
+		}
+		for j := 0; j < H; j++ {
+			st.i[j] = sigmoid(z[j])
+			st.f[j] = sigmoid(z[H+j])
+			st.g[j] = math.Tanh(z[2*H+j])
+			st.o[j] = sigmoid(z[3*H+j])
+			st.c[j] = st.f[j]*cPrev[j] + st.i[j]*st.g[j]
+			st.tc[j] = math.Tanh(st.c[j])
+			st.h[j] = st.o[j] * st.tc[j]
+		}
+		steps[t] = st
+		hPrev, cPrev = st.h, st.c
+	}
+	y := make([]float64, D)
+	for d := 0; d < D; d++ {
+		y[d] = p[m.oBo+d]
+		for j := 0; j < H; j++ {
+			y[d] += p[m.oWo+j*D+d] * hPrev[j]
+		}
+	}
+	return steps, y
+}
+
+// Predict returns the model outputs rescaled to target units, clamped to
+// be nonnegative (instruction counts).
+func (m *LSTM) Predict(tokens []int) []float64 {
+	out := m.PredictRaw(tokens)
+	for i := range out {
+		if out[i] < 0 {
+			out[i] = 0
+		}
+	}
+	return out
+}
+
+// PredictRaw returns the model outputs rescaled to target units without
+// clamping (for signed targets such as residuals).
+func (m *LSTM) PredictRaw(tokens []int) []float64 {
+	if len(tokens) == 0 {
+		return make([]float64, m.cfg.Out)
+	}
+	_, y := m.forward(tokens)
+	out := make([]float64, len(y))
+	for i := range y {
+		out[i] = y[i] * m.cfg.TargetScale
+	}
+	return out
+}
+
+// backward accumulates gradients for one sample; returns the loss.
+func (m *LSTM) backward(steps []lstmStep, y, target []float64, grads []float64) float64 {
+	H, D := m.cfg.Hidden, m.cfg.Out
+	p := m.params
+	T := len(steps)
+	dh := make([]float64, H)
+	dc := make([]float64, H)
+
+	loss := 0.0
+	dy := make([]float64, D)
+	hT := steps[T-1].h
+	for d := 0; d < D; d++ {
+		diff := y[d] - target[d]/m.cfg.TargetScale
+		loss += 0.5 * diff * diff
+		dy[d] = diff
+		grads[m.oBo+d] += diff
+		for j := 0; j < H; j++ {
+			grads[m.oWo+j*D+d] += diff * hT[j]
+			dh[j] += p[m.oWo+j*D+d] * diff
+		}
+	}
+
+	dz := make([]float64, 4*H)
+	for t := T - 1; t >= 0; t-- {
+		st := &steps[t]
+		var cPrev, hPrev []float64
+		if t > 0 {
+			cPrev = steps[t-1].c
+			hPrev = steps[t-1].h
+		}
+		for j := 0; j < H; j++ {
+			doj := dh[j] * st.tc[j]
+			dcj := dc[j] + dh[j]*st.o[j]*(1-st.tc[j]*st.tc[j])
+			dij := dcj * st.g[j]
+			dgj := dcj * st.i[j]
+			dfj := 0.0
+			if cPrev != nil {
+				dfj = dcj * cPrev[j]
+			}
+			dz[j] = dij * st.i[j] * (1 - st.i[j])
+			dz[H+j] = dfj * st.f[j] * (1 - st.f[j])
+			dz[2*H+j] = dgj * (1 - st.g[j]*st.g[j])
+			dz[3*H+j] = doj * st.o[j] * (1 - st.o[j])
+			dc[j] = dcj * st.f[j]
+		}
+		// Parameter gradients.
+		gw := grads[m.oWx+st.tok*4*H : m.oWx+(st.tok+1)*4*H]
+		Axpy(1, dz, gw)
+		Axpy(1, dz, grads[m.oB:m.oB+4*H])
+		for j := 0; j < H; j++ {
+			dh[j] = 0
+		}
+		if hPrev != nil {
+			for j := 0; j < H; j++ {
+				if hPrev[j] != 0 {
+					Axpy(hPrev[j], dz, grads[m.oWh+j*4*H:m.oWh+(j+1)*4*H])
+				}
+				dh[j] = Dot(p[m.oWh+j*4*H:m.oWh+(j+1)*4*H], dz)
+			}
+		}
+	}
+	return loss
+}
+
+// TrainLSTM trains a model on the samples and reports the final mean
+// training loss (scaled units).
+func TrainLSTM(samples []SeqSample, cfg LSTMConfig) (*LSTM, float64) {
+	m := NewLSTM(cfg)
+	cfg = m.cfg
+	opt := NewAdam(len(m.params), cfg.LR, cfg.Clip)
+	grads := make([]float64, len(m.params))
+	rng := rand.New(rand.NewSource(cfg.Seed + 202))
+	lastLoss := math.Inf(1)
+	for e := 0; e < cfg.Epochs; e++ {
+		perm := rng.Perm(len(samples))
+		total := 0.0
+		for _, si := range perm {
+			s := samples[si]
+			if len(s.Tokens) == 0 {
+				continue
+			}
+			steps, y := m.forward(s.Tokens)
+			for i := range grads {
+				grads[i] = 0
+			}
+			total += m.backward(steps, y, s.Target, grads)
+			opt.Step(m.params, grads)
+		}
+		lastLoss = total / float64(len(samples))
+	}
+	return m, lastLoss
+}

@@ -1,0 +1,388 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// --- MLP (the "DNN" baseline of §5.2 and §5.4) ---
+
+// MLPConfig configures a fully connected network.
+type MLPConfig struct {
+	Layers []int // sizes including input and output
+	LR     float64
+	Epochs int
+	Seed   int64
+	// Classification switches the output to softmax + cross-entropy.
+	Classification bool
+	TargetScale    float64 // regression target scaling
+}
+
+func (c MLPConfig) norm() MLPConfig {
+	if c.LR == 0 {
+		c.LR = 0.003
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 60
+	}
+	if c.TargetScale == 0 {
+		c.TargetScale = 1
+	}
+	return c
+}
+
+// MLP is a ReLU multilayer perceptron.
+type MLP struct {
+	cfg MLPConfig
+	// W[l] is (out × (in+1)) row-major with bias in the last column.
+	W [][]float64
+}
+
+// NewMLP allocates a randomly initialized network.
+func NewMLP(cfg MLPConfig) *MLP {
+	cfg = cfg.norm()
+	rng := rand.New(rand.NewSource(cfg.Seed + 301))
+	m := &MLP{cfg: cfg}
+	for l := 0; l+1 < len(cfg.Layers); l++ {
+		in, out := cfg.Layers[l], cfg.Layers[l+1]
+		w := make([]float64, out*(in+1))
+		randInit(rng, w, math.Sqrt(2/float64(in)))
+		m.W = append(m.W, w)
+	}
+	return m
+}
+
+// forward returns all layer activations (acts[0] = input).
+func (m *MLP) forward(x []float64) [][]float64 {
+	acts := [][]float64{x}
+	cur := x
+	for l, w := range m.W {
+		in := len(cur)
+		out := len(w) / (in + 1)
+		next := make([]float64, out)
+		for o := 0; o < out; o++ {
+			row := w[o*(in+1) : (o+1)*(in+1)]
+			next[o] = Dot(row[:in], cur) + row[in]
+			if l+1 < len(m.W) && next[o] < 0 {
+				next[o] = 0 // ReLU on hidden layers
+			}
+		}
+		acts = append(acts, next)
+		cur = next
+	}
+	return acts
+}
+
+// PredictVec returns the raw output vector (rescaled for regression).
+func (m *MLP) PredictVec(x []float64) []float64 {
+	out := m.forward(x)
+	last := append([]float64(nil), out[len(out)-1]...)
+	if !m.cfg.Classification {
+		for i := range last {
+			last[i] *= m.cfg.TargetScale
+		}
+	}
+	return last
+}
+
+// Predict returns the first output (scalar regression).
+func (m *MLP) Predict(x []float64) float64 { return m.PredictVec(x)[0] }
+
+// PredictClass returns the argmax output.
+func (m *MLP) PredictClass(x []float64) int {
+	out := m.forward(x)
+	last := out[len(out)-1]
+	best, bestV := 0, math.Inf(-1)
+	for i, v := range last {
+		if v > bestV {
+			bestV = v
+			best = i
+		}
+	}
+	return best
+}
+
+// trainStep runs one SGD example; target semantics depend on the mode.
+func (m *MLP) trainStep(x, target []float64, grads [][]float64) float64 {
+	acts := m.forward(x)
+	L := len(m.W)
+	out := acts[L]
+	delta := make([]float64, len(out))
+	loss := 0.0
+	if m.cfg.Classification {
+		// softmax + CE; target is one-hot.
+		maxv := math.Inf(-1)
+		for _, v := range out {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var z float64
+		probs := make([]float64, len(out))
+		for i, v := range out {
+			probs[i] = math.Exp(v - maxv)
+			z += probs[i]
+		}
+		for i := range probs {
+			probs[i] /= z
+			delta[i] = probs[i] - target[i]
+			if target[i] > 0 {
+				loss -= math.Log(probs[i] + 1e-12)
+			}
+		}
+	} else {
+		for i := range out {
+			d := out[i] - target[i]/m.cfg.TargetScale
+			delta[i] = d
+			loss += 0.5 * d * d
+		}
+	}
+	for l := L - 1; l >= 0; l-- {
+		in := acts[l]
+		w := m.W[l]
+		g := grads[l]
+		nin := len(in)
+		prevDelta := make([]float64, nin)
+		for o := 0; o < len(delta); o++ {
+			row := w[o*(nin+1) : (o+1)*(nin+1)]
+			grow := g[o*(nin+1) : (o+1)*(nin+1)]
+			d := delta[o]
+			Axpy(d, in, grow[:nin])
+			grow[nin] += d
+			Axpy(d, row[:nin], prevDelta)
+		}
+		if l > 0 {
+			// ReLU derivative on the previous layer's activations.
+			for j := range prevDelta {
+				if acts[l][j] <= 0 {
+					prevDelta[j] = 0
+				}
+			}
+		}
+		delta = prevDelta
+	}
+	return loss
+}
+
+// TrainMLP trains on (X, targets); for classification, targets are one-hot
+// rows. Returns the final mean loss.
+func TrainMLP(X [][]float64, targets [][]float64, cfg MLPConfig) (*MLP, float64) {
+	m := NewMLP(cfg)
+	cfg = m.cfg
+	var flat []float64
+	for _, w := range m.W {
+		flat = append(flat, w...)
+	}
+	// Per-layer gradient views over one flat buffer for Adam.
+	gradsFlat := make([]float64, len(flat))
+	paramsFlat := make([]float64, len(flat))
+	copy(paramsFlat, flat)
+	views := make([][]float64, len(m.W))
+	gviews := make([][]float64, len(m.W))
+	off := 0
+	for l, w := range m.W {
+		views[l] = paramsFlat[off : off+len(w)]
+		gviews[l] = gradsFlat[off : off+len(w)]
+		copy(views[l], w)
+		m.W[l] = views[l]
+		off += len(w)
+	}
+	opt := NewAdam(len(paramsFlat), cfg.LR, 5)
+	rng := rand.New(rand.NewSource(cfg.Seed + 302))
+	last := 0.0
+	for e := 0; e < cfg.Epochs; e++ {
+		perm := rng.Perm(len(X))
+		total := 0.0
+		for _, i := range perm {
+			for j := range gradsFlat {
+				gradsFlat[j] = 0
+			}
+			total += m.trainStep(X[i], targets[i], gviews)
+			opt.Step(paramsFlat, gradsFlat)
+		}
+		last = total / float64(len(X))
+	}
+	return m, last
+}
+
+// OneHot builds one-hot target rows for labels in [0, n).
+func OneHot(labels []int, n int) [][]float64 {
+	out := make([][]float64, len(labels))
+	for i, l := range labels {
+		row := make([]float64, n)
+		if l >= 0 && l < n {
+			row[l] = 1
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// --- 1-D CNN over token sequences (the "CNN" baseline of §5.2) ---
+
+// CNNConfig configures the sequence CNN.
+type CNNConfig struct {
+	Vocab       int
+	Filters     int
+	Width       int // receptive field in tokens
+	Out         int
+	LR          float64
+	Epochs      int
+	TargetScale float64
+	Seed        int64
+}
+
+func (c CNNConfig) norm() CNNConfig {
+	if c.Filters == 0 {
+		c.Filters = 24
+	}
+	if c.Width == 0 {
+		c.Width = 3
+	}
+	if c.Out == 0 {
+		c.Out = 1
+	}
+	if c.LR == 0 {
+		c.LR = 0.004
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 40
+	}
+	if c.TargetScale == 0 {
+		c.TargetScale = 10
+	}
+	return c
+}
+
+// CNN is a one-layer convolutional network over one-hot token sequences
+// with ReLU, global max pooling, and a linear head. One-hot input turns
+// convolution into per-position weight-row lookups.
+type CNN struct {
+	cfg    CNNConfig
+	params []float64
+	// layout: W [F][Width][V], bF [F], Wo [F][Out], bo [Out]
+	oW, oBF, oWo, oBo int
+}
+
+// NewCNN allocates a randomly initialized model.
+func NewCNN(cfg CNNConfig) *CNN {
+	cfg = cfg.norm()
+	V, F, W, D := cfg.Vocab, cfg.Filters, cfg.Width, cfg.Out
+	m := &CNN{cfg: cfg}
+	m.oW = 0
+	m.oBF = F * W * V
+	m.oWo = m.oBF + F
+	m.oBo = m.oWo + F*D
+	m.params = make([]float64, m.oBo+D)
+	rng := rand.New(rand.NewSource(cfg.Seed + 401))
+	randInit(rng, m.params[:m.oBF], 0.3)
+	randInit(rng, m.params[m.oWo:m.oBo], 0.3)
+	return m
+}
+
+// forward returns pooled activations, winning positions, and outputs.
+func (m *CNN) forward(tokens []int) (pooled []float64, argmax []int, y []float64) {
+	F, W, V, D := m.cfg.Filters, m.cfg.Width, m.cfg.Vocab, m.cfg.Out
+	p := m.params
+	pooled = make([]float64, F)
+	argmax = make([]int, F)
+	for f := 0; f < F; f++ {
+		best := math.Inf(-1)
+		bi := 0
+		npos := len(tokens) - W + 1
+		if npos < 1 {
+			npos = 1
+		}
+		for pos := 0; pos < npos; pos++ {
+			a := p[m.oBF+f]
+			for d := 0; d < W; d++ {
+				ti := pos + d
+				if ti >= len(tokens) {
+					break
+				}
+				a += p[m.oW+(f*W+d)*V+tokens[ti]]
+			}
+			if a < 0 {
+				a = 0
+			}
+			if a > best {
+				best = a
+				bi = pos
+			}
+		}
+		pooled[f] = best
+		argmax[f] = bi
+	}
+	y = make([]float64, D)
+	for d := 0; d < D; d++ {
+		y[d] = p[m.oBo+d]
+		for f := 0; f < F; f++ {
+			y[d] += p[m.oWo+f*D+d] * pooled[f]
+		}
+	}
+	return pooled, argmax, y
+}
+
+// Predict returns rescaled, clamped outputs.
+func (m *CNN) Predict(tokens []int) []float64 {
+	if len(tokens) == 0 {
+		return make([]float64, m.cfg.Out)
+	}
+	_, _, y := m.forward(tokens)
+	out := make([]float64, len(y))
+	for i := range y {
+		out[i] = y[i] * m.cfg.TargetScale
+		if out[i] < 0 {
+			out[i] = 0
+		}
+	}
+	return out
+}
+
+// TrainCNN trains the CNN on sequence samples.
+func TrainCNN(samples []SeqSample, cfg CNNConfig) (*CNN, float64) {
+	m := NewCNN(cfg)
+	cfg = m.cfg
+	F, W, V, D := cfg.Filters, cfg.Width, cfg.Vocab, cfg.Out
+	opt := NewAdam(len(m.params), cfg.LR, 5)
+	grads := make([]float64, len(m.params))
+	rng := rand.New(rand.NewSource(cfg.Seed + 402))
+	last := math.Inf(1)
+	for e := 0; e < cfg.Epochs; e++ {
+		perm := rng.Perm(len(samples))
+		total := 0.0
+		for _, si := range perm {
+			s := samples[si]
+			if len(s.Tokens) == 0 {
+				continue
+			}
+			pooled, argmax, y := m.forward(s.Tokens)
+			for i := range grads {
+				grads[i] = 0
+			}
+			for d := 0; d < D; d++ {
+				diff := y[d] - s.Target[d]/cfg.TargetScale
+				total += 0.5 * diff * diff
+				grads[m.oBo+d] += diff
+				for f := 0; f < F; f++ {
+					grads[m.oWo+f*D+d] += diff * pooled[f]
+					if pooled[f] > 0 { // ReLU gate
+						gpool := m.params[m.oWo+f*D+d] * diff
+						grads[m.oBF+f] += gpool
+						pos := argmax[f]
+						for dd := 0; dd < W; dd++ {
+							ti := pos + dd
+							if ti >= len(s.Tokens) {
+								break
+							}
+							grads[m.oW+(f*W+dd)*V+s.Tokens[ti]] += gpool
+						}
+					}
+				}
+			}
+			opt.Step(m.params, grads)
+		}
+		last = total / float64(len(samples))
+	}
+	return m, last
+}

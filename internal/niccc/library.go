@@ -1,0 +1,176 @@
+// Package niccc is the simulated vendor compiler ("NFCC") for the NIC ISA.
+// It is the stand-in for the closed-source, proprietary toolchain the paper
+// treats as a black box: Clara never inspects this package's rules, it only
+// observes (IR, compiled output) training pairs — exactly the interface the
+// real Clara has to the real NFCC.
+package niccc
+
+import (
+	"clara/internal/isa"
+)
+
+// AccelConfig selects which hardware engines a ported program uses. In
+// "naive" ports everything runs in software on the cores; Clara's insights
+// (algorithm identification, checksum offload) flip these on.
+type AccelConfig struct {
+	CsumEngine bool // ingress checksum engine (vs ~2200-cycle software loop)
+	CRCEngine  bool // CRC accelerator honored for crc32_hw calls
+	LPMEngine  bool // LPM accelerator honored for lpm_hw calls
+	FlowCache  bool // accelerated flow-match cache in front of the cores
+}
+
+// PktMeta is the pseudo-global backing packet data; the simulator pins it
+// to CTM, where the packet IO engine places packets.
+const PktMeta = "__pkt"
+
+// LibProfile is the fixed cost profile of one framework library routine as
+// compiled by the vendor toolchain (the reverse-porting ground truth: Clara
+// uses these counts directly instead of predicting them, §3.3).
+type LibProfile struct {
+	Instrs int // core compute instructions in the routine body
+	Cycles int // core cycles for those instructions
+	// PayloadReads is the number of packet-buffer (CTM) accesses the
+	// routine performs per call (header/payload walks).
+	PayloadReads int
+	// PerProbeBytes is the stateful bytes touched per probe for map
+	// routines (key+value+tag); the per-call probe count is dynamic.
+	PerProbeBytes int
+	// EngineCycles is the busy time on a hardware engine, if any.
+	EngineCycles int
+	Engine       isa.Op // engine op, OpNop if none
+}
+
+// Library maps framework API names to their NIC library profiles. Packet
+// accessors are cheap register extractions; stateful map routines hash the
+// key and then probe fixed bucket slots; software checksum is the
+// 2000+-cycle loop the paper measures (§2).
+var Library = map[string]LibProfile{
+	// Header field reads: extract from the ingress metadata registers.
+	"pkt_len": {Instrs: 1, Cycles: 1}, "pkt_eth_type": {Instrs: 2, Cycles: 2},
+	"pkt_ip_proto": {Instrs: 2, Cycles: 2}, "pkt_ip_src": {Instrs: 2, Cycles: 2},
+	"pkt_ip_dst": {Instrs: 2, Cycles: 2}, "pkt_ip_ttl": {Instrs: 2, Cycles: 2},
+	"pkt_ip_len": {Instrs: 2, Cycles: 2}, "pkt_ip_hl": {Instrs: 2, Cycles: 2},
+	"pkt_tcp_sport": {Instrs: 2, Cycles: 2}, "pkt_tcp_dport": {Instrs: 2, Cycles: 2},
+	"pkt_tcp_seq": {Instrs: 2, Cycles: 2}, "pkt_tcp_ack": {Instrs: 2, Cycles: 2},
+	"pkt_tcp_flags": {Instrs: 2, Cycles: 2}, "pkt_tcp_off": {Instrs: 2, Cycles: 2},
+	"pkt_udp_sport": {Instrs: 2, Cycles: 2}, "pkt_udp_dport": {Instrs: 2, Cycles: 2},
+	"pkt_payload_len": {Instrs: 1, Cycles: 1}, "pkt_time": {Instrs: 1, Cycles: 1},
+
+	// Payload byte access touches the packet buffer in CTM.
+	"pkt_payload":     {Instrs: 2, Cycles: 2, PayloadReads: 1},
+	"pkt_set_payload": {Instrs: 2, Cycles: 2, PayloadReads: 1},
+
+	// Header writes: modify metadata registers, flushed at egress.
+	"pkt_set_ip_src": {Instrs: 2, Cycles: 2}, "pkt_set_ip_dst": {Instrs: 2, Cycles: 2},
+	"pkt_set_ip_ttl":    {Instrs: 2, Cycles: 2},
+	"pkt_set_tcp_sport": {Instrs: 2, Cycles: 2}, "pkt_set_tcp_dport": {Instrs: 2, Cycles: 2},
+	"pkt_set_tcp_seq": {Instrs: 2, Cycles: 2}, "pkt_set_tcp_ack": {Instrs: 2, Cycles: 2},
+	"pkt_set_tcp_flags": {Instrs: 2, Cycles: 2},
+	"pkt_set_udp_sport": {Instrs: 2, Cycles: 2}, "pkt_set_udp_dport": {Instrs: 2, Cycles: 2},
+
+	// Software checksum: walk the header+payload and fold. The paper's
+	// motivating number: 2000+ cycles in software, ~300 via the ingress
+	// engine.
+	"csum_sw": {Instrs: 560, Cycles: 2240, PayloadReads: 24},
+	"csum_hw": {Instrs: 2, Cycles: 2, EngineCycles: 300, Engine: isa.OpCsum},
+
+	// Engines.
+	"hash32":   {Instrs: 2, Cycles: 2, EngineCycles: 18, Engine: isa.OpHash},
+	"crc32_hw": {Instrs: 3, Cycles: 3, EngineCycles: 40, Engine: isa.OpCrc},
+	"lpm_hw":   {Instrs: 3, Cycles: 3, EngineCycles: 55, Engine: isa.OpLpm},
+
+	"rand32": {Instrs: 3, Cycles: 3},
+
+	"pkt_send": {Instrs: 2, Cycles: 2},
+	"pkt_drop": {Instrs: 1, Cycles: 1},
+
+	// Stateful map library: hash + fixed-bucket probing. Per-probe memory
+	// traffic (17 bytes: 8B key + 8B value + tag, rounded by the memory
+	// unit) is charged dynamically by the simulator via interp probes.
+	"map_find":     {Instrs: 14, Cycles: 16, PerProbeBytes: 17},
+	"map_contains": {Instrs: 12, Cycles: 14, PerProbeBytes: 17},
+	"map_insert":   {Instrs: 18, Cycles: 20, PerProbeBytes: 17},
+	"map_remove":   {Instrs: 13, Cycles: 15, PerProbeBytes: 17},
+	"map_size":     {Instrs: 2, Cycles: 2},
+
+	// Vector library: NIC-side vectors are fixed slot arrays with a
+	// validity tag; pushes scan for a free slot, deletes tombstone.
+	"vec_push":   {Instrs: 10, Cycles: 12, PerProbeBytes: 9},
+	"vec_get":    {Instrs: 6, Cycles: 7, PerProbeBytes: 9},
+	"vec_set":    {Instrs: 6, Cycles: 7, PerProbeBytes: 9},
+	"vec_delete": {Instrs: 7, Cycles: 8, PerProbeBytes: 9},
+	"vec_len":    {Instrs: 2, Cycles: 2},
+}
+
+// LowerCall returns the NIC instruction sequence for a framework API call.
+// global is the stateful target ("" for stateless APIs).
+func LowerCall(callee, global string, accel AccelConfig) []isa.Instr {
+	name := callee
+	switch callee {
+	case "pkt_csum_update":
+		if accel.CsumEngine {
+			name = "csum_hw"
+		} else {
+			name = "csum_sw"
+		}
+	case "crc32_hw":
+		if !accel.CRCEngine {
+			// Without the engine enabled the toolchain links the software
+			// fallback: a byte-wise table CRC (the same cost a procedural
+			// implementation pays).
+			return []isa.Instr{{Op: isa.OpLibCall, Sub: "crc32_sw", Global: PktMeta}}
+		}
+	case "lpm_hw":
+		if !accel.LPMEngine {
+			return []isa.Instr{{Op: isa.OpLibCall, Sub: "lpm_sw"}}
+		}
+	}
+	out := []isa.Instr{{Op: isa.OpLibCall, Sub: name, Global: global}}
+	if p, ok := Library[name]; ok && p.Engine != isa.OpNop {
+		out = append(out, isa.Instr{Op: p.Engine})
+	}
+	switch callee {
+	case "pkt_send":
+		out = append(out, isa.Instr{Op: isa.OpSend})
+	case "pkt_drop":
+		out = append(out, isa.Instr{Op: isa.OpDrop})
+	}
+	return out
+}
+
+// Software fallbacks for engine calls when the accelerator is not used.
+// These costs are per *call*; the dominant term scales with payload length
+// and is charged dynamically by the simulator.
+var SoftwareFallbacks = map[string]LibProfile{
+	"crc32_sw": {Instrs: 30, Cycles: 30, PayloadReads: 2}, // + ~6 cycles/byte at runtime
+	"lpm_sw":   {Instrs: 26, Cycles: 28},                  // + per-node trie walk at runtime
+}
+
+// Profile returns the cost profile for a compiled libcall Sub name.
+func Profile(sub string) (LibProfile, bool) {
+	if p, ok := Library[sub]; ok {
+		return p, true
+	}
+	p, ok := SoftwareFallbacks[sub]
+	return p, ok
+}
+
+// APIInstrCount returns the exact core instruction count the library
+// routine compiles to, used by reverse porting (§3.3) in place of learned
+// prediction. The bool reports whether the API is known.
+func APIInstrCount(callee string, accel AccelConfig) (int, bool) {
+	seq := LowerCall(callee, "", accel)
+	total := 0
+	for _, in := range seq {
+		if in.Op == isa.OpLibCall {
+			p, ok := Profile(in.Sub)
+			if !ok {
+				return 0, false
+			}
+			total += p.Instrs
+		} else if in.Op.IsCompute() {
+			total++
+		}
+	}
+	return total, true
+}

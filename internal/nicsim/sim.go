@@ -1,0 +1,290 @@
+package nicsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Result summarizes one simulated run of one NF.
+type Result struct {
+	Name           string
+	Cores          int
+	Packets        int
+	ThroughputMpps float64
+	AvgLatencyUs   float64
+	MaxLatencyUs   float64
+}
+
+// Ratio returns the throughput/latency ratio (Mpps/µs), the paper's knee
+// metric in Figure 11(c)(d).
+func (r Result) Ratio() float64 {
+	if r.AvgLatencyUs == 0 {
+		return 0
+	}
+	return r.ThroughputMpps / r.AvgLatencyUs
+}
+
+// coreState is one hardware thread's position in the replay. Threads of
+// the same core share the core's compute pipeline (the pipe index into a
+// per-core busy clock): compute serializes per core, while memory and
+// engine waits overlap across threads — run-to-completion contexts hiding
+// latency, as on Netronome MEs.
+type coreState struct {
+	t     float64 // time of the thread's next action
+	part  int
+	pipe  int // index into the shared per-core pipeline clocks
+	pkt   int // current packet (-1: idle, awaiting dispatch)
+	ev    int32
+	start float64
+}
+
+// coreHeap is a min-heap over core next-action times.
+type coreHeap []*coreState
+
+func (h coreHeap) Len() int            { return len(h) }
+func (h coreHeap) Less(i, j int) bool  { return h[i].t < h[j].t }
+func (h coreHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *coreHeap) Push(x interface{}) { *h = append(*h, x.(*coreState)) }
+func (h *coreHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Part is one colocated NF's share of the NIC.
+type Part struct {
+	TS    *TraceSet
+	Cores int
+}
+
+// warmupFrac is the fraction of each trace excluded from measurements
+// (state and cache warmup).
+const warmupFrac = 0.1
+
+// Simulate replays one trace set on the given number of cores.
+func Simulate(params Params, cores int, ts *TraceSet) (Result, error) {
+	rs, err := SimulateColocation(params, []Part{{TS: ts, Cores: cores}})
+	if err != nil {
+		return Result{}, err
+	}
+	return rs[0], nil
+}
+
+// partState tracks one NF's dispatch progress and measurements.
+type partState struct {
+	ts       *TraceSet
+	cpp      float64 // cycles between consecutive arrivals
+	next     int
+	warm     int
+	count    int
+	sumLat   float64
+	maxLat   float64
+	firstEnd float64
+	lastEnd  float64
+}
+
+// SimulateColocation replays multiple trace sets sharing the NIC's memory
+// system, engines and ingress path, each on a private core pool — the
+// paper's colocation setup (§4.5: "each NF is given the same amount of
+// SmartNIC resources" by default).
+//
+// The replay is a discrete-event simulation: cores advance one trace event
+// per scheduling step in global time order, so concurrently executing
+// packets interleave their accesses at the shared memory servers. A memory
+// or engine access occupies its server for the access's Occupy cycles
+// (reciprocal bandwidth) while the requesting core blocks for the full
+// access latency — run-to-completion cores over pipelined memory units.
+func SimulateColocation(params Params, parts []Part) ([]Result, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("nicsim: no parts to simulate")
+	}
+	totalCores := 0
+	for _, p := range parts {
+		if p.Cores <= 0 {
+			return nil, fmt.Errorf("nicsim: part %q has no cores", p.TS.Name)
+		}
+		if p.TS.Packets() == 0 {
+			return nil, fmt.Errorf("nicsim: part %q has an empty trace", p.TS.Name)
+		}
+		totalCores += p.Cores
+	}
+	if totalCores > params.NumCores {
+		return nil, fmt.Errorf("nicsim: %d cores requested, NIC has %d", totalCores, params.NumCores)
+	}
+
+	ghz := params.CoreGHz
+	states := make([]*partState, len(parts))
+	var cores coreHeap
+	var pipes []float64 // per-core compute-pipeline busy clocks
+	for i, p := range parts {
+		// Each colocated NF is fed through its own port at up to
+		// IngressMpps (the modeled NIC, like the Agilio CX, has one MAC
+		// per colocated service); interference between colocated NFs comes
+		// from the shared memory subsystem and engines, "primarily from
+		// contention at the memory subsystems" (§4.5).
+		share := params.IngressMpps
+		if p.TS.OfferedMpps > 0 && p.TS.OfferedMpps < share {
+			share = p.TS.OfferedMpps
+		}
+		states[i] = &partState{
+			ts:   p.TS,
+			cpp:  ghz * 1e9 / (share * 1e6),
+			warm: int(float64(p.TS.Packets()) * warmupFrac),
+		}
+		for c := 0; c < p.Cores; c++ {
+			pipe := len(pipes)
+			pipes = append(pipes, 0)
+			for th := 0; th < params.ThreadsPerCore; th++ {
+				cores = append(cores, &coreState{part: i, pkt: -1, pipe: pipe})
+			}
+		}
+	}
+	heap.Init(&cores)
+
+	var servers [numServers]float64
+	wire := float64(params.WireOverheadCycles)
+
+	for cores.Len() > 0 {
+		c := cores[0]
+		st := states[c.part]
+
+		if c.pkt < 0 {
+			// Dispatch the part's next packet onto this idle core.
+			if st.next >= st.ts.Packets() {
+				heap.Pop(&cores) // part drained; retire the core
+				continue
+			}
+			arr := float64(st.next) * st.cpp
+			if arr > c.t {
+				c.t = arr // core idles until the packet arrives
+			}
+			c.pkt = st.next
+			c.ev = st.ts.Off[c.pkt]
+			c.start = c.t
+			st.next++
+			heap.Fix(&cores, 0)
+			continue
+		}
+
+		if c.ev >= st.ts.Off[c.pkt+1] {
+			// Packet complete.
+			end := c.t + wire
+			if c.pkt >= st.warm {
+				lat := end - c.start
+				st.sumLat += lat
+				if lat > st.maxLat {
+					st.maxLat = lat
+				}
+				if st.count == 0 {
+					st.firstEnd = c.start
+				}
+				st.count++
+				if end > st.lastEnd {
+					st.lastEnd = end
+				}
+			}
+			c.pkt = -1
+			heap.Fix(&cores, 0)
+			continue
+		}
+
+		ev := &st.ts.Events[c.ev]
+		c.ev++
+		if ev.Server == srvNone {
+			if ev.Kind == EvCompute {
+				// Compute serializes on the core's pipeline across its
+				// threads.
+				p := &pipes[c.pipe]
+				start := math.Max(c.t, *p)
+				*p = start + float64(ev.Cycles)
+				c.t = start + float64(ev.Cycles)
+			} else {
+				// Pure latency (ingress-path handling): no core resource.
+				c.t += float64(ev.Cycles)
+			}
+		} else {
+			s := &servers[ev.Server]
+			issue := math.Max(c.t, *s)
+			*s = issue + float64(ev.Occupy)
+			c.t = issue + float64(ev.Cycles)
+		}
+		heap.Fix(&cores, 0)
+	}
+
+	out := make([]Result, len(parts))
+	for i, st := range states {
+		r := Result{Name: st.ts.Name, Cores: parts[i].Cores, Packets: st.count}
+		if st.count > 0 {
+			r.AvgLatencyUs = st.sumLat / float64(st.count) / (ghz * 1e3)
+			r.MaxLatencyUs = st.maxLat / (ghz * 1e3)
+			span := st.lastEnd - st.firstEnd
+			if span > 0 {
+				r.ThroughputMpps = float64(st.count) / (span / (ghz * 1e9)) / 1e6
+			}
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// SweepCores simulates ts at each core count.
+func SweepCores(params Params, ts *TraceSet, coreCounts []int) ([]Result, error) {
+	out := make([]Result, 0, len(coreCounts))
+	for _, c := range coreCounts {
+		r, err := Simulate(params, c, ts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// DefaultCoreSweep is the core-count grid used by the scale-out analyses.
+var DefaultCoreSweep = []int{1, 2, 4, 6, 8, 12, 16, 20, 24, 28, 32, 36, 40, 44, 48, 52, 56, 60}
+
+// KneeCores picks the core count at the knee of the throughput/latency
+// tradeoff (§4.2, Figure 11): the smallest core count whose ratio is
+// within 2%% of the sweep's maximum — beyond the knee, more cores buy
+// contention, not useful ratio.
+func KneeCores(results []Result) int {
+	bestRatio := -1.0
+	for _, r := range results {
+		if ratio := r.Ratio(); ratio > bestRatio {
+			bestRatio = ratio
+		}
+	}
+	for _, r := range results {
+		if r.Ratio() >= 0.98*bestRatio {
+			return r.Cores
+		}
+	}
+	return 0
+}
+
+// CoresToSaturate returns the smallest core count reaching frac of the
+// sweep's peak throughput (the Figure 13 metric: "number of cores required
+// to saturate the bandwidth").
+func CoresToSaturate(results []Result, frac float64) int {
+	peak := 0.0
+	for _, r := range results {
+		if r.ThroughputMpps > peak {
+			peak = r.ThroughputMpps
+		}
+	}
+	for _, r := range results {
+		if r.ThroughputMpps >= frac*peak {
+			return r.Cores
+		}
+	}
+	if len(results) == 0 {
+		return 0
+	}
+	return results[len(results)-1].Cores
+}

@@ -1,0 +1,283 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// This file synthesizes the labeled corpus for algorithm identification
+// (§4.1). The paper curates 600+ Click elements and 9000+ crawled programs
+// containing CRC and LPM implementations "in idiosyncratic manners"; we
+// synthesize the same diversity parametrically: CRC variants differ in
+// width, polynomial, reflection, processing granularity and surrounding
+// context; LPM variants differ between bit-trie walks, mask scans, and
+// linear rule scans.
+
+// Labels for the algorithm-identification task.
+const (
+	LabelNone = 0
+	LabelCRC  = 1
+	LabelLPM  = 2
+)
+
+// LabeledProgram is one corpus entry.
+type LabeledProgram struct {
+	Name  string
+	Src   string
+	Label int
+}
+
+// CRCVariant emits one procedural CRC implementation. Variants:
+// polynomial, width (16/32), bit vs nibble processing, init/xor-out,
+// whether length comes from the packet or a constant, and unrelated
+// surrounding logic.
+func CRCVariant(seed int64) LabeledProgram {
+	rng := rand.New(rand.NewSource(seed))
+	width := 32
+	if rng.Intn(3) == 0 {
+		width = 16
+	}
+	var poly uint64
+	if width == 32 {
+		poly = []uint64{0xEDB88320, 0x82F63B78, 0x04C11DB7}[rng.Intn(3)]
+	} else {
+		poly = []uint64{0xA001, 0x8408, 0x1021}[rng.Intn(3)]
+	}
+	kind := rng.Intn(4) // 0,1: bitwise; 2: nibble; 3: table-driven
+	nibble := kind == 2
+	table := kind == 3
+	xorOut := rng.Intn(2) == 0
+	dynLen := rng.Intn(2) == 0
+	context := rng.Intn(2) == 0
+	ty := "u32"
+	if width == 16 || table {
+		// The table variant keeps u32 arithmetic for the lookup math.
+	}
+	if width == 16 && !table {
+		ty = "u16"
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "global %s last_crc;\nglobal u32 crc_pkts;\n", ty)
+	if table {
+		b.WriteString("global u32 crc_table[256];\nglobal u32 tbl_ready;\n")
+	}
+	if context {
+		// Embed the algorithm in a richer element: per-flow accounting
+		// with loaded-index array walks, like real elements do.
+		fmt.Fprintf(&b, "global u32 ctx_counts[%d];\nglobal u32 ctx_next[%d];\n",
+			256+rng.Intn(256), 256)
+	}
+	b.WriteString("\nvoid handle() {\n")
+	if rng.Intn(2) == 0 {
+		b.WriteString("\tif (pkt_ip_proto() != 6) { pkt_drop(); return; }\n")
+	}
+	if context {
+		// Pointer-chase-looking bookkeeping unrelated to the CRC itself.
+		b.WriteString("\tu32 cur = pkt_ip_src() & 255;\n")
+		fmt.Fprintf(&b, "\tfor (u32 d = 0; d < %d; d += 1) {\n", 2+rng.Intn(4))
+		b.WriteString("\t\tctx_counts[cur] += 1;\n\t\tcur = ctx_next[cur] & 255;\n\t}\n")
+	}
+	if table {
+		// Lazily build the lookup table once (memoized-table strategy).
+		b.WriteString("\tif (tbl_ready == 0) {\n\t\ttbl_ready = 1;\n")
+		b.WriteString("\t\tfor (u32 t = 0; t < 256; t += 1) {\n\t\t\tu32 c = t;\n")
+		b.WriteString("\t\t\tfor (u32 k = 0; k < 8; k += 1) {\n")
+		fmt.Fprintf(&b, "\t\t\t\tif ((c & 1) != 0) { c = (c >> 1) ^ 0x%x; } else { c = c >> 1; }\n", poly)
+		b.WriteString("\t\t\t}\n\t\t\tcrc_table[t] = c;\n\t\t}\n\t}\n")
+	}
+	init := "0xffffffff"
+	if width == 16 {
+		init = "0xffff"
+	}
+	if rng.Intn(3) == 0 {
+		init = "0"
+	}
+	fmt.Fprintf(&b, "\t%s crc = %s(%s);\n", ty, ty, init)
+	// Input source: payload bytes, or a flow key assembled from headers
+	// (how sketches checksum their keys).
+	keyed := rng.Intn(3) == 0
+	if keyed {
+		b.WriteString("\tu64 fkey = (u64(pkt_ip_src()) << 32) | u64(pkt_ip_dst());\n")
+		b.WriteString("\tu32 n = 8;\n")
+	} else if dynLen {
+		b.WriteString("\tu32 n = u32(pkt_payload_len());\n")
+	} else {
+		fmt.Fprintf(&b, "\tu32 n = %d;\n", 16+rng.Intn(48))
+	}
+	byteExpr := "pkt_payload(i)"
+	if keyed {
+		byteExpr = "u8((fkey >> (i << 3)) & 0xff)"
+	}
+	b.WriteString("\tfor (u32 i = 0; i < n; i += 1) {\n")
+	if table {
+		// Table-driven byte step: crc = (crc>>8) ^ T[(crc ^ b) & 255].
+		fmt.Fprintf(&b, "\t\tcrc = (crc >> 8) ^ crc_table[(crc ^ u32(%s)) & 255];\n", byteExpr)
+	} else {
+		fmt.Fprintf(&b, "\t\tcrc = crc ^ %s(%s);\n", ty, byteExpr)
+		steps, shift := 8, 1
+		if nibble {
+			steps, shift = 2, 4
+		}
+		fmt.Fprintf(&b, "\t\tfor (u32 b = 0; b < %d; b += 1) {\n", steps)
+		if nibble {
+			// Nibble-at-a-time: fold 4 bits per step.
+			fmt.Fprintf(&b, "\t\t\tu32 idx = u32(crc) & 15;\n")
+			fmt.Fprintf(&b, "\t\t\tcrc = (crc >> %d) ^ %s(idx * %d);\n", shift, ty, poly&0xffff)
+		} else {
+			b.WriteString("\t\t\tif ((crc & 1) != 0) {\n")
+			fmt.Fprintf(&b, "\t\t\t\tcrc = (crc >> 1) ^ %s(0x%x);\n", ty, poly)
+			b.WriteString("\t\t\t} else {\n\t\t\t\tcrc = crc >> 1;\n\t\t\t}\n")
+		}
+		b.WriteString("\t\t}\n")
+	}
+	b.WriteString("\t}\n")
+	if xorOut {
+		b.WriteString("\tcrc = ~crc;\n")
+	}
+	b.WriteString("\tlast_crc = crc;\n\tcrc_pkts += 1;\n")
+	if rng.Intn(2) == 0 {
+		b.WriteString("\tif (u32(crc) == 0) { pkt_drop(); return; }\n")
+	}
+	fmt.Fprintf(&b, "\tpkt_send(%d);\n}\n", rng.Intn(3))
+	return LabeledProgram{Name: fmt.Sprintf("crc_var_%d", seed), Src: b.String(), Label: LabelCRC}
+}
+
+// LPMVariant emits one procedural longest-prefix-match implementation:
+// a bit-trie walk (pointer chasing through child arrays), a mask scan over
+// prefix lengths, or a linear scan over a rule table.
+func LPMVariant(seed int64) LabeledProgram {
+	rng := rand.New(rand.NewSource(seed + 5000))
+	var b strings.Builder
+	context := rng.Intn(2) == 0
+	preamble := func() {
+		if !context {
+			return
+		}
+		// Real lookup elements carry accounting and header fiddling around
+		// the match loop.
+		b.WriteString("\tif (pkt_ip_ttl() <= 1) { pkt_drop(); return; }\n")
+		b.WriteString("\tlpm_bytes += u32(pkt_len());\n")
+		b.WriteString("\tu32 mix = (pkt_ip_src() ^ (pkt_ip_dst() >> 3)) * 2654435761;\n")
+		b.WriteString("\tlpm_mix ^= mix;\n")
+	}
+	ctxDecls := func() {
+		if context {
+			b.WriteString("global u32 lpm_bytes;\nglobal u32 lpm_mix;\n")
+		}
+	}
+	kind := rng.Intn(3)
+	switch kind {
+	case 0: // bit-trie walk
+		size := []int{512, 1024, 2048}[rng.Intn(3)]
+		fmt.Fprintf(&b, "global u32 trie_left[%d];\nglobal u32 trie_right[%d];\nglobal u32 trie_port[%d];\nglobal u32 lpm_hits;\n", size, size, size)
+		ctxDecls()
+		b.WriteString("\nvoid handle() {\n")
+		preamble()
+		b.WriteString("\tu32 addr = pkt_ip_dst();\n\tu32 node = 0;\n\tu32 best = 0xffffffff;\n")
+		depth := 16 + rng.Intn(17)
+		fmt.Fprintf(&b, "\tfor (u32 d = 0; d < %d; d += 1) {\n", depth)
+		b.WriteString("\t\tu32 p = trie_port[node];\n")
+		b.WriteString("\t\tif (p != 0) { best = p; }\n")
+		fmt.Fprintf(&b, "\t\tu32 bit = (addr >> (%d - d)) & 1;\n", 31)
+		b.WriteString("\t\tu32 next = trie_left[node];\n")
+		b.WriteString("\t\tif (bit != 0) { next = trie_right[node]; }\n")
+		b.WriteString("\t\tif (next == 0) { break; }\n\t\tnode = next;\n\t}\n")
+		b.WriteString("\tif (best == 0xffffffff) { pkt_drop(); return; }\n")
+		b.WriteString("\tlpm_hits += 1;\n\tpkt_send(best);\n}\n")
+	case 1: // mask scan over prefix lengths with a hash table
+		size := []int{4096, 16384}[rng.Intn(2)]
+		fmt.Fprintf(&b, "map<u64,u64> routes[%d];\nglobal u32 lpm_miss;\n", size)
+		ctxDecls()
+		b.WriteString("\nvoid handle() {\n")
+		preamble()
+		b.WriteString("\tu32 addr = pkt_ip_dst();\n")
+		b.WriteString("\tu32 plen = 32;\n")
+		b.WriteString("\twhile (plen > 0) {\n")
+		b.WriteString("\t\tu32 mask = 0xffffffff << (32 - plen);\n")
+		b.WriteString("\t\tu64 key = (u64(addr & mask) << 8) | u64(plen);\n")
+		b.WriteString("\t\tif (map_contains(routes, key)) {\n")
+		b.WriteString("\t\t\tpkt_send(u32(map_find(routes, key)));\n\t\t\treturn;\n\t\t}\n")
+		step := 1 + rng.Intn(2)
+		fmt.Fprintf(&b, "\t\tplen -= %d;\n\t}\n", step)
+		b.WriteString("\tlpm_miss += 1;\n\tpkt_drop();\n}\n")
+	default: // linear rule scan keeping the longest match
+		rules := []int{32, 64, 128}[rng.Intn(3)]
+		fmt.Fprintf(&b, "global u32 rule_prefix[%d];\nglobal u32 rule_len[%d];\nglobal u32 rule_port[%d];\n", rules, rules, rules)
+		ctxDecls()
+		b.WriteString("\nvoid handle() {\n")
+		preamble()
+		b.WriteString("\tu32 addr = pkt_ip_dst();\n\tu32 bestlen = 0;\n\tu32 port = 0xffffffff;\n")
+		fmt.Fprintf(&b, "\tfor (u32 r = 0; r < %d; r += 1) {\n", rules)
+		b.WriteString("\t\tu32 len = rule_len[r];\n")
+		b.WriteString("\t\tif (len == 0) { continue; }\n")
+		b.WriteString("\t\tu32 mask = 0xffffffff << (32 - len);\n")
+		b.WriteString("\t\tif ((addr & mask) == (rule_prefix[r] & mask)) {\n")
+		b.WriteString("\t\t\tif (len >= bestlen) { bestlen = len; port = rule_port[r]; }\n\t\t}\n\t}\n")
+		b.WriteString("\tif (port == 0xffffffff) { pkt_drop(); return; }\n\tpkt_send(port);\n}\n")
+	}
+	return LabeledProgram{Name: fmt.Sprintf("lpm_var_%d", seed), Src: b.String(), Label: LabelLPM}
+}
+
+// NegativeVariant emits a program that is neither CRC nor LPM but shares
+// surface features (loops over payload, hash-like mixing, stateful maps) —
+// the hard negatives that make the classification task nontrivial.
+func NegativeVariant(seed int64) LabeledProgram {
+	rng := rand.New(rand.NewSource(seed + 9000))
+	switch rng.Intn(4) {
+	case 0:
+		// Byte histogram over the payload (loop, but no feedback shifts).
+		return LabeledProgram{Name: fmt.Sprintf("neg_hist_%d", seed), Label: LabelNone, Src: `
+global u32 hist[256];
+void handle() {
+	u32 n = u32(pkt_payload_len());
+	for (u32 i = 0; i < n; i += 1) {
+		hist[u32(pkt_payload(i))] += 1;
+	}
+	pkt_send(0);
+}
+`}
+	case 1:
+		// Additive checksum (sums, not polynomial division).
+		return LabeledProgram{Name: fmt.Sprintf("neg_sum_%d", seed), Label: LabelNone, Src: fmt.Sprintf(`
+global u32 sum_total;
+void handle() {
+	u32 s = %d;
+	u32 n = u32(pkt_payload_len());
+	for (u32 i = 0; i < n; i += 1) {
+		s = s + u32(pkt_payload(i)) * %d;
+	}
+	sum_total += s;
+	pkt_send(0);
+}
+`, rng.Intn(100), 1+rng.Intn(5))}
+	case 2:
+		// Flow counting with multiplicative hashing (xors and shifts, but
+		// no bounded pointer chase / bit-feedback loop).
+		return LabeledProgram{Name: fmt.Sprintf("neg_flow_%d", seed), Label: LabelNone, Src: fmt.Sprintf(`
+map<u64,u64> tbl[%d];
+void handle() {
+	u64 k = (u64(pkt_ip_src()) * 2654435761) ^ u64(pkt_ip_dst());
+	k = k ^ (k >> 16);
+	map_insert(tbl, k, map_find(tbl, k) + 1);
+	pkt_send(0);
+}
+`, []int{4096, 16384}[rng.Intn(2)])}
+	default:
+		// Random structured program from the guided generator.
+		src := Generate(Config{Profile: UniformProfile(), Seed: seed + 31})
+		return LabeledProgram{Name: fmt.Sprintf("neg_rand_%d", seed), Src: src, Label: LabelNone}
+	}
+}
+
+// AlgoCorpus builds a labeled corpus with n programs per class.
+func AlgoCorpus(n int, seed int64) []LabeledProgram {
+	var out []LabeledProgram
+	for i := 0; i < n; i++ {
+		out = append(out, CRCVariant(seed+int64(i)))
+		out = append(out, LPMVariant(seed+int64(i)))
+		out = append(out, NegativeVariant(seed+int64(i)))
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package traffic
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpecValidate(t *testing.T) {
+	bad := []Spec{
+		{Name: "no-flows", NumFlows: 0, PktSize: 128},
+		{Name: "tiny", NumFlows: 1, PktSize: 32},
+		{Name: "ratio", NumFlows: 1, PktSize: 128, SYNRatio: 1.5},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: validated", s.Name)
+		}
+	}
+	for _, s := range []Spec{LargeFlows, SmallFlows, MediumMix} {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := MustTrace(MediumMix, 200)
+	b := MustTrace(MediumMix, 200)
+	for i := range a {
+		if !reflect.DeepEqual(a[i], b[i]) {
+			t.Fatalf("packet %d differs between identical generators", i)
+		}
+	}
+}
+
+func TestGeneratorFlowCount(t *testing.T) {
+	spec := LargeFlows
+	spec.NumFlows = 16
+	pkts := MustTrace(spec, 2000)
+	flows := make(map[uint64]bool)
+	for i := range pkts {
+		flows[pkts[i].FlowKey()] = true
+	}
+	if len(flows) > 16 {
+		t.Errorf("observed %d flows, spec says 16", len(flows))
+	}
+	if len(flows) < 8 {
+		t.Errorf("observed only %d flows of 16; generator too skewed", len(flows))
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	skew := SmallFlows
+	skew.NumFlows = 1000
+	skew.ZipfS = 1.2
+	skew.Seed = 7
+	pkts := MustTrace(skew, 5000)
+	counts := make(map[uint64]int)
+	for i := range pkts {
+		counts[pkts[i].FlowKey()]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	// With heavy skew, the hottest flow should dominate a uniform share.
+	if max < 5000/1000*10 {
+		t.Errorf("top flow has %d packets; zipf skew not applied", max)
+	}
+}
+
+func TestPacketFields(t *testing.T) {
+	pkts := MustTrace(MediumMix, 500)
+	sawTCP, sawUDP, sawSYN := false, false, false
+	var last uint64
+	for i := range pkts {
+		p := &pkts[i]
+		if p.Len != uint16(MediumMix.PktSize) {
+			t.Fatalf("pkt %d size %d", i, p.Len)
+		}
+		if p.EthType != EthIPv4 || p.IPHL != 5 {
+			t.Fatalf("pkt %d headers wrong", i)
+		}
+		if p.Time < last {
+			t.Fatalf("timestamps not monotone at %d", i)
+		}
+		last = p.Time
+		switch p.Proto {
+		case ProtoTCP:
+			sawTCP = true
+			if p.TCPFlag&FlagSYN != 0 {
+				sawSYN = true
+			}
+		case ProtoUDP:
+			sawUDP = true
+		}
+		if p.OutPort != -2 {
+			t.Fatalf("pkt %d disposition preset", i)
+		}
+	}
+	if !sawTCP || !sawUDP || !sawSYN {
+		t.Errorf("mix missing traffic classes: tcp=%v udp=%v syn=%v", sawTCP, sawUDP, sawSYN)
+	}
+}
+
+func TestPayloadBounded(t *testing.T) {
+	f := func(size uint8, payload uint8) bool {
+		spec := Spec{Name: "q", NumFlows: 4, PktSize: 64 + int(size), PayloadB: int(payload), Seed: 3}
+		g, err := NewGenerator(spec)
+		if err != nil {
+			return false
+		}
+		p := g.Next()
+		return len(p.Payload) <= spec.PktSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResetAndDropped(t *testing.T) {
+	var p Packet
+	p.OutPort = 3
+	p.CsumUpdated = true
+	p.Reset()
+	if p.OutPort != -2 || p.CsumUpdated {
+		t.Error("Reset did not clear disposition")
+	}
+	p.OutPort = -1
+	if !p.Dropped() {
+		t.Error("Dropped() false after drop")
+	}
+}

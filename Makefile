@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: build test race check fuzz bench-fleet update-golden
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-checked run of every package; the fleet tests drive 17 NFs x 3
+# workloads across an 8-worker pool under the race detector.
+race:
+	$(GO) test -race ./...
+
+# check is the PR gate: build, plain tests, then the race pass.
+check: build test race
+
+# Short smoke runs of every fuzz target (seed corpus always runs under
+# plain `go test`; this adds a bounded mutation pass).
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzParse -fuzztime=20s ./internal/lang/
+	$(GO) test -run=^$$ -fuzz=FuzzCompile$$ -fuzztime=20s ./internal/lang/
+	$(GO) test -run=^$$ -fuzz=FuzzCompileNF -fuzztime=20s .
+
+bench-fleet:
+	$(GO) test -run=^$$ -bench=BenchmarkFleetAnalyze -benchtime=5x .
+
+# Regenerate the Insights.Report golden files after intentional
+# formatting changes.
+update-golden:
+	$(GO) test ./internal/core/ -run TestReportGolden -update

@@ -126,6 +126,91 @@ func BenchmarkSimulateReplay(b *testing.B) {
 	}
 }
 
+// The fleet benchmark trains its own quick tool: the experiments context
+// above has no algorithm-ID or scale-out models, and the fleet analyzes
+// with all three.
+var (
+	fleetToolOnce sync.Once
+	fleetTool     *Tool
+	fleetToolErr  error
+)
+
+func fleetBenchTool(b *testing.B) *Tool {
+	b.Helper()
+	fleetToolOnce.Do(func() {
+		fleetTool, fleetToolErr = Train(TrainConfig{Quick: true, Seed: 42})
+	})
+	if fleetToolErr != nil {
+		b.Fatal(fleetToolErr)
+	}
+	return fleetTool
+}
+
+// BenchmarkFleetAnalyze compares analyzing the whole click library under
+// the three standard workloads (the analyze-fleet CLI batch, 51 jobs):
+// sequentially via Tool.Analyze, on an 8-worker fleet with a cold cache
+// per batch, and on a long-lived fleet whose cache persists across
+// batches. One op = one full batch.
+func BenchmarkFleetAnalyze(b *testing.B) {
+	tool := fleetBenchTool(b)
+	jobs, err := LibraryJobs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobsPerOp := float64(len(jobs))
+
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, j := range jobs {
+				if _, err := tool.Analyze(j.Mod, j.PS, j.WL); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(jobsPerOp*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+	})
+
+	run := func(b *testing.B, fl *Fleet) {
+		rs, err := fl.Run(jobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rs {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+
+	b.Run("fleet8-cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fl, err := NewFleet(tool, FleetConfig{Workers: 8})
+			if err != nil {
+				b.Fatal(err)
+			}
+			run(b, fl)
+			if s := fl.Stats(); s.CacheHits == 0 {
+				b.Fatal("no cache hits on repeated modules")
+			}
+		}
+		b.ReportMetric(jobsPerOp*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+	})
+
+	b.Run("fleet8-warm", func(b *testing.B) {
+		fl, err := NewFleet(tool, FleetConfig{Workers: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, fl) // prime the cache outside the timed region
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run(b, fl)
+		}
+		b.ReportMetric(jobsPerOp*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+		b.ReportMetric(100*fl.Stats().HitRate(), "cache-hit-%")
+	})
+}
+
 func BenchmarkPredictModule(b *testing.B) {
 	ctx := fullCtx()
 	pred, err := ctx.Predictor()

@@ -17,8 +17,11 @@
 package clara
 
 import (
+	"fmt"
+
 	"clara/internal/click"
 	"clara/internal/core"
+	"clara/internal/fleet"
 	"clara/internal/interp"
 	"clara/internal/ir"
 	"clara/internal/isa"
@@ -62,6 +65,18 @@ type (
 	ProfileSetup = core.ProfileSetup
 	// Region is a NIC memory level.
 	Region = isa.Region
+	// Fleet analyzes batches of (NF, workload) jobs over a worker pool
+	// with prediction caching.
+	Fleet = fleet.Fleet
+	// FleetConfig sizes a Fleet (workers, cache).
+	FleetConfig = fleet.Config
+	// FleetJob is one unit of fleet work.
+	FleetJob = fleet.Job
+	// FleetResult is one fleet job's outcome.
+	FleetResult = fleet.Result
+	// Stats is a fleet metrics snapshot (jobs, cache hits/misses,
+	// analysis wall-time histogram).
+	Stats = fleet.Stats
 )
 
 // Memory regions of the simulated NIC, fastest/smallest first.
@@ -129,6 +144,41 @@ func Train(cfg TrainConfig) (*Tool, error) {
 		return nil, err
 	}
 	return &Tool{Predictor: pred, AlgoID: algo, Scaleout: sm, Params: params}, nil
+}
+
+// NewFleet builds a concurrent fleet analyzer around a trained tool.
+func NewFleet(tool *Tool, cfg FleetConfig) (*Fleet, error) { return fleet.New(tool, cfg) }
+
+// FleetSummary renders a fleet result batch as a summary table.
+func FleetSummary(results []FleetResult) string { return fleet.Summary(results) }
+
+// LibraryJobs builds one fleet job per (library element, workload) pair,
+// in Table 2 row order crossed with the given workloads — the batch the
+// analyze-fleet CLI mode runs.
+func LibraryJobs(workloads ...Workload) ([]FleetJob, error) {
+	if len(workloads) == 0 {
+		workloads = []Workload{SmallFlows, LargeFlows, MediumMix}
+	}
+	var jobs []FleetJob
+	for _, name := range click.Table2Order {
+		e := click.Get(name)
+		if e == nil {
+			return nil, fmt.Errorf("clara: unknown library element %q", name)
+		}
+		mod, err := e.Module()
+		if err != nil {
+			return nil, err
+		}
+		for _, wl := range workloads {
+			jobs = append(jobs, FleetJob{
+				Name: e.Name,
+				Mod:  mod,
+				PS:   ProfileSetup{Setup: e.Setup, LPMTable: e.Routes},
+				WL:   wl,
+			})
+		}
+	}
+	return jobs, nil
 }
 
 // Simulate runs a ported NF on the simulated SmartNIC and reports

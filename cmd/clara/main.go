@@ -7,6 +7,7 @@
 //	clara -nf mazunat [-workload small|large|mix] [-quick]
 //	clara -src element.nfc [-workload mix]
 //	clara -nf udpcount -trace capture.bin   # profile over a recorded trace
+//	clara -fleet [-workers 8] [-quick]      # whole library × all workloads
 //	clara -list
 package main
 
@@ -28,6 +29,8 @@ func main() {
 		tracePath = flag.String("trace", "", "profile over a recorded trace file instead of a synthetic workload")
 		quick     = flag.Bool("quick", false, "fast, lower-accuracy training")
 		list      = flag.Bool("list", false, "list library elements and exit")
+		fleetMode = flag.Bool("fleet", false, "analyze-fleet mode: every library element under every standard workload")
+		workers   = flag.Int("workers", 0, "fleet worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -36,6 +39,11 @@ func main() {
 		for _, e := range clara.Elements() {
 			fmt.Printf("  %-14s %s (%d LoC)\n", e.Name, e.Desc, e.LoC())
 		}
+		return
+	}
+
+	if *fleetMode {
+		analyzeFleet(*workers, *quick)
 		return
 	}
 
@@ -122,6 +130,37 @@ func main() {
 		fatal(err)
 	}
 	fmt.Print(ins.Report())
+}
+
+// analyzeFleet runs the whole element library (Table 2 order) under the
+// three standard workloads on a bounded worker pool and prints the
+// summary table plus the fleet's cache/latency metrics.
+func analyzeFleet(workers int, quick bool) {
+	fmt.Fprintln(os.Stderr, "training Clara (predictor + algorithm ID + scale-out model)...")
+	tool, err := clara.Train(clara.TrainConfig{Quick: quick, Seed: 42})
+	if err != nil {
+		fatal(err)
+	}
+	jobs, err := clara.LibraryJobs()
+	if err != nil {
+		fatal(err)
+	}
+	fl, err := clara.NewFleet(tool, clara.FleetConfig{Workers: workers})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "analyzing %d jobs on %d workers...\n", len(jobs), fl.Workers())
+	results, err := fl.Run(jobs)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(clara.FleetSummary(results))
+	fmt.Printf("\n%s", fl.Stats())
+	for _, r := range results {
+		if r.Err != nil {
+			os.Exit(1)
+		}
+	}
 }
 
 func pickWorkload(name string) (traffic.Spec, error) {

@@ -1,0 +1,23 @@
+package clara
+
+import "testing"
+
+// FuzzCompileNF fuzzes the public compile entry point seeded with every
+// library element source — the richest real corpus the repo has (loops,
+// maps, vectors, LPM tables, multi-function elements). Mutations of real
+// NFs exercise the lowering paths garbage inputs never reach; any input
+// must produce a module or an error, never a panic.
+func FuzzCompileNF(f *testing.F) {
+	for _, e := range Elements() {
+		f.Add(e.Src)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return // bound lowering time, not a correctness limit
+		}
+		mod, err := CompileNF("fuzz", src)
+		if err == nil && mod == nil {
+			t.Error("CompileNF returned nil module without error")
+		}
+	})
+}

@@ -124,13 +124,7 @@ func loopRegions(m *ir.Module) [][]int {
 	return regions
 }
 
-func sortInts(xs []int) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
-}
+func sortInts(xs []int) { sort.Ints(xs) }
 
 // AlgoIdentifier is the trained §4.1 classifier.
 type AlgoIdentifier struct {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"clara/internal/ir"
@@ -45,12 +46,23 @@ type Insights struct {
 
 // Analyze runs every analysis on an unported NF.
 func (c *Clara) Analyze(mod *ir.Module, ps ProfileSetup, wl traffic.Spec) (*Insights, error) {
-	ins := &Insights{NF: mod.Name, Workload: wl.Name}
-
 	mp, err := c.Predictor.PredictModule(mod, niccc.AccelConfig{})
 	if err != nil {
 		return nil, err
 	}
+	return c.AnalyzeWithPrediction(mod, ps, wl, mp)
+}
+
+// AnalyzeWithPrediction runs the workload-dependent analyses against an
+// already-computed §3 prediction. Fleet runs use it to share one
+// PredictModule result across every workload an NF is analyzed under; the
+// prediction is read-only here, so a cached *ModulePrediction may be
+// passed to concurrent calls.
+func (c *Clara) AnalyzeWithPrediction(mod *ir.Module, ps ProfileSetup, wl traffic.Spec, mp *ModulePrediction) (*Insights, error) {
+	if mp == nil {
+		return nil, fmt.Errorf("core: nil prediction for %s", mod.Name)
+	}
+	ins := &Insights{NF: mod.Name, Workload: wl.Name}
 	ins.Prediction = mp
 
 	if c.AlgoID != nil {
@@ -124,11 +136,7 @@ func (ins *Insights) Report() string {
 
 func sorted(xs []string) []string {
 	out := append([]string(nil), xs...)
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Strings(out)
 	return out
 }
 

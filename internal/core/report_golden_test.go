@@ -1,0 +1,146 @@
+package core
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"clara/internal/isa"
+	"clara/internal/nicsim"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from current output")
+
+// The golden cases are fixed Insights values (not trained analyses):
+// the test pins the *formatting* of Report, so it must not depend on
+// model training. The three cases cover the report's branches — an NF
+// with a CRC detection, one with LPM plus placement and packs, and a
+// stateless one with no accelerator match.
+func goldenInsights() map[string]*Insights {
+	return map[string]*Insights{
+		"report_crc": {
+			NF:       "wepdecap",
+			Workload: "large-flows",
+			Prediction: &ModulePrediction{
+				Name:         "wepdecap",
+				TotalCompute: 412.7,
+				TotalAPI:     96,
+				TotalMem:     14,
+			},
+			Algorithm:      AlgoCRC,
+			SuggestedCores: 18,
+			Placement: nicsim.Placement{
+				"wep_state": isa.CLS,
+				"frames":    isa.EMEM,
+			},
+			Packs: [][]string{{"wep_state", "frames"}},
+		},
+		"report_lpm": {
+			NF:       "iplookup",
+			Workload: "medium-mix",
+			Prediction: &ModulePrediction{
+				Name:         "iplookup",
+				TotalCompute: 188.2,
+				TotalAPI:     310,
+				TotalMem:     9,
+			},
+			Algorithm:      AlgoLPM,
+			SuggestedCores: 30,
+			Placement: nicsim.Placement{
+				"trie_hi":  isa.CLS,
+				"trie_lo":  isa.CTM,
+				"counters": isa.IMEM,
+				"routes":   isa.EMEM,
+			},
+		},
+		"report_stateless": {
+			NF:       "udpipencap",
+			Workload: "small-flows",
+			Prediction: &ModulePrediction{
+				Name:         "udpipencap",
+				TotalCompute: 73.0,
+				TotalAPI:     44,
+				TotalMem:     0,
+			},
+			Algorithm:      AlgoNone,
+			SuggestedCores: 4,
+		},
+	}
+}
+
+// TestReportGolden compares Report output byte-for-byte against
+// testdata/*.golden; run with -update to regenerate after intentional
+// formatting changes.
+func TestReportGolden(t *testing.T) {
+	for name, ins := range goldenInsights() {
+		name, ins := name, ins
+		t.Run(name, func(t *testing.T) {
+			got := ins.Report()
+			path := filepath.Join("testdata", name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("report drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}
+
+// TestReportRegionOrdering pins the placement section's structure: the
+// regions appear fastest-first (CLS, CTM, IMEM, EMEM) and globals within
+// a region are listed in sorted order — the contract the sort.Strings
+// rewrite of sorted() must preserve.
+func TestReportRegionOrdering(t *testing.T) {
+	ins := &Insights{
+		NF:         "order",
+		Workload:   "w",
+		Prediction: &ModulePrediction{},
+		Placement: nicsim.Placement{
+			"zeta":  isa.CLS,
+			"alpha": isa.CLS,
+			"mid":   isa.IMEM,
+			"big_b": isa.EMEM,
+			"big_a": isa.EMEM,
+		},
+	}
+	rep := ins.Report()
+	iCLS := strings.Index(rep, "CLS ")
+	iIMEM := strings.Index(rep, "IMEM")
+	iEMEM := strings.Index(rep, "EMEM")
+	if iCLS < 0 || iIMEM < 0 || iEMEM < 0 || !(iCLS < iIMEM && iIMEM < iEMEM) {
+		t.Fatalf("regions out of order (CLS@%d IMEM@%d EMEM@%d):\n%s", iCLS, iIMEM, iEMEM, rep)
+	}
+	if !strings.Contains(rep, "alpha, zeta") {
+		t.Errorf("CLS globals not sorted:\n%s", rep)
+	}
+	if !strings.Contains(rep, "big_a, big_b") {
+		t.Errorf("EMEM globals not sorted:\n%s", rep)
+	}
+	if strings.Contains(rep, "CTM") {
+		t.Errorf("empty region rendered:\n%s", rep)
+	}
+}
+
+func TestSortedIsNonDestructive(t *testing.T) {
+	in := []string{"c", "a", "b"}
+	out := sorted(in)
+	if in[0] != "c" || in[1] != "a" || in[2] != "b" {
+		t.Errorf("sorted mutated its input: %v", in)
+	}
+	if out[0] != "a" || out[1] != "b" || out[2] != "c" {
+		t.Errorf("sorted wrong: %v", out)
+	}
+}

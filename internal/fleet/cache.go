@@ -1,0 +1,72 @@
+package fleet
+
+import (
+	"sync"
+
+	"clara/internal/core"
+	"clara/internal/ir"
+	"clara/internal/niccc"
+)
+
+// predKey identifies one memoized prediction: the module's identity plus
+// the accelerator configuration the prediction assumed. Module identity
+// is the *ir.Module pointer — modules are immutable after lowering, and
+// the element library hands out one cached module per element (see
+// click.Element.Module), so pointer identity is exactly "same NF".
+type predKey struct {
+	mod   *ir.Module
+	accel niccc.AccelConfig
+}
+
+// predEntry is one cache slot. The first requester owns the computation;
+// later requesters block on ready. Keeping the slot in the map while the
+// leader computes gives singleflight semantics: N workers analyzing the
+// same module under N workloads run PredictModule exactly once.
+type predEntry struct {
+	ready chan struct{} // closed when mp/err are set
+	mp    *core.ModulePrediction
+	err   error
+}
+
+// predCache memoizes PredictModule results. Failed computations are not
+// retained, so a transient failure does not poison the key.
+type predCache struct {
+	mu sync.Mutex
+	m  map[predKey]*predEntry
+}
+
+func newPredCache() *predCache {
+	return &predCache{m: make(map[predKey]*predEntry)}
+}
+
+// get returns the cached prediction for (mod, accel), computing it via
+// compute on first request. hit reports whether this caller skipped the
+// computation (found a completed or in-flight entry).
+func (c *predCache) get(mod *ir.Module, accel niccc.AccelConfig, compute func() (*core.ModulePrediction, error)) (mp *core.ModulePrediction, hit bool, err error) {
+	k := predKey{mod: mod, accel: accel}
+	c.mu.Lock()
+	if e, ok := c.m[k]; ok {
+		c.mu.Unlock()
+		<-e.ready
+		return e.mp, true, e.err
+	}
+	e := &predEntry{ready: make(chan struct{})}
+	c.m[k] = e
+	c.mu.Unlock()
+
+	e.mp, e.err = compute()
+	if e.err != nil {
+		c.mu.Lock()
+		delete(c.m, k)
+		c.mu.Unlock()
+	}
+	close(e.ready)
+	return e.mp, false, e.err
+}
+
+// len reports the number of resident entries (completed or in flight).
+func (c *predCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

@@ -1,0 +1,168 @@
+// Package fleet runs Clara's analysis over batches of (NF, workload)
+// jobs: a bounded worker pool executes core.Clara analyses concurrently,
+// a memoizing cache shares each module's §3 prediction across every
+// workload it is analyzed under, and per-stage metrics (jobs completed,
+// cache hits/misses, per-analysis wall-time histogram) are exposed as a
+// Stats snapshot.
+//
+// The trained models (Predictor, AlgoIdentifier, ScaleoutModel) are
+// shared read-only across workers — after training they are never
+// mutated, and every per-job mutable structure (interpreter machines,
+// host profiles, traffic generators) is created per analysis. The only
+// shared mutable state the fleet adds, the prediction cache and the
+// metrics, is guarded internally, so Run is safe to call with any worker
+// count and its results are deterministic: result i always corresponds
+// to job i, and analysis output is a pure function of the job.
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"clara/internal/core"
+	"clara/internal/ir"
+	"clara/internal/niccc"
+	"clara/internal/traffic"
+)
+
+// Job is one unit of fleet work: analyze Mod under WL.
+type Job struct {
+	// Name labels the job in results and summaries; defaults to Mod.Name.
+	Name string
+	Mod  *ir.Module
+	PS   core.ProfileSetup
+	WL   traffic.Spec
+	// Accel is the accelerator configuration the prediction assumes; it is
+	// part of the cache key (the same module predicted under different
+	// engine configurations yields different API costs).
+	Accel niccc.AccelConfig
+}
+
+func (j Job) label() string {
+	name := j.Name
+	if name == "" && j.Mod != nil {
+		name = j.Mod.Name
+	}
+	return name
+}
+
+// Result is one job's outcome, in job order.
+type Result struct {
+	Name     string
+	Workload string
+	Insights *core.Insights
+	Err      error
+	// Elapsed is this analysis' wall time (prediction + profiling +
+	// placement + scale-out).
+	Elapsed time.Duration
+	// CacheHit records whether the §3 prediction was served from the
+	// fleet cache rather than recomputed.
+	CacheHit bool
+}
+
+// Config sizes a Fleet.
+type Config struct {
+	// Workers bounds the pool; 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// DisableCache turns off prediction memoization (the sequential
+	// baseline the benchmarks compare against).
+	DisableCache bool
+}
+
+func (c Config) norm() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Fleet analyzes job batches against one trained Clara tool. The
+// prediction cache persists across Run calls, so long-lived fleets
+// amortize prediction cost over every batch they serve.
+type Fleet struct {
+	tool  *core.Clara
+	cfg   Config
+	cache *predCache
+	stats *collector
+}
+
+// New builds a fleet around a trained tool.
+func New(tool *core.Clara, cfg Config) (*Fleet, error) {
+	if tool == nil || tool.Predictor == nil {
+		return nil, fmt.Errorf("fleet: nil tool or untrained predictor")
+	}
+	cfg = cfg.norm()
+	return &Fleet{
+		tool:  tool,
+		cfg:   cfg,
+		cache: newPredCache(),
+		stats: newCollector(),
+	}, nil
+}
+
+// Workers returns the configured pool size.
+func (f *Fleet) Workers() int { return f.cfg.Workers }
+
+// Stats returns a consistent snapshot of the fleet's lifetime metrics.
+func (f *Fleet) Stats() Stats { return f.stats.snapshot() }
+
+// Run analyzes every job over the worker pool and returns results in job
+// order regardless of scheduling. A job failure is recorded in its
+// Result; Run itself only fails on malformed jobs discovered up front.
+func (f *Fleet) Run(jobs []Job) ([]Result, error) {
+	for i, j := range jobs {
+		if j.Mod == nil {
+			return nil, fmt.Errorf("fleet: job %d (%q) has no module", i, j.Name)
+		}
+	}
+	results := make([]Result, len(jobs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	workers := f.cfg.Workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = f.analyze(jobs[i])
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	f.stats.addWall(time.Since(start))
+	return results, nil
+}
+
+// analyze runs one job: prediction via the cache, then the
+// workload-dependent analyses.
+func (f *Fleet) analyze(j Job) Result {
+	start := time.Now()
+	res := Result{Name: j.label(), Workload: j.WL.Name}
+
+	var mp *core.ModulePrediction
+	var err error
+	if f.cfg.DisableCache {
+		mp, err = f.tool.Predictor.PredictModule(j.Mod, j.Accel)
+	} else {
+		mp, res.CacheHit, err = f.cache.get(j.Mod, j.Accel, func() (*core.ModulePrediction, error) {
+			return f.tool.Predictor.PredictModule(j.Mod, j.Accel)
+		})
+	}
+	if err == nil {
+		res.Insights, err = f.tool.AnalyzeWithPrediction(j.Mod, j.PS, j.WL, mp)
+	}
+	res.Err = err
+	res.Elapsed = time.Since(start)
+	f.stats.record(res)
+	return res
+}

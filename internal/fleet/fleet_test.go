@@ -1,0 +1,284 @@
+package fleet
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"clara/internal/click"
+	"clara/internal/core"
+	"clara/internal/niccc"
+	"clara/internal/nicsim"
+	"clara/internal/synth"
+	"clara/internal/traffic"
+)
+
+// The trained tool is shared across tests (training is the expensive
+// part; the trained models are read-only, which is exactly what the
+// fleet relies on).
+var (
+	toolOnce sync.Once
+	testTool *core.Clara
+	toolErr  error
+)
+
+func quickTool(t testing.TB) *core.Clara {
+	t.Helper()
+	toolOnce.Do(func() {
+		const seed = 5
+		params := nicsim.DefaultParams()
+		mods, err := click.Modules(click.Table2Order)
+		if err != nil {
+			toolErr = err
+			return
+		}
+		pred, err := core.TrainPredictor(core.PredictorConfig{
+			TrainPrograms: 50, Epochs: 6, Hidden: 16,
+			CompactVocab: true, Seed: seed,
+		}, core.CorpusProfile(mods))
+		if err != nil {
+			toolErr = err
+			return
+		}
+		corpus := synth.AlgoCorpus(12, seed)
+		for _, name := range []string{"tcpack", "udpipencap", "aggcounter"} {
+			corpus = append(corpus, synth.LabeledProgram{
+				Name: "click_" + name, Src: click.Get(name).Src, Label: synth.LabelNone,
+			})
+		}
+		algo, err := core.TrainAlgoIdentifier(corpus, 48, seed)
+		if err != nil {
+			toolErr = err
+			return
+		}
+		sm, err := core.TrainScaleout(core.ScaleoutConfig{
+			TrainPrograms: 8, PacketsPerTrace: 400,
+			CoreGrid: []int{2, 8, 16, 32, 48, 60},
+			Params:   params, Seed: seed,
+		}, pred)
+		if err != nil {
+			toolErr = err
+			return
+		}
+		testTool = &core.Clara{Predictor: pred, AlgoID: algo, Scaleout: sm, Params: params}
+	})
+	if toolErr != nil {
+		t.Fatalf("training quick tool: %v", toolErr)
+	}
+	return testTool
+}
+
+// libraryJobs builds the full 17-element × 3-workload batch the
+// acceptance criteria name.
+func libraryJobs(t testing.TB) []Job {
+	t.Helper()
+	var jobs []Job
+	for _, name := range click.Table2Order {
+		e := click.Get(name)
+		if e == nil {
+			t.Fatalf("unknown element %q", name)
+		}
+		mod, err := e.Module()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, wl := range []traffic.Spec{traffic.SmallFlows, traffic.LargeFlows, traffic.MediumMix} {
+			jobs = append(jobs, Job{
+				Name: e.Name,
+				Mod:  mod,
+				PS:   core.ProfileSetup{Setup: e.Setup, LPMTable: e.Routes},
+				WL:   wl,
+			})
+		}
+	}
+	return jobs
+}
+
+// TestFleetLibraryEightWorkers runs the whole library batch on 8 workers
+// (this is the test `go test -race` exercises for the concurrent path)
+// and checks job accounting and cache behaviour: every module appears
+// under 3 workloads, so exactly one prediction per module is computed
+// and the rest are hits.
+func TestFleetLibraryEightWorkers(t *testing.T) {
+	tool := quickTool(t)
+	jobs := libraryJobs(t)
+	if len(jobs) < 17*3 {
+		t.Fatalf("batch too small: %d jobs", len(jobs))
+	}
+	fl, err := New(tool, Config{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := fl.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(jobs) {
+		t.Fatalf("got %d results for %d jobs", len(results), len(jobs))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %d (%s/%s) failed: %v", i, r.Name, r.Workload, r.Err)
+		}
+		if r.Name != jobs[i].Name || r.Workload != jobs[i].WL.Name {
+			t.Fatalf("result %d out of order: got %s/%s want %s/%s",
+				i, r.Name, r.Workload, jobs[i].Name, jobs[i].WL.Name)
+		}
+		if r.Insights == nil || r.Insights.Prediction == nil {
+			t.Fatalf("job %d has no insights", i)
+		}
+	}
+	s := fl.Stats()
+	if s.JobsCompleted != int64(len(jobs)) || s.JobsFailed != 0 {
+		t.Errorf("stats: %d completed, %d failed; want %d, 0", s.JobsCompleted, s.JobsFailed, len(jobs))
+	}
+	wantMisses := int64(17) // one per distinct module
+	if s.CacheMisses != wantMisses || s.CacheHits != int64(len(jobs))-wantMisses {
+		t.Errorf("cache: %d hits, %d misses; want %d, %d",
+			s.CacheHits, s.CacheMisses, int64(len(jobs))-wantMisses, wantMisses)
+	}
+	if got := fl.cache.len(); got != 17 {
+		t.Errorf("cache holds %d entries, want 17", got)
+	}
+	if s.Analyses.N != int64(len(jobs)) || s.Analyses.Mean() <= 0 {
+		t.Errorf("histogram: n=%d mean=%s", s.Analyses.N, s.Analyses.Mean())
+	}
+	if s.Wall <= 0 {
+		t.Error("no wall time recorded")
+	}
+}
+
+// TestFleetSummaryTable sanity-checks the rendered batch table.
+func TestFleetSummaryTable(t *testing.T) {
+	tool := quickTool(t)
+	jobs := libraryJobs(t)[:6]
+	fl, err := New(tool, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := fl.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := Summary(results)
+	lines := strings.Split(strings.TrimRight(tab, "\n"), "\n")
+	if len(lines) != len(jobs)+1 {
+		t.Fatalf("table has %d lines, want %d:\n%s", len(lines), len(jobs)+1, tab)
+	}
+	if !strings.Contains(lines[0], "NF") || !strings.Contains(lines[0], "CACHE") {
+		t.Errorf("bad header: %q", lines[0])
+	}
+	for _, r := range results[:2] {
+		if !strings.Contains(tab, r.Name) {
+			t.Errorf("table missing NF %q:\n%s", r.Name, tab)
+		}
+	}
+}
+
+// TestCacheSingleflight checks that concurrent misses on one key run the
+// computation once, and that errors are not retained.
+func TestCacheSingleflight(t *testing.T) {
+	mod := click.Get("tcpack").MustModule()
+	c := newPredCache()
+	var mu sync.Mutex
+	calls := 0
+	compute := func() (*core.ModulePrediction, error) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		return &core.ModulePrediction{Name: mod.Name}, nil
+	}
+	var wg sync.WaitGroup
+	hits := make([]bool, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mp, hit, err := c.get(mod, niccc.AccelConfig{}, compute)
+			if err != nil || mp == nil {
+				t.Errorf("get: mp=%v err=%v", mp, err)
+			}
+			hits[i] = hit
+		}(i)
+	}
+	wg.Wait()
+	if calls != 1 {
+		t.Errorf("compute ran %d times, want 1", calls)
+	}
+	nHits := 0
+	for _, h := range hits {
+		if h {
+			nHits++
+		}
+	}
+	if nHits != 15 {
+		t.Errorf("%d hits, want 15", nHits)
+	}
+
+	// Distinct accel configs are distinct keys.
+	_, hit, _ := c.get(mod, niccc.AccelConfig{CRCEngine: true}, compute)
+	if hit || calls != 2 {
+		t.Errorf("accel variant: hit=%v calls=%d, want miss and 2", hit, calls)
+	}
+
+	// Errors must not poison the key.
+	fail := errors.New("boom")
+	other := click.Get("aggcounter").MustModule()
+	if _, _, err := c.get(other, niccc.AccelConfig{}, func() (*core.ModulePrediction, error) {
+		return nil, fail
+	}); !errors.Is(err, fail) {
+		t.Errorf("error not propagated: %v", err)
+	}
+	mp, hit, err := c.get(other, niccc.AccelConfig{}, compute)
+	if err != nil || hit || mp == nil {
+		t.Errorf("after failure: mp=%v hit=%v err=%v; want recompute", mp, hit, err)
+	}
+}
+
+// TestFleetJobValidation checks malformed batches fail up front.
+func TestFleetJobValidation(t *testing.T) {
+	tool := quickTool(t)
+	fl, err := New(tool, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fl.Run([]Job{{Name: "empty"}}); err == nil {
+		t.Error("nil-module job accepted")
+	}
+	if _, err := New(nil, Config{}); err == nil {
+		t.Error("nil tool accepted")
+	}
+}
+
+// TestStatsRendering pins the stats snapshot arithmetic.
+func TestStatsRendering(t *testing.T) {
+	c := newCollector()
+	c.record(Result{Elapsed: 1e6, CacheHit: true})
+	c.record(Result{Elapsed: 3e6})
+	c.record(Result{Elapsed: 2e9, Err: errors.New("x")})
+	c.addWall(5e6)
+	s := c.snapshot()
+	if s.JobsCompleted != 2 || s.JobsFailed != 1 {
+		t.Errorf("jobs: %+v", s)
+	}
+	if s.CacheHits != 1 || s.CacheMisses != 2 {
+		t.Errorf("cache: %+v", s)
+	}
+	if got := s.HitRate(); got < 0.33 || got > 0.34 {
+		t.Errorf("hit rate %v", got)
+	}
+	if s.Analyses.N != 3 || s.Analyses.Max != 2e9 || s.Analyses.Min != 1e6 {
+		t.Errorf("histogram: %+v", s.Analyses)
+	}
+	// Overflow bucket holds the 2s outlier.
+	if s.Analyses.Counts[len(s.Analyses.Counts)-1] != 1 {
+		t.Errorf("overflow bucket: %v", s.Analyses.Counts)
+	}
+	out := s.String()
+	for _, want := range []string{"2 completed", "1 hits", "batch wall time"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// histBounds are the upper bounds of the per-analysis wall-time
+// histogram buckets; the final implicit bucket is +Inf.
+var histBounds = []time.Duration{
+	500 * time.Microsecond,
+	time.Millisecond,
+	2 * time.Millisecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	20 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	200 * time.Millisecond,
+	500 * time.Millisecond,
+	time.Second,
+}
+
+// Histogram is a snapshot of the analysis wall-time distribution.
+type Histogram struct {
+	// Bounds[i] is the inclusive upper bound of Counts[i];
+	// Counts[len(Bounds)] is the overflow bucket.
+	Bounds []time.Duration
+	Counts []int64
+	Min    time.Duration
+	Max    time.Duration
+	Sum    time.Duration
+	N      int64
+}
+
+// Mean returns the mean analysis time.
+func (h Histogram) Mean() time.Duration {
+	if h.N == 0 {
+		return 0
+	}
+	return h.Sum / time.Duration(h.N)
+}
+
+// String renders the non-empty buckets compactly.
+func (h Histogram) String() string {
+	if h.N == 0 {
+		return "no analyses"
+	}
+	var parts []string
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		label := "+Inf"
+		if i < len(h.Bounds) {
+			label = "≤" + h.Bounds[i].String()
+		}
+		parts = append(parts, fmt.Sprintf("%s:%d", label, c))
+	}
+	return fmt.Sprintf("n=%d min=%s mean=%s max=%s [%s]",
+		h.N, h.Min, h.Mean(), h.Max, strings.Join(parts, " "))
+}
+
+// Stats is a consistent snapshot of a fleet's lifetime metrics.
+type Stats struct {
+	JobsCompleted int64
+	JobsFailed    int64
+	CacheHits     int64
+	CacheMisses   int64
+	// Analyses is the per-analysis wall-time distribution.
+	Analyses Histogram
+	// Wall is the cumulative wall time of every Run call.
+	Wall time.Duration
+}
+
+// HitRate returns cache hits over prediction lookups, in [0,1].
+func (s Stats) HitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// String renders the snapshot as the CLI's stats footer.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "jobs: %d completed, %d failed\n", s.JobsCompleted, s.JobsFailed)
+	fmt.Fprintf(&b, "prediction cache: %d hits, %d misses (%.0f%% hit rate)\n",
+		s.CacheHits, s.CacheMisses, 100*s.HitRate())
+	fmt.Fprintf(&b, "analysis time: %s\n", s.Analyses)
+	fmt.Fprintf(&b, "batch wall time: %s\n", s.Wall)
+	return b.String()
+}
+
+// collector accumulates metrics under one mutex. Analysis latencies are
+// a few milliseconds, so a single lock per completed job is invisible
+// next to the work it measures and keeps snapshots trivially consistent.
+type collector struct {
+	mu     sync.Mutex
+	s      Stats
+	counts []int64
+}
+
+func newCollector() *collector {
+	return &collector{counts: make([]int64, len(histBounds)+1)}
+}
+
+func (c *collector) record(r Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r.Err != nil {
+		c.s.JobsFailed++
+	} else {
+		c.s.JobsCompleted++
+	}
+	if r.CacheHit {
+		c.s.CacheHits++
+	} else {
+		c.s.CacheMisses++
+	}
+	h := &c.s.Analyses
+	if h.N == 0 || r.Elapsed < h.Min {
+		h.Min = r.Elapsed
+	}
+	if r.Elapsed > h.Max {
+		h.Max = r.Elapsed
+	}
+	h.Sum += r.Elapsed
+	h.N++
+	c.counts[bucket(r.Elapsed)]++
+}
+
+func bucket(d time.Duration) int {
+	for i, b := range histBounds {
+		if d <= b {
+			return i
+		}
+	}
+	return len(histBounds)
+}
+
+func (c *collector) addWall(d time.Duration) {
+	c.mu.Lock()
+	c.s.Wall += d
+	c.mu.Unlock()
+}
+
+func (c *collector) snapshot() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.s
+	s.Analyses.Bounds = append([]time.Duration(nil), histBounds...)
+	s.Analyses.Counts = append([]int64(nil), c.counts...)
+	return s
+}

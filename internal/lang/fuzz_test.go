@@ -1,0 +1,74 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+// fuzzSeeds are hand-picked parser entry points: valid programs, every
+// declaration form, and known-tricky malformed fragments. The click
+// element sources seed the end-to-end FuzzCompileNF target at the repo
+// root (this package cannot import the element library).
+var fuzzSeeds = []string{
+	"",
+	"void handle() { pkt_send(0); }",
+	`global u32 c;
+void handle() { c += 1; pkt_drop(); }`,
+	`map<u64,u64> m[1024];
+void handle() {
+	u64 k = u64(pkt_ip_src());
+	if (map_contains(m, k)) { map_insert(m, k, 1); }
+	pkt_send(0);
+}`,
+	`global u64 tbl[256];
+u64 f(u64 x) { return tbl[x & 255]; }
+void handle() {
+	for (u32 i = 0; i < 8; i += 1) { tbl[i] = f(u64(i)); }
+	pkt_send(0);
+}`,
+	// Malformed fragments that historically stress parsers.
+	"void handle( {",
+	"global u32",
+	"void handle() { u32 x = ((((1; }",
+	"map<u64> m[0];",
+	"void handle() { for (;;) {} }",
+	"void handle() { x += ; }",
+	"\x00\xff\xfe",
+	"void handle() { pkt_send(0); } void handle() { pkt_drop(); }",
+}
+
+// FuzzParse feeds arbitrary source to the parser: any input must return
+// a file or an error, never panic (malformed NFC reaching Clara's CLI is
+// user input, not a library bug).
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := Parse("fuzz", src)
+		if err == nil && file == nil {
+			t.Errorf("Parse returned nil file without error for %q", src)
+		}
+	})
+}
+
+// FuzzCompile drives the full lexer→parser→lowering pipeline; lowering
+// has its own invariants (SSA construction, type checks) that malformed
+// but parseable programs can reach.
+func FuzzCompile(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return // pathological inputs time out lowering, not crash it
+		}
+		mod, err := Compile("fuzz", src)
+		if err == nil && mod == nil {
+			t.Errorf("Compile returned nil module without error for %q", src)
+		}
+		if err != nil && !strings.Contains(err.Error(), "fuzz") && err.Error() == "" {
+			t.Errorf("empty error message for %q", src)
+		}
+	})
+}

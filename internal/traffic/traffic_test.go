@@ -1,7 +1,6 @@
 package traffic
 
 import (
-	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -24,15 +23,7 @@ func TestSpecValidate(t *testing.T) {
 	}
 }
 
-func TestGeneratorDeterminism(t *testing.T) {
-	a := MustTrace(MediumMix, 200)
-	b := MustTrace(MediumMix, 200)
-	for i := range a {
-		if !reflect.DeepEqual(a[i], b[i]) {
-			t.Fatalf("packet %d differs between identical generators", i)
-		}
-	}
-}
+// Seed determinism is covered table-driven in determinism_test.go.
 
 func TestGeneratorFlowCount(t *testing.T) {
 	spec := LargeFlows

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race check fuzz bench-fleet update-golden
+.PHONY: build test race vet fmt-check check fuzz bench-fleet update-golden
 
 build:
 	$(GO) build ./...
@@ -13,8 +13,17 @@ test:
 race:
 	$(GO) test -race ./...
 
-# check is the PR gate: build, plain tests, then the race pass.
-check: build test race
+vet:
+	$(GO) vet ./...
+
+# fmt-check fails listing any file gofmt would rewrite.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# check is the PR gate: static gates first, then build, plain tests,
+# then the race pass.
+check: vet fmt-check build test race
 
 # Short smoke runs of every fuzz target (seed corpus always runs under
 # plain `go test`; this adds a bounded mutation pass).
@@ -22,11 +31,13 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzParse -fuzztime=20s ./internal/lang/
 	$(GO) test -run=^$$ -fuzz=FuzzCompile$$ -fuzztime=20s ./internal/lang/
 	$(GO) test -run=^$$ -fuzz=FuzzCompileNF -fuzztime=20s .
+	$(GO) test -run=^$$ -fuzz=FuzzLint -fuzztime=20s ./internal/analysis/
 
 bench-fleet:
 	$(GO) test -run=^$$ -bench=BenchmarkFleetAnalyze -benchtime=5x .
 
-# Regenerate the Insights.Report golden files after intentional
-# formatting changes.
+# Regenerate the Insights.Report and lint golden files after
+# intentional formatting changes.
 update-golden:
 	$(GO) test ./internal/core/ -run TestReportGolden -update
+	$(GO) test ./internal/analysis/ -run TestLintGolden -update

@@ -19,6 +19,7 @@ package clara
 import (
 	"fmt"
 
+	"clara/internal/analysis"
 	"clara/internal/click"
 	"clara/internal/core"
 	"clara/internal/fleet"
@@ -77,6 +78,21 @@ type (
 	// Stats is a fleet metrics snapshot (jobs, cache hits/misses,
 	// analysis wall-time histogram).
 	Stats = fleet.Stats
+	// Diagnostic is one offloadability lint finding.
+	Diagnostic = analysis.Diagnostic
+	// Severity ranks lint findings (error > warning > info).
+	Severity = analysis.Severity
+	// LintConfig bounds the linter's NIC memory budgets.
+	LintConfig = analysis.Config
+	// LintSummary counts diagnostics by severity.
+	LintSummary = analysis.Summary
+)
+
+// Diagnostic severities, most severe first.
+const (
+	SevError   = analysis.SevError
+	SevWarning = analysis.SevWarning
+	SevInfo    = analysis.SevInfo
 )
 
 // Memory regions of the simulated NIC, fastest/smallest first.
@@ -145,6 +161,25 @@ func Train(cfg TrainConfig) (*Tool, error) {
 	}
 	return &Tool{Predictor: pred, AlgoID: algo, Scaleout: sm, Params: params}, nil
 }
+
+// Lint runs the offloadability linter over an already-compiled module.
+func Lint(mod *Module, cfg LintConfig) []Diagnostic { return analysis.LintModule(mod, cfg) }
+
+// LintNF parses, lowers, and lints NFC source against the reference
+// hardware model's memory budgets. Unlike Lint it also reports
+// source-level constructs lowering rejects outright (recursion), and it
+// anchors state-size findings at the global declarations.
+func LintNF(name, src string) ([]Diagnostic, error) {
+	t := &Tool{Params: nicsim.DefaultParams()}
+	return analysis.LintSource(name, src, t.LintConfig())
+}
+
+// RenderDiagnostics renders lint findings as human-readable lines with
+// fix hints.
+func RenderDiagnostics(ds []Diagnostic) string { return analysis.Render(ds) }
+
+// SummarizeDiagnostics counts lint findings by severity.
+func SummarizeDiagnostics(ds []Diagnostic) LintSummary { return analysis.Summarize(ds) }
 
 // NewFleet builds a concurrent fleet analyzer around a trained tool.
 func NewFleet(tool *Tool, cfg FleetConfig) (*Fleet, error) { return fleet.New(tool, cfg) }

@@ -8,10 +8,12 @@
 //	clara -src element.nfc [-workload mix]
 //	clara -nf udpcount -trace capture.bin   # profile over a recorded trace
 //	clara -fleet [-workers 8] [-quick]      # whole library × all workloads
+//	clara -lint -src element.nfc [-json]    # offloadability lint, no training
 //	clara -list
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +33,8 @@ func main() {
 		list      = flag.Bool("list", false, "list library elements and exit")
 		fleetMode = flag.Bool("fleet", false, "analyze-fleet mode: every library element under every standard workload")
 		workers   = flag.Int("workers", 0, "fleet worker pool size (0 = GOMAXPROCS)")
+		lintMode  = flag.Bool("lint", false, "offloadability lint only (static, no training); exits 1 on error-severity findings")
+		jsonOut   = flag.Bool("json", false, "with -lint: emit diagnostics as a JSON array")
 	)
 	flag.Parse()
 
@@ -44,6 +48,15 @@ func main() {
 
 	if *fleetMode {
 		analyzeFleet(*workers, *quick)
+		return
+	}
+
+	if *lintMode {
+		name, src, err := pickSource(*nfName, *srcPath)
+		if err != nil {
+			fatal(err)
+		}
+		lint(name, src, *jsonOut)
 		return
 	}
 
@@ -130,6 +143,51 @@ func main() {
 		fatal(err)
 	}
 	fmt.Print(ins.Report())
+}
+
+// pickSource resolves -nf/-src to a (name, NFC source) pair.
+func pickSource(nfName, srcPath string) (string, string, error) {
+	switch {
+	case nfName != "":
+		e := clara.GetElement(nfName)
+		if e == nil {
+			return "", "", fmt.Errorf("unknown element %q (try -list)", nfName)
+		}
+		return e.Name, e.Src, nil
+	case srcPath != "":
+		src, err := os.ReadFile(srcPath)
+		if err != nil {
+			return "", "", err
+		}
+		return srcPath, string(src), nil
+	default:
+		return "", "", fmt.Errorf("-lint needs -nf or -src")
+	}
+}
+
+// lint runs the static offloadability linter — no training, no
+// workload — and exits non-zero when any error-severity finding exists.
+func lint(name, src string, jsonOut bool) {
+	ds, err := clara.LintNF(name, src)
+	if err != nil {
+		fatal(err)
+	}
+	if jsonOut {
+		blob, err := json.MarshalIndent(ds, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(blob))
+	} else if len(ds) == 0 {
+		fmt.Printf("%s: no findings\n", name)
+	} else {
+		s := clara.SummarizeDiagnostics(ds)
+		fmt.Printf("%s: %d error(s), %d warning(s), %d note(s)\n", name, s.Errors, s.Warnings, s.Infos)
+		fmt.Print(clara.RenderDiagnostics(ds))
+	}
+	if clara.SummarizeDiagnostics(ds).Errors > 0 {
+		os.Exit(1)
+	}
 }
 
 // analyzeFleet runs the whole element library (Table 2 order) under the

@@ -1,0 +1,356 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"clara/internal/analysis"
+	"clara/internal/click"
+	"clara/internal/ir"
+	"clara/internal/lang"
+)
+
+// TestCFGLibraryInvariants builds the CFG of every click element's every
+// function and checks the structural invariants all analyses rely on.
+func TestCFGLibraryInvariants(t *testing.T) {
+	for _, name := range click.Table2Order {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			m := click.Get(name).MustModule()
+			for _, f := range m.Funcs {
+				c := analysis.BuildCFG(f)
+				if !c.Reachable(0) {
+					t.Fatalf("%s: entry unreachable", f.Name)
+				}
+				if len(c.RPO) == 0 || c.RPO[0] != 0 {
+					t.Fatalf("%s: RPO must start at the entry, got %v", f.Name, c.RPO)
+				}
+				// Succ/pred symmetry.
+				for b, ss := range c.Succs {
+					for _, s := range ss {
+						found := false
+						for _, p := range c.Preds[s] {
+							if p == b {
+								found = true
+							}
+						}
+						if !found {
+							t.Fatalf("%s: edge b%d->b%d missing from preds", f.Name, b, s)
+						}
+					}
+				}
+				// Dominator sanity: the entry dominates every reachable
+				// block; every non-entry reachable block has a reachable
+				// idom that dominates it.
+				for _, b := range c.RPO {
+					if !c.Dominates(0, b) {
+						t.Errorf("%s: entry does not dominate b%d", f.Name, b)
+					}
+					if b == 0 {
+						if c.Idom(0) != -1 {
+							t.Errorf("%s: entry idom = %d, want -1", f.Name, c.Idom(0))
+						}
+						continue
+					}
+					id := c.Idom(b)
+					if id < 0 || !c.Reachable(id) || !c.Dominates(id, b) {
+						t.Errorf("%s: bad idom %d for b%d", f.Name, id, b)
+					}
+				}
+				// Loop sanity: the header dominates every loop block, back
+				// edges come from inside, exits leave the loop, and every
+				// loop entered from outside goes through the header.
+				for _, l := range c.NaturalLoops() {
+					for _, b := range l.Blocks {
+						if !c.Dominates(l.Head, b) {
+							t.Errorf("%s: loop head b%d does not dominate member b%d", f.Name, l.Head, b)
+						}
+					}
+					for _, u := range l.Backs {
+						if !l.Contains(u) {
+							t.Errorf("%s: back-edge source b%d outside loop", f.Name, u)
+						}
+					}
+					for _, e := range l.Exits {
+						if !l.Contains(e.From) || l.Contains(e.To) {
+							t.Errorf("%s: bad exit edge %v", f.Name, e)
+						}
+					}
+					if len(c.Preheaders(l)) == 0 {
+						t.Errorf("%s: loop at b%d has no entry from outside", f.Name, l.Head)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLibraryLoopFacts pins the loop structure and inferred trip bounds of
+// every Table 2 element's handler: which elements loop at all, and that
+// every loop in the stock library is provably bounded (the lint-clean
+// contract depends on exactly this).
+func TestLibraryLoopFacts(t *testing.T) {
+	// maxes is the multiset of inferred per-loop iteration bounds.
+	expect := map[string][]uint64{
+		"anonipaddr":   {},
+		"tcpack":       {},
+		"udpipencap":   {},
+		"forcetcp":     {},
+		"tcpresp":      {},
+		"tcpgen":       {},
+		"aggcounter":   {},
+		"timefilter":   {},
+		"cmsketch":     {8, 8, 8, 8, 8, 8, 8, 8}, // 4 CRC rows x (byte loop + bit loop)
+		"wepdecap":     {16, 16, 64, 64, 8},
+		"iplookup":     {32}, // bit-serial trie walk over a /32
+		"iprewriter":   {},
+		"ipclassifier": {},
+		"dnsproxy":     {52}, // QNAME hash: payload capped at 64, starting at offset 12
+		"mazunat":      {},
+		"udpcount":     {},
+		"webgen":       {},
+	}
+	for _, name := range click.Table2Order {
+		want, ok := expect[name]
+		if !ok {
+			t.Fatalf("no expectation for %s", name)
+		}
+		f := click.Get(name).MustModule().Handler()
+		c := analysis.BuildCFG(f)
+		ri := analysis.ComputeRanges(c)
+		var got []uint64
+		for _, l := range c.NaturalLoops() {
+			tc := ri.InferTripCount(c, l)
+			if !tc.HasFeasibleExit {
+				t.Errorf("%s: loop at b%d has no feasible exit", name, l.Head)
+				continue
+			}
+			if !tc.Bounded {
+				t.Errorf("%s: loop at b%d not bounded", name, l.Head)
+				continue
+			}
+			got = append(got, tc.Max)
+		}
+		if len(got) != len(want) {
+			t.Errorf("%s: %d bounded loops %v, want %d %v", name, len(got), got, len(want), want)
+			continue
+		}
+		used := make([]bool, len(want))
+		for _, g := range got {
+			matched := false
+			for i, w := range want {
+				if !used[i] && w == g {
+					used[i] = true
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				t.Errorf("%s: unexpected loop bound %d (got %v, want %v)", name, g, got, want)
+			}
+		}
+	}
+}
+
+// TestCFGStructured checks the derived structures on a small known shape:
+// a diamond followed by a while loop.
+func TestCFGStructured(t *testing.T) {
+	src := `
+void handle() {
+	u32 x = 0;
+	if (pkt_ip_proto() == 6) { x = 1; } else { x = 2; }
+	while (x < 10) { x = x + 1; }
+	pkt_send(x);
+}
+`
+	m, err := lang.Compile("structured", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := m.Handler()
+	c := analysis.BuildCFG(f)
+
+	loops := c.NaturalLoops()
+	if len(loops) != 1 {
+		t.Fatalf("want 1 loop, got %d", len(loops))
+	}
+	l := loops[0]
+	if len(l.Backs) != 1 || len(l.Exits) != 1 {
+		t.Fatalf("loop shape: backs=%v exits=%v", l.Backs, l.Exits)
+	}
+	if pres := c.Preheaders(l); len(pres) != 1 {
+		t.Fatalf("want 1 preheader, got %v", pres)
+	}
+	// The diamond join dominates the loop; neither arm does.
+	join := c.Idom(l.Head)
+	arms := 0
+	for _, b := range c.RPO {
+		if b == 0 || b == join {
+			continue
+		}
+		if c.Dominates(b, l.Head) {
+			continue
+		}
+		if !l.Contains(b) && c.Dominates(0, b) && !c.Dominates(b, join) {
+			arms++
+		}
+	}
+	if arms < 2 {
+		t.Errorf("expected two non-dominating diamond arms, found %d", arms)
+	}
+
+	ri := analysis.ComputeRanges(c)
+	tc := ri.InferTripCount(c, l)
+	// x enters the loop as 1 or 2, so at most 10-1 iterations remain.
+	if !tc.Bounded || tc.Max != 9 {
+		t.Errorf("trip count = %+v, want bounded max 9", tc)
+	}
+}
+
+// buildStraight hand-builds:
+//
+//	b0: s0 <- 1; s1 <- gload; cbr (s1load < 5) b1 b2
+//	b1: s0 <- s1load2 ; br b2       (s0 overwritten before any read)
+//	b2: ret s0load
+func buildStraight() *ir.Func {
+	b := ir.NewBuilder("handle", nil, ir.U32)
+	s0, s1 := b.NewSlot(), b.NewSlot()
+	entry := b.Current()
+	b.LStore(s0, ir.ConstVal(1, ir.U32))
+	g := b.GLoad("ctr", ir.U32, nil)
+	b.LStore(s1, g)
+	v := b.LLoad(s1, ir.U32)
+	cond := b.ICmp(ir.PredULT, v, ir.ConstVal(5, ir.U32))
+	then := b.NewBlock("then")
+	exit := b.NewBlock("exit")
+	b.SetBlock(entry)
+	b.CondBr(cond, then, exit)
+	b.SetBlock(then)
+	v2 := b.LLoad(s1, ir.U32)
+	b.LStore(s0, v2)
+	b.Br(exit)
+	b.SetBlock(exit)
+	r := b.LLoad(s0, ir.U32)
+	b.Ret(&r)
+	return b.F
+}
+
+func TestLivenessStraight(t *testing.T) {
+	f := buildStraight()
+	c := analysis.BuildCFG(f)
+	lv := analysis.ComputeLiveness(c)
+	// s0 is read in b2, so it is live out of b0 and b1 and live into b2.
+	if !lv.LiveOut(0).Has(0) || !lv.LiveOut(1).Has(0) || !lv.LiveIn(2).Has(0) {
+		t.Errorf("slot0 liveness wrong: out0=%v out1=%v in2=%v",
+			lv.LiveOut(0).Has(0), lv.LiveOut(1).Has(0), lv.LiveIn(2).Has(0))
+	}
+	// s1 is read in b1 but never after b1 completes.
+	if !lv.LiveOut(0).Has(1) {
+		t.Error("slot1 should be live out of the entry (b1 reads it)")
+	}
+	if lv.LiveOut(1).Has(1) || lv.LiveIn(2).Has(1) {
+		t.Error("slot1 should be dead after b1")
+	}
+}
+
+func TestReachingDefsStraight(t *testing.T) {
+	f := buildStraight()
+	c := analysis.BuildCFG(f)
+	rd := analysis.ComputeReachingDefs(c)
+	// At the b2 load of s0, both the entry store and the b1 store reach.
+	defs := rd.At(2, 0, 0)
+	if len(defs) != 2 {
+		t.Fatalf("want 2 reaching defs for slot0 at b2, got %v", defs)
+	}
+	for _, d := range defs {
+		if d == analysis.UninitDef {
+			t.Errorf("slot0 is initialized on every path; got uninit def in %v", defs)
+		}
+	}
+}
+
+func TestReachingDefsUninit(t *testing.T) {
+	// b0: cbr (param0 < 5) b1 b2 ; b1: s0 <- 7 ; b2: ret s0load
+	// s0 is uninitialized on the fallthrough path.
+	b := ir.NewBuilder("handle", []ir.Param{{Name: "p", Ty: ir.U32}}, ir.U32)
+	s0 := b.NewSlot()
+	entry := b.Current()
+	cond := b.ICmp(ir.PredULT, ir.ParamVal(0, ir.U32), ir.ConstVal(5, ir.U32))
+	then := b.NewBlock("then")
+	exit := b.NewBlock("exit")
+	b.SetBlock(entry)
+	b.CondBr(cond, then, exit)
+	b.SetBlock(then)
+	b.LStore(s0, ir.ConstVal(7, ir.U32))
+	b.Br(exit)
+	b.SetBlock(exit)
+	r := b.LLoad(s0, ir.U32)
+	b.Ret(&r)
+
+	c := analysis.BuildCFG(b.F)
+	rd := analysis.ComputeReachingDefs(c)
+	defs := rd.At(2, 0, 0)
+	hasUninit, hasStore := false, false
+	for _, d := range defs {
+		if d == analysis.UninitDef {
+			hasUninit = true
+		} else {
+			hasStore = true
+		}
+	}
+	if !hasUninit || !hasStore {
+		t.Errorf("want both the uninit pseudo-def and the b1 store to reach, got %v", defs)
+	}
+}
+
+// TestRangeRefinement checks the branch-refined interval propagation on
+// the clamp idiom the library leans on (wepdecap's limit cap).
+func TestRangeRefinement(t *testing.T) {
+	src := `
+void handle() {
+	u32 limit = u32(pkt_payload_len());
+	if (limit > 64) { limit = 64; }
+	u32 i = 0;
+	while (i < limit) { i = i + 1; }
+	pkt_send(i);
+}
+`
+	m, err := lang.Compile("clamp", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := analysis.BuildCFG(m.Handler())
+	ri := analysis.ComputeRanges(c)
+	loops := c.NaturalLoops()
+	if len(loops) != 1 {
+		t.Fatalf("want 1 loop, got %d", len(loops))
+	}
+	tc := ri.InferTripCount(c, loops[0])
+	if !tc.Bounded || tc.Max != 64 {
+		t.Errorf("clamped loop trip = %+v, want bounded max 64", tc)
+	}
+}
+
+// TestRangeInfeasibleExit: a constant-true loop condition yields no
+// feasible exit.
+func TestRangeInfeasibleExit(t *testing.T) {
+	src := `
+void handle() {
+	u32 i = 0;
+	while (true) { i = i + 1; }
+}
+`
+	m, err := lang.Compile("spin", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := analysis.BuildCFG(m.Handler())
+	ri := analysis.ComputeRanges(c)
+	loops := c.NaturalLoops()
+	if len(loops) != 1 {
+		t.Fatalf("want 1 loop, got %d", len(loops))
+	}
+	tc := ri.InferTripCount(c, loops[0])
+	if tc.HasFeasibleExit {
+		t.Errorf("while(true) reported a feasible exit: %+v", tc)
+	}
+}

@@ -1,0 +1,478 @@
+package analysis
+
+import (
+	"fmt"
+
+	"clara/internal/ir"
+	"clara/internal/lang"
+)
+
+// The offloadability linter: a rule catalog over the CFG/dataflow facts
+// that flags SmartNIC-hostile constructs before any porting effort is
+// spent (the paper's pitch: insights from the unported NF). Each rule has
+// a stable ID so reports, golden files, and downstream tooling can key on
+// it.
+
+// Rule identifiers.
+const (
+	// RuleLoopUnbounded: a loop with no feasible exit. Run-to-completion
+	// NIC cores have no preemption; an unbounded per-packet loop stalls
+	// the core and, with it, a share of the NIC.
+	RuleLoopUnbounded = "loop-unbounded"
+	// RuleLoopVarBound: a loop whose trip count cannot be bounded (or
+	// exceeds the per-packet budget). Latency becomes input-dependent.
+	RuleLoopVarBound = "loop-varbound"
+	// RuleFloatOp: a framework call whose host implementation is floating
+	// point. NIC cores have no FPU; soft-float emulation is ~100x.
+	RuleFloatOp = "float-op"
+	// RuleStateOversize: a stateful structure that exceeds a memory-tier
+	// budget (error: does not fit the NIC at all; warning: spills past the
+	// on-chip SRAM tiers into DRAM-backed EMEM).
+	RuleStateOversize = "state-oversize"
+	// RuleRecursion: recursive calls (no stack to speak of on the NIC;
+	// Micro-C forbids recursion).
+	RuleRecursion = "recursion"
+	// RuleDeadStore: a computed value stored to a local that is never
+	// read — wasted cycles on a wimpy core, often a porting bug.
+	RuleDeadStore = "dead-store"
+	// RuleUninitRead: a local read that may observe its uninitialized
+	// function-entry value.
+	RuleUninitRead = "uninit-read"
+	// RuleReversePort: a stateful framework API whose host and NIC
+	// implementations diverge; the call must be reverse ported (§3.3).
+	RuleReversePort = "api-reverse-port"
+	// RuleAPIUnknown: a call to an API outside the framework registry;
+	// nothing is known about its NIC cost or semantics.
+	RuleAPIUnknown = "api-unknown"
+)
+
+// Config parameterizes the linter's budgets. The defaults mirror the
+// reference NIC model (internal/nicsim.DefaultParams).
+type Config struct {
+	// TotalBudget is the largest stateful tier in bytes (EMEM): a single
+	// structure beyond it cannot be placed at all.
+	TotalBudget int
+	// FastBudget is the combined on-chip SRAM capacity (CLS+CTM+IMEM): a
+	// structure beyond it is forced into DRAM-backed EMEM.
+	FastBudget int
+	// TripBudget is the per-packet loop iteration budget: a bounded loop
+	// beyond it still ruins per-packet latency.
+	TripBudget uint64
+}
+
+// DefaultConfig returns budgets matching the reference hardware model:
+// 1 GB EMEM, 64 KB CLS + 224 KB CTM + 4 MB IMEM on chip, and a 64 Ki
+// iteration budget.
+func DefaultConfig() Config {
+	return Config{
+		TotalBudget: 1 << 30,
+		FastBudget:  64<<10 + 224<<10 + 4<<20,
+		TripBudget:  1 << 16,
+	}
+}
+
+// LintModule runs the offloadability rule catalog over a lowered module.
+func LintModule(m *ir.Module, cfg Config) []Diagnostic {
+	return lintModule(m, cfg, nil)
+}
+
+func lintModule(m *ir.Module, cfg Config, gpos map[string]ir.Pos) []Diagnostic {
+	var ds []Diagnostic
+	ds = append(ds, lintGlobals(m, cfg, gpos)...)
+	for _, f := range m.Funcs {
+		ds = append(ds, lintFunc(m, f, cfg)...)
+	}
+	SortDiagnostics(ds)
+	return ds
+}
+
+// LintSource parses, checks, lowers, and lints NFC source. Findings that
+// lowering cannot represent (recursion is rejected before IR exists) are
+// detected on the AST. Parse/compile failures are returned as an error,
+// not diagnostics: a broken element is not an offloading insight.
+func LintSource(name, src string, cfg Config) ([]Diagnostic, error) {
+	file, err := lang.Parse(name, src)
+	if err != nil {
+		return nil, err
+	}
+	if ds := lintRecursion(file); len(ds) > 0 {
+		SortDiagnostics(ds)
+		return ds, nil
+	}
+	m, err := lang.Lower(file)
+	if err != nil {
+		return nil, err
+	}
+	gpos := make(map[string]ir.Pos, len(file.Globals))
+	for _, g := range file.Globals {
+		gpos[g.Name] = ir.Pos{Line: g.Line, Col: g.Col}
+	}
+	return lintModule(m, cfg, gpos), nil
+}
+
+// lintRecursion detects call-graph cycles on the AST (lowering refuses to
+// inline them, so they never reach the IR).
+func lintRecursion(file *lang.File) []Diagnostic {
+	decls := map[string]*lang.FuncDecl{}
+	for _, f := range file.Funcs {
+		decls[f.Name] = f
+	}
+	calls := map[string][]string{}
+	for _, f := range file.Funcs {
+		seen := map[string]bool{}
+		collectCalls(f.Body, func(name string) {
+			if _, ok := decls[name]; ok && !seen[name] {
+				seen[name] = true
+				calls[f.Name] = append(calls[f.Name], name)
+			}
+		})
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var ds []Diagnostic
+	var visit func(name string)
+	visit = func(name string) {
+		color[name] = gray
+		for _, callee := range calls[name] {
+			switch color[callee] {
+			case white:
+				visit(callee)
+			case gray: // back edge: cycle through callee
+				d := decls[callee]
+				ds = append(ds, Diagnostic{
+					Rule:     RuleRecursion,
+					Severity: SevError,
+					Elem:     file.Name,
+					Fn:       callee,
+					Line:     d.Line,
+					Col:      d.Col,
+					Msg:      fmt.Sprintf("function %q is recursive", callee),
+					Hint:     "convert to an iterative form with a bounded loop; NIC cores have no call stack for recursion",
+				})
+			}
+		}
+		color[name] = black
+	}
+	for _, f := range file.Funcs {
+		if color[f.Name] == white {
+			visit(f.Name)
+		}
+	}
+	return ds
+}
+
+// collectCalls walks a statement tree invoking fn for every call target.
+func collectCalls(s lang.Stmt, fn func(string)) {
+	var walkExpr func(e lang.Expr)
+	walkExpr = func(e lang.Expr) {
+		switch e := e.(type) {
+		case *lang.CallExpr:
+			fn(e.Name)
+			for _, a := range e.Args {
+				walkExpr(a)
+			}
+		case *lang.IndexExpr:
+			walkExpr(e.Index)
+		case *lang.CastExpr:
+			walkExpr(e.X)
+		case *lang.UnaryExpr:
+			walkExpr(e.X)
+		case *lang.BinaryExpr:
+			walkExpr(e.X)
+			walkExpr(e.Y)
+		}
+	}
+	var walk func(s lang.Stmt)
+	walk = func(s lang.Stmt) {
+		switch s := s.(type) {
+		case *lang.BlockStmt:
+			if s == nil {
+				return
+			}
+			for _, st := range s.List {
+				walk(st)
+			}
+		case *lang.VarDecl:
+			if s.Init != nil {
+				walkExpr(s.Init)
+			}
+		case *lang.AssignStmt:
+			if s.Target.Index != nil {
+				walkExpr(s.Target.Index)
+			}
+			walkExpr(s.Value)
+		case *lang.IfStmt:
+			walkExpr(s.Cond)
+			walk(s.Then)
+			if s.Else != nil {
+				walk(s.Else)
+			}
+		case *lang.WhileStmt:
+			walkExpr(s.Cond)
+			walk(s.Body)
+		case *lang.ForStmt:
+			if s.Init != nil {
+				walk(s.Init)
+			}
+			if s.Cond != nil {
+				walkExpr(s.Cond)
+			}
+			if s.Post != nil {
+				walk(s.Post)
+			}
+			walk(s.Body)
+		case *lang.ReturnStmt:
+			if s.Value != nil {
+				walkExpr(s.Value)
+			}
+		case *lang.ExprStmt:
+			walkExpr(s.X)
+		}
+	}
+	walk(s)
+}
+
+// lintGlobals applies the state-size rule.
+func lintGlobals(m *ir.Module, cfg Config, gpos map[string]ir.Pos) []Diagnostic {
+	var ds []Diagnostic
+	for _, g := range m.Globals {
+		size := g.SizeBytes()
+		pos := gpos[g.Name]
+		switch {
+		case size > cfg.TotalBudget:
+			ds = append(ds, Diagnostic{
+				Rule:     RuleStateOversize,
+				Severity: SevError,
+				Elem:     m.Name,
+				Line:     pos.Line,
+				Col:      pos.Col,
+				Msg: fmt.Sprintf("%s %q needs %d bytes of stateful memory; the largest NIC tier holds %d",
+					g.Kind, g.Name, size, cfg.TotalBudget),
+				Hint: "shrink the structure (fewer entries or narrower types) or keep it on the host",
+			})
+		case size > cfg.FastBudget:
+			ds = append(ds, Diagnostic{
+				Rule:     RuleStateOversize,
+				Severity: SevWarning,
+				Elem:     m.Name,
+				Line:     pos.Line,
+				Col:      pos.Col,
+				Msg: fmt.Sprintf("%s %q needs %d bytes, beyond the %d bytes of on-chip SRAM; it will be placed in DRAM-backed EMEM",
+					g.Kind, g.Name, size, cfg.FastBudget),
+				Hint: "shrink the structure to fit an SRAM tier, or expect EMEM latency on every access",
+			})
+		}
+	}
+	return ds
+}
+
+// lintFunc runs the CFG/dataflow rules over one function.
+func lintFunc(m *ir.Module, f *ir.Func, cfg Config) []Diagnostic {
+	var ds []Diagnostic
+	c := BuildCFG(f)
+	ri := ComputeRanges(c)
+	ds = append(ds, lintLoops(m, f, c, ri, cfg)...)
+	ds = append(ds, lintCalls(m, f, c)...)
+	ds = append(ds, lintDeadStores(m, f, c)...)
+	ds = append(ds, lintUninitReads(m, f, c)...)
+	return ds
+}
+
+// loopPos picks the most useful source anchor for a loop: the exit
+// branch's position (the loop condition), else any position in the body.
+func loopPos(c *CFG, l *Loop) ir.Pos {
+	for _, e := range l.Exits {
+		if t := c.F.Blocks[e.From].Terminator(); t != nil && t.Pos.IsValid() {
+			return t.Pos
+		}
+	}
+	for _, bi := range l.Blocks {
+		for _, in := range c.F.Blocks[bi].Instrs {
+			if in.Pos.IsValid() {
+				return in.Pos
+			}
+		}
+	}
+	return ir.Pos{}
+}
+
+// lintLoops applies the trip-count rules to every natural loop.
+func lintLoops(m *ir.Module, f *ir.Func, c *CFG, ri *RangeInfo, cfg Config) []Diagnostic {
+	var ds []Diagnostic
+	for _, l := range c.NaturalLoops() {
+		if !ri.BlockReachable(l.Head) {
+			continue
+		}
+		tc := ri.InferTripCount(c, l)
+		pos := loopPos(c, l)
+		switch {
+		case !tc.HasFeasibleExit:
+			ds = append(ds, Diagnostic{
+				Rule:     RuleLoopUnbounded,
+				Severity: SevError,
+				Elem:     m.Name,
+				Fn:       f.Name,
+				Line:     pos.Line,
+				Col:      pos.Col,
+				Msg:      "loop has no feasible exit; a run-to-completion NIC core would never finish the packet",
+				Hint:     "bound the loop with an induction variable and a constant limit",
+			})
+		case !tc.Bounded:
+			ds = append(ds, Diagnostic{
+				Rule:     RuleLoopVarBound,
+				Severity: SevWarning,
+				Elem:     m.Name,
+				Fn:       f.Name,
+				Line:     pos.Line,
+				Col:      pos.Col,
+				Msg:      "cannot bound the loop's iteration count; per-packet latency becomes input-dependent",
+				Hint:     "cap the controlling variable with a constant (e.g. clamp it before the loop)",
+			})
+		case tc.Max > cfg.TripBudget:
+			ds = append(ds, Diagnostic{
+				Rule:     RuleLoopVarBound,
+				Severity: SevWarning,
+				Elem:     m.Name,
+				Fn:       f.Name,
+				Line:     pos.Line,
+				Col:      pos.Col,
+				Msg: fmt.Sprintf("loop may run %d iterations per packet, beyond the %d budget",
+					tc.Max, cfg.TripBudget),
+				Hint: "tighten the loop bound or move the work off the per-packet path",
+			})
+		}
+	}
+	return ds
+}
+
+// lintCalls applies the API rules: float emulation, unknown APIs, and
+// reverse-porting notes for stateful framework calls (one per callee).
+func lintCalls(m *ir.Module, f *ir.Func, c *CFG) []Diagnostic {
+	var ds []Diagnostic
+	noted := map[string]bool{}
+	for _, b := range f.Blocks {
+		if !c.Reachable(b.Index) {
+			continue
+		}
+		for _, in := range b.Instrs {
+			if in.Op != ir.OpCall {
+				continue
+			}
+			intr, known := lang.Intrinsics[in.Callee]
+			switch {
+			case !known:
+				ds = append(ds, Diagnostic{
+					Rule:     RuleAPIUnknown,
+					Severity: SevWarning,
+					Elem:     m.Name,
+					Fn:       f.Name,
+					Line:     in.Pos.Line,
+					Col:      in.Pos.Col,
+					Msg:      fmt.Sprintf("call to %q, which is not a known framework API; its NIC cost and semantics are unknown", in.Callee),
+					Hint:     "port the callee explicitly or replace it with a framework API",
+				})
+			case intr.Float:
+				ds = append(ds, Diagnostic{
+					Rule:     RuleFloatOp,
+					Severity: SevError,
+					Elem:     m.Name,
+					Fn:       f.Name,
+					Line:     in.Pos.Line,
+					Col:      in.Pos.Col,
+					Msg:      fmt.Sprintf("%q computes in floating point on the host; NIC cores have no FPU and fall back to soft-float emulation", in.Callee),
+					Hint:     "rewrite with fixed-point integer arithmetic (e.g. a shifted EWMA)",
+				})
+			case intr.Stateful && !noted[in.Callee]:
+				noted[in.Callee] = true
+				ds = append(ds, Diagnostic{
+					Rule:     RuleReversePort,
+					Severity: SevInfo,
+					Elem:     m.Name,
+					Fn:       f.Name,
+					Line:     in.Pos.Line,
+					Col:      in.Pos.Col,
+					Msg:      fmt.Sprintf("%q has divergent host/NIC implementations; the call must be reverse ported", in.Callee),
+					Hint:     "review the NIC-side semantics (fixed capacity, no growth) against the host's elastic structures",
+				})
+			}
+		}
+	}
+	return ds
+}
+
+// lintDeadStores flags stores of computed values into locals that are
+// never subsequently read. Constant stores are exempt: the -O0-style
+// lowering emits them for every declaration default, and they cost the
+// NIC compiler nothing after register allocation.
+func lintDeadStores(m *ir.Module, f *ir.Func, c *CFG) []Diagnostic {
+	lv := ComputeLiveness(c)
+	var ds []Diagnostic
+	for _, b := range f.Blocks {
+		if !c.Reachable(b.Index) {
+			continue
+		}
+		live := lv.LiveOut(b.Index).Clone()
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			in := b.Instrs[i]
+			switch in.Op {
+			case ir.OpLLoad:
+				live.Add(in.Slot)
+			case ir.OpLStore:
+				if !live.Has(in.Slot) && in.Args[0].Kind != ir.VConst {
+					ds = append(ds, Diagnostic{
+						Rule:     RuleDeadStore,
+						Severity: SevWarning,
+						Elem:     m.Name,
+						Fn:       f.Name,
+						Line:     in.Pos.Line,
+						Col:      in.Pos.Col,
+						Msg:      fmt.Sprintf("computed value stored to local slot %d is never read", in.Slot),
+						Hint:     "delete the assignment, or use the value; wimpy NIC cores cannot spare the cycles",
+					})
+				}
+				live.Remove(in.Slot)
+			}
+		}
+	}
+	return ds
+}
+
+// lintUninitReads flags loads that may observe a slot's uninitialized
+// entry value (possible only in hand-built IR; lowering zero-initializes
+// every declaration).
+func lintUninitReads(m *ir.Module, f *ir.Func, c *CFG) []Diagnostic {
+	rd := ComputeReachingDefs(c)
+	var ds []Diagnostic
+	reported := map[int]bool{} // one report per slot keeps the noise down
+	for _, b := range f.Blocks {
+		if !c.Reachable(b.Index) {
+			continue
+		}
+		for i, in := range b.Instrs {
+			if in.Op != ir.OpLLoad || reported[in.Slot] {
+				continue
+			}
+			for _, d := range rd.At(b.Index, i, in.Slot) {
+				if d == UninitDef {
+					reported[in.Slot] = true
+					ds = append(ds, Diagnostic{
+						Rule:     RuleUninitRead,
+						Severity: SevWarning,
+						Elem:     m.Name,
+						Fn:       f.Name,
+						Line:     in.Pos.Line,
+						Col:      in.Pos.Col,
+						Msg:      fmt.Sprintf("local slot %d may be read before it is written", in.Slot),
+						Hint:     "initialize the variable on every path before this read",
+					})
+					break
+				}
+			}
+		}
+	}
+	return ds
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"clara/internal/analysis"
 	"clara/internal/ir"
 	"clara/internal/isa"
 	"clara/internal/niccc"
@@ -42,6 +43,27 @@ type Insights struct {
 
 	// Memory access coalescing (§4.4).
 	Packs [][]string
+
+	// Offloadability lint findings (internal/analysis): SmartNIC-hostile
+	// constructs detected statically in the unported NF.
+	Diagnostics []analysis.Diagnostic
+}
+
+// LintConfig derives the linter budgets from the hardware model: the
+// largest tier bounds what can be placed at all, the on-chip tiers bound
+// what stays in SRAM.
+func (c *Clara) LintConfig() analysis.Config {
+	cfg := analysis.DefaultConfig()
+	if emem := c.Params.Regions[isa.EMEM].Capacity; emem > 0 {
+		cfg.TotalBudget = emem
+	}
+	fast := c.Params.Regions[isa.CLS].Capacity +
+		c.Params.Regions[isa.CTM].Capacity +
+		c.Params.Regions[isa.IMEM].Capacity
+	if fast > 0 {
+		cfg.FastBudget = fast
+	}
+	return cfg
 }
 
 // Analyze runs every analysis on an unported NF.
@@ -64,6 +86,7 @@ func (c *Clara) AnalyzeWithPrediction(mod *ir.Module, ps ProfileSetup, wl traffi
 	}
 	ins := &Insights{NF: mod.Name, Workload: wl.Name}
 	ins.Prediction = mp
+	ins.Diagnostics = analysis.LintModule(mod, c.LintConfig())
 
 	if c.AlgoID != nil {
 		ins.Algorithm = c.AlgoID.Classify(mod)
@@ -129,6 +152,14 @@ func (ins *Insights) Report() string {
 		fmt.Fprintf(&b, "\nCoalescing packs (allocate adjacently, fetch together):\n")
 		for i, p := range ins.Packs {
 			fmt.Fprintf(&b, "  pack %d: %s\n", i, strings.Join(p, ", "))
+		}
+	}
+	if len(ins.Diagnostics) > 0 {
+		s := analysis.Summarize(ins.Diagnostics)
+		fmt.Fprintf(&b, "\nOffloadability lint (%d error(s), %d warning(s), %d note(s)):\n",
+			s.Errors, s.Warnings, s.Infos)
+		for _, d := range ins.Diagnostics {
+			fmt.Fprintf(&b, "  %s\n", d)
 		}
 	}
 	return b.String()

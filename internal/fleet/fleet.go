@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"clara/internal/analysis"
 	"clara/internal/core"
 	"clara/internal/ir"
 	"clara/internal/niccc"
@@ -60,6 +61,8 @@ type Result struct {
 	// CacheHit records whether the §3 prediction was served from the
 	// fleet cache rather than recomputed.
 	CacheHit bool
+	// Lint counts this job's offloadability diagnostics by severity.
+	Lint analysis.Summary
 }
 
 // Config sizes a Fleet.
@@ -160,6 +163,9 @@ func (f *Fleet) analyze(j Job) Result {
 	}
 	if err == nil {
 		res.Insights, err = f.tool.AnalyzeWithPrediction(j.Mod, j.PS, j.WL, mp)
+	}
+	if res.Insights != nil {
+		res.Lint = analysis.Summarize(res.Insights.Diagnostics)
 	}
 	res.Err = err
 	res.Elapsed = time.Since(start)

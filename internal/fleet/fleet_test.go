@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"clara/internal/analysis"
 	"clara/internal/click"
 	"clara/internal/core"
 	"clara/internal/niccc"
@@ -166,7 +167,7 @@ func TestFleetSummaryTable(t *testing.T) {
 	if len(lines) != len(jobs)+1 {
 		t.Fatalf("table has %d lines, want %d:\n%s", len(lines), len(jobs)+1, tab)
 	}
-	if !strings.Contains(lines[0], "NF") || !strings.Contains(lines[0], "CACHE") {
+	if !strings.Contains(lines[0], "NF") || !strings.Contains(lines[0], "CACHE") || !strings.Contains(lines[0], "LINT") {
 		t.Errorf("bad header: %q", lines[0])
 	}
 	for _, r := range results[:2] {
@@ -254,8 +255,8 @@ func TestFleetJobValidation(t *testing.T) {
 // TestStatsRendering pins the stats snapshot arithmetic.
 func TestStatsRendering(t *testing.T) {
 	c := newCollector()
-	c.record(Result{Elapsed: 1e6, CacheHit: true})
-	c.record(Result{Elapsed: 3e6})
+	c.record(Result{Elapsed: 1e6, CacheHit: true, Lint: analysis.Summary{Warnings: 1, Infos: 2}})
+	c.record(Result{Elapsed: 3e6, Lint: analysis.Summary{Errors: 1}})
 	c.record(Result{Elapsed: 2e9, Err: errors.New("x")})
 	c.addWall(5e6)
 	s := c.snapshot()
@@ -264,6 +265,9 @@ func TestStatsRendering(t *testing.T) {
 	}
 	if s.CacheHits != 1 || s.CacheMisses != 2 {
 		t.Errorf("cache: %+v", s)
+	}
+	if s.LintErrors != 1 || s.LintWarnings != 1 || s.LintInfos != 2 {
+		t.Errorf("lint counts: %+v", s)
 	}
 	if got := s.HitRate(); got < 0.33 || got > 0.34 {
 		t.Errorf("hit rate %v", got)

@@ -69,6 +69,10 @@ type Stats struct {
 	JobsFailed    int64
 	CacheHits     int64
 	CacheMisses   int64
+	// Lint findings across all completed jobs, by severity.
+	LintErrors   int64
+	LintWarnings int64
+	LintInfos    int64
 	// Analyses is the per-analysis wall-time distribution.
 	Analyses Histogram
 	// Wall is the cumulative wall time of every Run call.
@@ -90,6 +94,8 @@ func (s Stats) String() string {
 	fmt.Fprintf(&b, "jobs: %d completed, %d failed\n", s.JobsCompleted, s.JobsFailed)
 	fmt.Fprintf(&b, "prediction cache: %d hits, %d misses (%.0f%% hit rate)\n",
 		s.CacheHits, s.CacheMisses, 100*s.HitRate())
+	fmt.Fprintf(&b, "lint findings: %d errors, %d warnings, %d notes\n",
+		s.LintErrors, s.LintWarnings, s.LintInfos)
 	fmt.Fprintf(&b, "analysis time: %s\n", s.Analyses)
 	fmt.Fprintf(&b, "batch wall time: %s\n", s.Wall)
 	return b.String()
@@ -121,6 +127,9 @@ func (c *collector) record(r Result) {
 	} else {
 		c.s.CacheMisses++
 	}
+	c.s.LintErrors += int64(r.Lint.Errors)
+	c.s.LintWarnings += int64(r.Lint.Warnings)
+	c.s.LintInfos += int64(r.Lint.Infos)
 	h := &c.s.Analyses
 	if h.N == 0 || r.Elapsed < h.Min {
 		h.Min = r.Elapsed

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"clara/internal/analysis"
 	"clara/internal/core"
 	"clara/internal/isa"
 )
@@ -15,10 +16,10 @@ import (
 func Summary(results []Result) string {
 	var b strings.Builder
 	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "NF\tWORKLOAD\tCOMPUTE\tAPI\tMEM\tALGO\tCORES\tPLACEMENT\tPACKS\tCACHE\tTIME")
+	fmt.Fprintln(w, "NF\tWORKLOAD\tCOMPUTE\tAPI\tMEM\tALGO\tCORES\tPLACEMENT\tPACKS\tLINT\tCACHE\tTIME")
 	for _, r := range results {
 		if r.Err != nil {
-			fmt.Fprintf(w, "%s\t%s\terror: %v\t\t\t\t\t\t\t\t\n", r.Name, r.Workload, r.Err)
+			fmt.Fprintf(w, "%s\t%s\terror: %v\t\t\t\t\t\t\t\t\t\n", r.Name, r.Workload, r.Err)
 			continue
 		}
 		ins := r.Insights
@@ -26,15 +27,24 @@ func Summary(results []Result) string {
 		if r.CacheHit {
 			cache = "hit"
 		}
-		fmt.Fprintf(w, "%s\t%s\t%.1f\t%d\t%d\t%s\t%d\t%s\t%d\t%s\t%s\n",
+		fmt.Fprintf(w, "%s\t%s\t%.1f\t%d\t%d\t%s\t%d\t%s\t%d\t%s\t%s\t%s\n",
 			r.Name, r.Workload,
 			ins.Prediction.TotalCompute, ins.Prediction.TotalAPI, ins.Prediction.TotalMem,
 			core.AlgoName(ins.Algorithm), ins.SuggestedCores,
-			placementSummary(ins), len(ins.Packs), cache,
+			placementSummary(ins), len(ins.Packs), lintSummary(r.Lint), cache,
 			r.Elapsed.Round(r.Elapsed/100+1))
 	}
 	w.Flush()
 	return b.String()
+}
+
+// lintSummary compresses a diagnostic summary to "1E/2W/3I" (errors,
+// warnings, infos), or "-" when the NF linted completely clean.
+func lintSummary(s analysis.Summary) string {
+	if s.Errors == 0 && s.Warnings == 0 && s.Infos == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%dE/%dW/%dI", s.Errors, s.Warnings, s.Infos)
 }
 
 // placementSummary compresses a placement map to per-region counts in

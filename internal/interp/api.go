@@ -90,6 +90,11 @@ func (m *Machine) call(in *cInstr, block int) error {
 	case apiRand32:
 		m.rng = m.rng*6364136223846793005 + 1442695040888963407
 		m.vals[in.id] = (m.rng >> 32) & 0xffffffff
+	case apiEwmaRate:
+		// EWMA with alpha = 1/16, computed in double precision exactly as
+		// the host framework does (the divergence the linter warns about).
+		m.ewma += (float64(uint32(m.arg(in.args[0]))) - m.ewma) / 16
+		m.vals[in.id] = uint64(uint32(m.ewma))
 	case apiCRC32HW:
 		off := int(m.arg(in.args[0]))
 		n := int(m.arg(in.args[1]))

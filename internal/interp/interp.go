@@ -115,6 +115,7 @@ const (
 	apiDrop
 	apiHash32
 	apiRand32
+	apiEwmaRate
 	apiCRC32HW
 	apiLPMHW
 	apiMapFind
@@ -145,7 +146,7 @@ var apiCodes = map[string]int{
 	"pkt_set_udp_sport": apiSetUDPSport, "pkt_set_udp_dport": apiSetUDPDport,
 	"pkt_set_payload": apiSetPayload,
 	"pkt_csum_update": apiCsumUpdate, "pkt_send": apiSend, "pkt_drop": apiDrop,
-	"hash32": apiHash32, "rand32": apiRand32,
+	"hash32": apiHash32, "rand32": apiRand32, "ewma_rate": apiEwmaRate,
 	"crc32_hw": apiCRC32HW, "lpm_hw": apiLPMHW,
 	"map_find": apiMapFind, "map_contains": apiMapContains,
 	"map_insert": apiMapInsert, "map_remove": apiMapRemove, "map_size": apiMapSize,
@@ -236,6 +237,9 @@ type Machine struct {
 	rng    uint64
 	pkt    *traffic.Packet
 	fuel   int
+	// ewma is the host-side double-precision rate average backing the
+	// ewma_rate intrinsic (Click AverageCounter semantics).
+	ewma float64
 
 	// Steps is the cumulative interpreted instruction count.
 	Steps uint64

@@ -6,7 +6,12 @@ package ir
 type Builder struct {
 	F   *Func
 	cur *Block
+	pos Pos // stamped onto every emitted instruction
 }
+
+// At sets the source position stamped onto subsequently emitted
+// instructions (the zero Pos marks them position-less).
+func (b *Builder) At(p Pos) { b.pos = p }
 
 // NewBuilder starts a function with an entry block.
 func NewBuilder(name string, params []Param, ret Type) *Builder {
@@ -38,6 +43,7 @@ func (b *Builder) NewSlot() int {
 }
 
 func (b *Builder) emit(in *Instr) *Instr {
+	in.Pos = b.pos
 	b.cur.Instrs = append(b.cur.Instrs, in)
 	return in
 }

@@ -175,6 +175,25 @@ func (o Op) IsLocalMem() bool { return o == OpLLoad || o == OpLStore }
 // IsTerminator reports whether the opcode terminates a basic block.
 func (o Op) IsTerminator() bool { return o == OpBr || o == OpCondBr || o == OpRet }
 
+// Pos is a source position (1-based line and column) carried from the NFC
+// frontend through lowering. The zero Pos means "unknown": synthesized or
+// hand-built IR has no source to point into. Diagnostics (internal/analysis)
+// anchor to these positions.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// IsValid reports whether the position refers to real source.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
+
 // Pred is an integer-comparison predicate for OpICmp.
 type Pred uint8
 
@@ -295,6 +314,10 @@ type Instr struct {
 	// True/False are successor block indices for terminators (True doubles
 	// as the unconditional target for OpBr).
 	True, False int
+
+	// Pos is the source position the instruction was lowered from (zero
+	// for synthesized IR).
+	Pos Pos
 }
 
 // Uses returns the operand values of the instruction.

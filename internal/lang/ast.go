@@ -17,6 +17,7 @@ type GlobalDecl struct {
 	Key  ir.Type // map key
 	Len  int     // array length / map capacity
 	Line int
+	Col  int
 }
 
 // FuncDecl declares a function. The packet handler is named "handle".
@@ -26,6 +27,7 @@ type FuncDecl struct {
 	Ret    ir.Type
 	Body   *BlockStmt
 	Line   int
+	Col    int
 }
 
 // Stmt is a statement node.
@@ -40,6 +42,7 @@ type VarDecl struct {
 	Ty   ir.Type
 	Init Expr // may be nil
 	Line int
+	Col  int
 }
 
 // AssignStmt assigns to a local variable, global scalar, or array element.
@@ -49,6 +52,7 @@ type AssignStmt struct {
 	Op     string
 	Value  Expr
 	Line   int
+	Col    int
 }
 
 // LValue is an assignable location.
@@ -56,6 +60,7 @@ type LValue struct {
 	Name  string
 	Index Expr // non-nil for array element
 	Line  int
+	Col   int
 }
 
 // IfStmt is if/else.
@@ -64,6 +69,7 @@ type IfStmt struct {
 	Then *BlockStmt
 	Else *BlockStmt // may be nil
 	Line int
+	Col  int
 }
 
 // WhileStmt is a while loop.
@@ -71,6 +77,7 @@ type WhileStmt struct {
 	Cond Expr
 	Body *BlockStmt
 	Line int
+	Col  int
 }
 
 // ForStmt is a C-style for loop.
@@ -80,24 +87,27 @@ type ForStmt struct {
 	Post Stmt // AssignStmt, may be nil
 	Body *BlockStmt
 	Line int
+	Col  int
 }
 
 // ReturnStmt returns from the current function.
 type ReturnStmt struct {
 	Value Expr // may be nil
 	Line  int
+	Col   int
 }
 
 // BreakStmt exits the innermost loop.
-type BreakStmt struct{ Line int }
+type BreakStmt struct{ Line, Col int }
 
 // ContinueStmt continues the innermost loop.
-type ContinueStmt struct{ Line int }
+type ContinueStmt struct{ Line, Col int }
 
 // ExprStmt evaluates an expression for its side effects (calls).
 type ExprStmt struct {
 	X    Expr
 	Line int
+	Col  int
 }
 
 func (*BlockStmt) stmtNode()    {}
@@ -118,18 +128,21 @@ type Expr interface{ exprNode() }
 type IntLit struct {
 	Val  uint64
 	Line int
+	Col  int
 }
 
 // BoolLit is true/false.
 type BoolLit struct {
 	Val  bool
 	Line int
+	Col  int
 }
 
 // Ident references a local variable, parameter, or global scalar.
 type Ident struct {
 	Name string
 	Line int
+	Col  int
 }
 
 // IndexExpr is array indexing: name[idx].
@@ -137,6 +150,7 @@ type IndexExpr struct {
 	Name  string
 	Index Expr
 	Line  int
+	Col   int
 }
 
 // CallExpr calls an intrinsic or a user function.
@@ -144,6 +158,7 @@ type CallExpr struct {
 	Name string
 	Args []Expr
 	Line int
+	Col  int
 }
 
 // CastExpr is an explicit conversion: u32(expr).
@@ -151,6 +166,7 @@ type CastExpr struct {
 	Ty   ir.Type
 	X    Expr
 	Line int
+	Col  int
 }
 
 // UnaryExpr is !x, ~x, or -x.
@@ -158,6 +174,7 @@ type UnaryExpr struct {
 	Op   string
 	X    Expr
 	Line int
+	Col  int
 }
 
 // BinaryExpr is a binary operation.
@@ -165,6 +182,7 @@ type BinaryExpr struct {
 	Op   string
 	X, Y Expr
 	Line int
+	Col  int
 }
 
 func (*IntLit) exprNode()     {}

@@ -21,6 +21,11 @@ type Intrinsic struct {
 	// Accel marks APIs that map to a hardware engine on the NIC
 	// (checksum, CRC, LPM, hash).
 	Accel bool
+	// Float marks APIs whose host implementation uses floating point
+	// (Click's rate estimators compute with doubles). Baremetal SmartNIC
+	// cores have no FPU, so these calls compile to slow soft-float
+	// emulation — the offloadability linter flags them.
+	Float bool
 }
 
 // Intrinsics is the NF framework API registry, keyed by name.
@@ -71,6 +76,11 @@ var Intrinsics = map[string]Intrinsic{
 	// Utility engines.
 	"hash32": {Name: "hash32", Params: []ir.Type{ir.U64}, Ret: ir.U32, Accel: true},
 	"rand32": {Name: "rand32", Ret: ir.U32},
+
+	// EWMA rate estimate (Click AverageCounter analog). The host
+	// framework maintains the average in double precision; the NIC has no
+	// FPU and emulates it in software.
+	"ewma_rate": {Name: "ewma_rate", Params: []ir.Type{ir.U32}, Ret: ir.U32, Float: true},
 
 	// Hardware accelerator entry points. Unported NFs implement CRC/LPM
 	// procedurally; Clara's algorithm identification (§4.1) suggests

@@ -116,6 +116,54 @@ func (lo *lowerer) errf(line int, format string, args ...any) error {
 	return fmt.Errorf("%s:%d: %s", lo.file.Name, line, fmt.Sprintf(format, args...))
 }
 
+// stmtPos returns the source position of a statement node.
+func stmtPos(s Stmt) ir.Pos {
+	switch st := s.(type) {
+	case *VarDecl:
+		return ir.Pos{Line: st.Line, Col: st.Col}
+	case *AssignStmt:
+		return ir.Pos{Line: st.Line, Col: st.Col}
+	case *IfStmt:
+		return ir.Pos{Line: st.Line, Col: st.Col}
+	case *WhileStmt:
+		return ir.Pos{Line: st.Line, Col: st.Col}
+	case *ForStmt:
+		return ir.Pos{Line: st.Line, Col: st.Col}
+	case *ReturnStmt:
+		return ir.Pos{Line: st.Line, Col: st.Col}
+	case *BreakStmt:
+		return ir.Pos{Line: st.Line, Col: st.Col}
+	case *ContinueStmt:
+		return ir.Pos{Line: st.Line, Col: st.Col}
+	case *ExprStmt:
+		return ir.Pos{Line: st.Line, Col: st.Col}
+	}
+	return ir.Pos{}
+}
+
+// exprPos returns the source position of an expression node.
+func exprPos(e Expr) ir.Pos {
+	switch x := e.(type) {
+	case *IntLit:
+		return ir.Pos{Line: x.Line, Col: x.Col}
+	case *BoolLit:
+		return ir.Pos{Line: x.Line, Col: x.Col}
+	case *Ident:
+		return ir.Pos{Line: x.Line, Col: x.Col}
+	case *IndexExpr:
+		return ir.Pos{Line: x.Line, Col: x.Col}
+	case *CallExpr:
+		return ir.Pos{Line: x.Line, Col: x.Col}
+	case *CastExpr:
+		return ir.Pos{Line: x.Line, Col: x.Col}
+	case *UnaryExpr:
+		return ir.Pos{Line: x.Line, Col: x.Col}
+	case *BinaryExpr:
+		return ir.Pos{Line: x.Line, Col: x.Col}
+	}
+	return ir.Pos{}
+}
+
 func (lo *lowerer) pushScope() { lo.scopes = append(lo.scopes, map[string]local{}) }
 func (lo *lowerer) popScope()  { lo.scopes = lo.scopes[:len(lo.scopes)-1] }
 
@@ -160,6 +208,9 @@ func (lo *lowerer) lowerBlock(b *BlockStmt) error {
 }
 
 func (lo *lowerer) lowerStmt(s Stmt) error {
+	if p := stmtPos(s); p.IsValid() {
+		lo.b.At(p)
+	}
 	switch st := s.(type) {
 	case *BlockStmt:
 		return lo.lowerBlock(st)
@@ -208,6 +259,7 @@ func (lo *lowerer) lowerStmt(s Stmt) error {
 		}
 		join := lo.newBlock("join")
 		lo.b.SetBlock(curr)
+		lo.b.At(stmtPos(st)) // the branch belongs to the 'if' line
 		if elseB != nil {
 			lo.b.CondBr(cond, thenB, elseB)
 		} else {
@@ -311,6 +363,7 @@ func (lo *lowerer) lowerLoop(head *ir.Block, cond Expr, post Stmt, body *BlockSt
 
 	lo.b.SetBlock(condEnd)
 	if cond != nil {
+		lo.b.At(exprPos(cond)) // the loop branch belongs to the condition
 		lo.b.CondBr(condV, bodyB, exit)
 	} else {
 		lo.b.Br(bodyB)
@@ -451,6 +504,9 @@ func (lo *lowerer) lowerCond(e Expr) (ir.Value, error) {
 // lowerExpr lowers an expression. hint is the preferred result type for
 // otherwise-untyped literals (Void means "no preference").
 func (lo *lowerer) lowerExpr(e Expr, hint ir.Type) (ir.Value, error) {
+	if p := exprPos(e); p.IsValid() {
+		lo.b.At(p)
+	}
 	switch x := e.(type) {
 	case *IntLit:
 		ty := hint
@@ -693,6 +749,7 @@ func (lo *lowerer) lowerIntrinsic(x *CallExpr, intr Intrinsic) (ir.Value, error)
 		}
 		vals[i] = lo.convert(intr.Params[i], v)
 	}
+	lo.b.At(exprPos(x)) // the call instruction belongs to the call site
 	return lo.b.Call(intr.Name, global, intr.Ret, vals...), nil
 }
 

@@ -135,7 +135,7 @@ func (p *Parser) expectInt() (uint64, error) {
 //	map<u64,u64> name[4096];    (hash map)
 //	vec<u64> name[256];         (vector)
 func (p *Parser) parseGlobal() (*GlobalDecl, error) {
-	line := p.tok.Line
+	line, col := p.tok.Line, p.tok.Col
 	if p.isKw("vec") {
 		if err := p.advance(); err != nil {
 			return nil, err
@@ -170,7 +170,7 @@ func (p *Parser) parseGlobal() (*GlobalDecl, error) {
 		if err := p.expectPunct(";"); err != nil {
 			return nil, err
 		}
-		return &GlobalDecl{Name: name.Text, Kind: ir.GVec, Elem: elem, Len: int(n), Line: line}, nil
+		return &GlobalDecl{Name: name.Text, Kind: ir.GVec, Elem: elem, Len: int(n), Line: line, Col: col}, nil
 	}
 	if p.isKw("map") {
 		if err := p.advance(); err != nil {
@@ -216,7 +216,7 @@ func (p *Parser) parseGlobal() (*GlobalDecl, error) {
 		if err := p.expectPunct(";"); err != nil {
 			return nil, err
 		}
-		return &GlobalDecl{Name: name.Text, Kind: ir.GMap, Key: key, Elem: val, Len: int(n), Line: line}, nil
+		return &GlobalDecl{Name: name.Text, Kind: ir.GMap, Key: key, Elem: val, Len: int(n), Line: line, Col: col}, nil
 	}
 
 	// global <type> name ( [N] )? ;
@@ -234,7 +234,7 @@ func (p *Parser) parseGlobal() (*GlobalDecl, error) {
 	if err != nil {
 		return nil, err
 	}
-	g := &GlobalDecl{Name: name.Text, Kind: ir.GScalar, Elem: elem, Line: line}
+	g := &GlobalDecl{Name: name.Text, Kind: ir.GScalar, Elem: elem, Line: line, Col: col}
 	if p.isPunct("[") {
 		if err := p.advance(); err != nil {
 			return nil, err
@@ -256,7 +256,7 @@ func (p *Parser) parseGlobal() (*GlobalDecl, error) {
 }
 
 func (p *Parser) parseFunc() (*FuncDecl, error) {
-	line := p.tok.Line
+	line, col := p.tok.Line, p.tok.Col
 	ret := ir.Void
 	if p.isType() {
 		ret = p.typeOf(p.tok)
@@ -298,7 +298,7 @@ func (p *Parser) parseFunc() (*FuncDecl, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &FuncDecl{Name: name.Text, Params: params, Ret: ret, Body: body, Line: line}, nil
+	return &FuncDecl{Name: name.Text, Params: params, Ret: ret, Body: body, Line: line, Col: col}, nil
 }
 
 func (p *Parser) parseBlock() (*BlockStmt, error) {
@@ -320,7 +320,7 @@ func (p *Parser) parseBlock() (*BlockStmt, error) {
 }
 
 func (p *Parser) parseStmt() (Stmt, error) {
-	line := p.tok.Line
+	line, col := p.tok.Line, p.tok.Col
 	switch {
 	case p.isPunct("{"):
 		return p.parseBlock()
@@ -346,7 +346,7 @@ func (p *Parser) parseStmt() (Stmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		st := &IfStmt{Cond: cond, Then: then, Line: line}
+		st := &IfStmt{Cond: cond, Then: then, Line: line, Col: col}
 		if p.isKw("else") {
 			if err := p.advance(); err != nil {
 				return nil, err
@@ -384,7 +384,7 @@ func (p *Parser) parseStmt() (Stmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &WhileStmt{Cond: cond, Body: body, Line: line}, nil
+		return &WhileStmt{Cond: cond, Body: body, Line: line, Col: col}, nil
 
 	case p.isKw("for"):
 		if err := p.advance(); err != nil {
@@ -393,7 +393,7 @@ func (p *Parser) parseStmt() (Stmt, error) {
 		if err := p.expectPunct("("); err != nil {
 			return nil, err
 		}
-		st := &ForStmt{Line: line}
+		st := &ForStmt{Line: line, Col: col}
 		if !p.isPunct(";") {
 			var err error
 			if p.isType() {
@@ -444,7 +444,7 @@ func (p *Parser) parseStmt() (Stmt, error) {
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
-		st := &ReturnStmt{Line: line}
+		st := &ReturnStmt{Line: line, Col: col}
 		if !p.isPunct(";") {
 			v, err := p.parseExpr()
 			if err != nil {
@@ -458,13 +458,13 @@ func (p *Parser) parseStmt() (Stmt, error) {
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
-		return &BreakStmt{Line: line}, p.expectPunct(";")
+		return &BreakStmt{Line: line, Col: col}, p.expectPunct(";")
 
 	case p.isKw("continue"):
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
-		return &ContinueStmt{Line: line}, p.expectPunct(";")
+		return &ContinueStmt{Line: line, Col: col}, p.expectPunct(";")
 
 	default:
 		st, err := p.parseSimpleStmt()
@@ -478,7 +478,7 @@ func (p *Parser) parseStmt() (Stmt, error) {
 // parseVarDeclOrCast parses a statement that begins with a type keyword.
 // That is always a variable declaration at statement position ("u32 x = ..;").
 func (p *Parser) parseVarDeclOrCast() (Stmt, error) {
-	line := p.tok.Line
+	line, col := p.tok.Line, p.tok.Col
 	ty := p.typeOf(p.tok)
 	if err := p.advance(); err != nil {
 		return nil, err
@@ -487,7 +487,7 @@ func (p *Parser) parseVarDeclOrCast() (Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &VarDecl{Name: name.Text, Ty: ty, Line: line}
+	d := &VarDecl{Name: name.Text, Ty: ty, Line: line, Col: col}
 	if p.isPunct("=") {
 		if err := p.advance(); err != nil {
 			return nil, err
@@ -503,7 +503,7 @@ func (p *Parser) parseVarDeclOrCast() (Stmt, error) {
 // parseSimpleStmt parses an assignment or expression statement, without the
 // trailing semicolon (for-loop posts reuse it).
 func (p *Parser) parseSimpleStmt() (Stmt, error) {
-	line := p.tok.Line
+	line, col := p.tok.Line, p.tok.Col
 	if p.tok.Kind == TIdent {
 		// Look ahead: ident (= | op=) → assignment to scalar; ident [ ... ] (=|op=)
 		// → array element; otherwise an expression statement.
@@ -523,7 +523,7 @@ func (p *Parser) parseSimpleStmt() (Stmt, error) {
 				if err != nil {
 					return nil, err
 				}
-				as := &AssignStmt{Target: &LValue{Name: name, Line: line}, Value: v, Line: line}
+				as := &AssignStmt{Target: &LValue{Name: name, Line: line, Col: col}, Value: v, Line: line, Col: col}
 				if op != "=" {
 					as.Op = op[:len(op)-1]
 				}
@@ -560,7 +560,7 @@ func (p *Parser) parseSimpleStmt() (Stmt, error) {
 				if err != nil {
 					return nil, err
 				}
-				as := &AssignStmt{Target: &LValue{Name: name, Index: idx, Line: line}, Value: v, Line: line}
+				as := &AssignStmt{Target: &LValue{Name: name, Index: idx, Line: line, Col: col}, Value: v, Line: line, Col: col}
 				if op != "=" {
 					as.Op = op[:len(op)-1]
 				}
@@ -572,7 +572,7 @@ func (p *Parser) parseSimpleStmt() (Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ExprStmt{X: x, Line: line}, nil
+	return &ExprStmt{X: x, Line: line, Col: col}, nil
 }
 
 // Binary operator precedence (higher binds tighter).
@@ -605,7 +605,7 @@ func (p *Parser) parseBinary(minPrec int) (Expr, error) {
 			return x, nil
 		}
 		op := p.tok.Text
-		line := p.tok.Line
+		line, col := p.tok.Line, p.tok.Col
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
@@ -613,7 +613,7 @@ func (p *Parser) parseBinary(minPrec int) (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		x = &BinaryExpr{Op: op, X: x, Y: y, Line: line}
+		x = &BinaryExpr{Op: op, X: x, Y: y, Line: line, Col: col}
 	}
 }
 
@@ -622,7 +622,7 @@ func (p *Parser) parseUnary() (Expr, error) {
 		switch p.tok.Text {
 		case "!", "~", "-":
 			op := p.tok.Text
-			line := p.tok.Line
+			line, col := p.tok.Line, p.tok.Col
 			if err := p.advance(); err != nil {
 				return nil, err
 			}
@@ -630,24 +630,24 @@ func (p *Parser) parseUnary() (Expr, error) {
 			if err != nil {
 				return nil, err
 			}
-			return &UnaryExpr{Op: op, X: x, Line: line}, nil
+			return &UnaryExpr{Op: op, X: x, Line: line, Col: col}, nil
 		}
 	}
 	return p.parsePrimary()
 }
 
 func (p *Parser) parsePrimary() (Expr, error) {
-	line := p.tok.Line
+	line, col := p.tok.Line, p.tok.Col
 	switch {
 	case p.tok.Kind == TInt:
 		v := p.tok.Val
-		return &IntLit{Val: v, Line: line}, p.advance()
+		return &IntLit{Val: v, Line: line, Col: col}, p.advance()
 
 	case p.isKw("true"):
-		return &BoolLit{Val: true, Line: line}, p.advance()
+		return &BoolLit{Val: true, Line: line, Col: col}, p.advance()
 
 	case p.isKw("false"):
-		return &BoolLit{Val: false, Line: line}, p.advance()
+		return &BoolLit{Val: false, Line: line, Col: col}, p.advance()
 
 	case p.isType():
 		ty := p.typeOf(p.tok)
@@ -664,7 +664,7 @@ func (p *Parser) parsePrimary() (Expr, error) {
 		if err := p.expectPunct(")"); err != nil {
 			return nil, err
 		}
-		return &CastExpr{Ty: ty, X: x, Line: line}, nil
+		return &CastExpr{Ty: ty, X: x, Line: line, Col: col}, nil
 
 	case p.tok.Kind == TIdent:
 		name := p.tok.Text
@@ -676,7 +676,7 @@ func (p *Parser) parsePrimary() (Expr, error) {
 			if err := p.advance(); err != nil {
 				return nil, err
 			}
-			c := &CallExpr{Name: name, Line: line}
+			c := &CallExpr{Name: name, Line: line, Col: col}
 			for !p.isPunct(")") {
 				if len(c.Args) > 0 {
 					if err := p.expectPunct(","); err != nil {
@@ -701,9 +701,9 @@ func (p *Parser) parsePrimary() (Expr, error) {
 			if err := p.expectPunct("]"); err != nil {
 				return nil, err
 			}
-			return &IndexExpr{Name: name, Index: idx, Line: line}, nil
+			return &IndexExpr{Name: name, Index: idx, Line: line, Col: col}, nil
 		default:
-			return &Ident{Name: name, Line: line}, nil
+			return &Ident{Name: name, Line: line, Col: col}, nil
 		}
 
 	case p.isPunct("("):

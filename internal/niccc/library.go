@@ -81,6 +81,10 @@ var Library = map[string]LibProfile{
 
 	"rand32": {Instrs: 3, Cycles: 3},
 
+	// Soft-float EWMA: the cores have no FPU, so the toolchain links the
+	// software double-precision multiply/add emulation routines.
+	"ewma_rate": {Instrs: 170, Cycles: 680},
+
 	"pkt_send": {Instrs: 2, Cycles: 2},
 	"pkt_drop": {Instrs: 1, Cycles: 1},
 

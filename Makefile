@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check check fuzz bench-fleet update-golden
+.PHONY: build test race vet fmt-check check serve-check fuzz bench-fleet update-golden
 
 build:
 	$(GO) build ./...
@@ -21,9 +21,15 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# serve-check exercises the HTTP serving layer end to end under the
+# race detector: concurrent requests, backpressure, cancellation,
+# panic isolation, graceful shutdown.
+serve-check:
+	$(GO) test -race ./internal/server/...
+
 # check is the PR gate: static gates first, then build, plain tests,
-# then the race pass.
-check: vet fmt-check build test race
+# then the race passes.
+check: vet fmt-check build test race serve-check
 
 # Short smoke runs of every fuzz target (seed corpus always runs under
 # plain `go test`; this adds a bounded mutation pass).

@@ -17,6 +17,7 @@
 package clara
 
 import (
+	"context"
 	"fmt"
 
 	"clara/internal/analysis"
@@ -29,6 +30,7 @@ import (
 	"clara/internal/lang"
 	"clara/internal/niccc"
 	"clara/internal/nicsim"
+	"clara/internal/server"
 	"clara/internal/synth"
 	"clara/internal/traffic"
 )
@@ -86,6 +88,11 @@ type (
 	LintConfig = analysis.Config
 	// LintSummary counts diagnostics by severity.
 	LintSummary = analysis.Summary
+	// Server is the HTTP analysis service (clara -serve): JSON insights
+	// over bounded admission with cancellation and /metrics.
+	Server = server.Server
+	// ServerConfig sizes a Server (workers, queue depth, timeouts).
+	ServerConfig = server.Config
 )
 
 // Diagnostic severities, most severe first.
@@ -133,6 +140,13 @@ type TrainConfig struct {
 // element library, trains the LSTM instruction predictor, the algorithm
 // identifier, and the scale-out cost model against the simulated NIC.
 func Train(cfg TrainConfig) (*Tool, error) {
+	return TrainContext(context.Background(), cfg)
+}
+
+// TrainContext is Train under a context: cancellation is observed
+// between training steps and inside the LSTM epoch loop, so a serving
+// process interrupted during startup stops training promptly.
+func TrainContext(ctx context.Context, cfg TrainConfig) (*Tool, error) {
 	params := nicsim.DefaultParams()
 	mods, err := click.Modules(click.Table2Order)
 	if err != nil {
@@ -147,20 +161,28 @@ func Train(cfg TrainConfig) (*Tool, error) {
 		scfg.TrainPrograms, scfg.PacketsPerTrace = 8, 400
 		scfg.CoreGrid = []int{2, 8, 16, 32, 48, 60}
 	}
-	pred, err := core.TrainPredictor(pcfg, core.CorpusProfile(mods))
+	pred, err := core.TrainPredictorContext(ctx, pcfg, core.CorpusProfile(mods))
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	algo, err := core.TrainAlgoIdentifier(synthCorpus(acN, cfg.Seed), 48, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
-	sm, err := core.TrainScaleout(scfg, pred)
+	sm, err := core.TrainScaleoutContext(ctx, scfg, pred)
 	if err != nil {
 		return nil, err
 	}
 	return &Tool{Predictor: pred, AlgoID: algo, Scaleout: sm, Params: params}, nil
 }
+
+// NewServer builds the HTTP analysis service around a trained tool; see
+// internal/server for the endpoint surface (/v1/analyze, /v1/lint,
+// /v1/elements, /metrics, /debug/pprof).
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
 
 // Lint runs the offloadability linter over an already-compiled module.
 func Lint(mod *Module, cfg LintConfig) []Diagnostic { return analysis.LintModule(mod, cfg) }

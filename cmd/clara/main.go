@@ -9,14 +9,19 @@
 //	clara -nf udpcount -trace capture.bin   # profile over a recorded trace
 //	clara -fleet [-workers 8] [-quick]      # whole library × all workloads
 //	clara -lint -src element.nfc [-json]    # offloadability lint, no training
+//	clara -serve :8080 [-workers 8] [-quick]  # HTTP analysis service
 //	clara -list
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"clara"
 	"clara/internal/core"
@@ -35,8 +40,19 @@ func main() {
 		workers   = flag.Int("workers", 0, "fleet worker pool size (0 = GOMAXPROCS)")
 		lintMode  = flag.Bool("lint", false, "offloadability lint only (static, no training); exits 1 on error-severity findings")
 		jsonOut   = flag.Bool("json", false, "with -lint: emit diagnostics as a JSON array")
+		serveAddr = flag.String("serve", "", "serve the HTTP analysis API on this address (e.g. :8080)")
+		queue     = flag.Int("queue", 0, "with -serve: max concurrent analysis requests (0 = 4x workers)")
+		timeout   = flag.Duration("timeout", 0, "with -serve: per-request analysis deadline (0 = 30s)")
 	)
 	flag.Parse()
+
+	validateFlags(*nfName, *srcPath, *fleetMode, *lintMode, *list, *jsonOut,
+		*serveAddr, *tracePath, *workers, *queue, *timeout)
+
+	if *serveAddr != "" {
+		serve(*serveAddr, *workers, *queue, *timeout, *quick)
+		return
+	}
 
 	if *list {
 		fmt.Println("Built-in NF elements:")
@@ -143,6 +159,81 @@ func main() {
 		fatal(err)
 	}
 	fmt.Print(ins.Report())
+}
+
+// validateFlags rejects incoherent flag combinations up front (exit 2
+// with usage) instead of silently ignoring the extra flags.
+func validateFlags(nf, src string, fleetMode, lintMode, list, jsonOut bool,
+	serveAddr, tracePath string, workers, queue int, timeout time.Duration) {
+	usageErr := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "clara: "+format+"\n\n", args...)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if jsonOut && !lintMode {
+		usageErr("-json only applies to -lint output")
+	}
+	if workers < 0 {
+		usageErr("-workers must be >= 0 (got %d)", workers)
+	}
+	if fleetMode && (nf != "" || src != "") {
+		usageErr("-fleet analyzes the whole library; it cannot be combined with -nf or -src")
+	}
+	if fleetMode && lintMode {
+		usageErr("-fleet and -lint are mutually exclusive modes")
+	}
+	if nf != "" && src != "" {
+		usageErr("-nf and -src are mutually exclusive; pick one input")
+	}
+	if serveAddr != "" {
+		incompatible := []struct {
+			name string
+			set  bool
+		}{
+			{"-fleet", fleetMode}, {"-lint", lintMode}, {"-list", list},
+			{"-nf", nf != ""}, {"-src", src != ""}, {"-trace", tracePath != ""},
+		}
+		for _, f := range incompatible {
+			if f.set {
+				usageErr("-serve runs the HTTP service; it cannot be combined with %s", f.name)
+			}
+		}
+	} else if queue != 0 || timeout != 0 {
+		usageErr("-queue and -timeout only apply to -serve")
+	}
+	if queue < 0 {
+		usageErr("-queue must be >= 0 (got %d)", queue)
+	}
+	if timeout < 0 {
+		usageErr("-timeout must be >= 0 (got %s)", timeout)
+	}
+}
+
+// serve trains the tool, then runs the HTTP analysis service until
+// SIGINT/SIGTERM, draining in-flight analyses before exiting.
+func serve(addr string, workers, queue int, timeout time.Duration, quick bool) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Fprintln(os.Stderr, "training Clara (predictor + algorithm ID + scale-out model)...")
+	tool, err := clara.TrainContext(ctx, clara.TrainConfig{Quick: quick, Seed: 42})
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := clara.NewServer(clara.ServerConfig{
+		Tool:           tool,
+		Workers:        workers,
+		QueueDepth:     queue,
+		RequestTimeout: timeout,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "clara: serving on %s (%d workers)\n", addr, srv.Fleet().Workers())
+	if err := srv.ListenAndServe(ctx, addr); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "clara: shut down cleanly")
 }
 
 // pickSource resolves -nf/-src to a (name, NFC source) pair.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -68,11 +69,21 @@ func (c *Clara) LintConfig() analysis.Config {
 
 // Analyze runs every analysis on an unported NF.
 func (c *Clara) Analyze(mod *ir.Module, ps ProfileSetup, wl traffic.Spec) (*Insights, error) {
+	return c.AnalyzeContext(context.Background(), mod, ps, wl)
+}
+
+// AnalyzeContext is Analyze under a context: prediction, profiling,
+// placement, and scale-out all stop promptly when ctx is canceled (a
+// serving layer's per-request timeout or client disconnect).
+func (c *Clara) AnalyzeContext(ctx context.Context, mod *ir.Module, ps ProfileSetup, wl traffic.Spec) (*Insights, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	mp, err := c.Predictor.PredictModule(mod, niccc.AccelConfig{})
 	if err != nil {
 		return nil, err
 	}
-	return c.AnalyzeWithPrediction(mod, ps, wl, mp)
+	return c.AnalyzeWithPredictionContext(ctx, mod, ps, wl, mp)
 }
 
 // AnalyzeWithPrediction runs the workload-dependent analyses against an
@@ -81,8 +92,19 @@ func (c *Clara) Analyze(mod *ir.Module, ps ProfileSetup, wl traffic.Spec) (*Insi
 // prediction is read-only here, so a cached *ModulePrediction may be
 // passed to concurrent calls.
 func (c *Clara) AnalyzeWithPrediction(mod *ir.Module, ps ProfileSetup, wl traffic.Spec, mp *ModulePrediction) (*Insights, error) {
+	return c.AnalyzeWithPredictionContext(context.Background(), mod, ps, wl, mp)
+}
+
+// AnalyzeWithPredictionContext is AnalyzeWithPrediction with
+// cancellation. The context is observed inside the profiling packet loop
+// (the longest stage) and between stages, so canceling stops the analysis
+// within at most one stage boundary or 64 profiled packets.
+func (c *Clara) AnalyzeWithPredictionContext(ctx context.Context, mod *ir.Module, ps ProfileSetup, wl traffic.Spec, mp *ModulePrediction) (*Insights, error) {
 	if mp == nil {
 		return nil, fmt.Errorf("core: nil prediction for %s", mod.Name)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	ins := &Insights{NF: mod.Name, Workload: wl.Name}
 	ins.Prediction = mp
@@ -92,12 +114,12 @@ func (c *Clara) AnalyzeWithPrediction(mod *ir.Module, ps ProfileSetup, wl traffi
 		ins.Algorithm = c.AlgoID.Classify(mod)
 	}
 
-	prof, err := ProfileOnHost(mod, ps, wl, 800)
+	prof, err := ProfileOnHostContext(ctx, mod, ps, wl, 800)
 	if err != nil {
 		return nil, err
 	}
 	if len(mod.Globals) > 0 {
-		pl, err := SuggestPlacement(mod, prof, c.Params)
+		pl, err := SuggestPlacementContext(ctx, mod, prof, c.Params)
 		if err != nil {
 			return nil, err
 		}
@@ -105,6 +127,9 @@ func (c *Clara) AnalyzeWithPrediction(mod *ir.Module, ps ProfileSetup, wl traffi
 		ins.Packs = SuggestPacks(mod, prof, c.Coalesce)
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if c.Scaleout != nil {
 		stateBytes := 0
 		for _, g := range mod.Globals {

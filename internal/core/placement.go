@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -21,6 +22,18 @@ var placeRegions = []isa.Region{isa.CLS, isa.CTM, isa.IMEM, isa.EMEM}
 // numbers (the Params); the access frequencies f_i come from the
 // workload-specific host profile.
 func SuggestPlacement(mod *ir.Module, prof *HostProfile, params nicsim.Params) (nicsim.Placement, error) {
+	return SuggestPlacementContext(context.Background(), mod, prof, params)
+}
+
+// SuggestPlacementContext is SuggestPlacement with cancellation: the
+// context is checked before the branch-and-bound solve (the placement
+// stage's only potentially long step — NF state counts are small, so one
+// pre-solve check keeps a canceled request from entering the search at
+// all).
+func SuggestPlacementContext(ctx context.Context, mod *ir.Module, prof *HostProfile, params nicsim.Params) (nicsim.Placement, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: placement for %s: %w", mod.Name, err)
+	}
 	var items []*ir.Global
 	for _, g := range mod.Globals {
 		items = append(items, g)

@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -143,6 +144,15 @@ type Predictor struct {
 // TrainPredictor synthesizes a corpus, compiles it with the black-box
 // toolchain, and fits the LSTM+FC model.
 func TrainPredictor(cfg PredictorConfig, corpusProfile synth.Profile) (*Predictor, error) {
+	return TrainPredictorContext(context.Background(), cfg, corpusProfile)
+}
+
+// TrainPredictorContext is TrainPredictor with cancellation: the context
+// is observed between the coarse training steps (calibration, synthesis,
+// corpus compilation) and once per LSTM epoch, so a canceled training
+// request — e.g. a serving process shutting down mid-start — stops within
+// one epoch rather than running training to completion.
+func TrainPredictorContext(ctx context.Context, cfg PredictorConfig, corpusProfile synth.Profile) (*Predictor, error) {
 	cfg = cfg.norm()
 	// Close the generator loop on the corpus profile so the synthesized
 	// training distribution actually lands on the target (Table 1).
@@ -154,8 +164,14 @@ func TrainPredictor(cfg PredictorConfig, corpusProfile synth.Profile) (*Predicto
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	mods, err := SynthTrainingModules(cfg.TrainPrograms, guide, cfg.Seed+1000)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	vocab := ir.BuildVocab(mods, cfg.CompactVocab)
@@ -185,10 +201,13 @@ func TrainPredictor(cfg PredictorConfig, corpusProfile synth.Profile) (*Predicto
 	}
 	p := &Predictor{cfg: cfg, Vocab: vocab}
 	for k := 0; k < cfg.Ensemble; k++ {
-		model, loss := ml.TrainLSTM(seq, ml.LSTMConfig{
+		model, loss, err := ml.TrainLSTMContext(ctx, seq, ml.LSTMConfig{
 			Vocab: vocab.Size(), Hidden: cfg.Hidden, Out: 1,
 			Epochs: cfg.Epochs, Seed: cfg.Seed + int64(k)*7919,
 		})
+		if err != nil {
+			return nil, err
+		}
 		p.models = append(p.models, model)
 		p.TrainLoss += loss / float64(cfg.Ensemble)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"clara/internal/interp"
@@ -55,16 +56,31 @@ type ProfileSetup struct {
 // NIC-faithful (reverse-ported) data-structure semantics and collects the
 // access profile.
 func ProfileOnHost(mod *ir.Module, ps ProfileSetup, wl traffic.Spec, n int) (*HostProfile, error) {
+	return ProfileOnHostContext(context.Background(), mod, ps, wl, n)
+}
+
+// ProfileOnHostContext is ProfileOnHost with cancellation: the packet
+// loop observes ctx, so a canceled analysis request stops profiling
+// promptly instead of executing the full workload.
+func ProfileOnHostContext(ctx context.Context, mod *ir.Module, ps ProfileSetup, wl traffic.Spec, n int) (*HostProfile, error) {
 	gen, err := traffic.NewGenerator(wl)
 	if err != nil {
 		return nil, err
 	}
-	return ProfileOnHostSource(mod, ps, gen, n)
+	return ProfileOnHostSourceContext(ctx, mod, ps, gen, n)
 }
 
 // ProfileOnHostSource profiles over any packet source, e.g. a recorded
 // trace (the paper's pcap-based profiles, §4.3).
 func ProfileOnHostSource(mod *ir.Module, ps ProfileSetup, gen traffic.Source, n int) (*HostProfile, error) {
+	return ProfileOnHostSourceContext(context.Background(), mod, ps, gen, n)
+}
+
+// ProfileOnHostSourceContext profiles over any packet source under a
+// context. Cancellation is checked every 64 packets — coarse enough to be
+// free, fine enough that profiling (the longest per-analysis stage) stops
+// within microseconds of a client disconnect.
+func ProfileOnHostSourceContext(ctx context.Context, mod *ir.Module, ps ProfileSetup, gen traffic.Source, n int) (*HostProfile, error) {
 	m, err := interp.New(mod, interp.Config{Mode: interp.NICMap, LPMTable: ps.LPMTable, Seed: ps.Seed})
 	if err != nil {
 		return nil, err
@@ -100,6 +116,11 @@ func ProfileOnHostSource(mod *ir.Module, ps ProfileSetup, gen traffic.Source, n 
 		},
 	})
 	for i := 0; i < n; i++ {
+		if i&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: profiling %s: %w", mod.Name, err)
+			}
+		}
 		p := gen.Next()
 		if err := m.RunPacket(&p); err != nil {
 			return nil, fmt.Errorf("core: profiling %s: %w", mod.Name, err)

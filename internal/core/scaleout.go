@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -88,9 +89,19 @@ type ScaleoutModel struct {
 // BuildScaleoutDataset measures knee core counts for synthesized programs
 // across workloads.
 func BuildScaleoutDataset(cfg ScaleoutConfig, pred *Predictor) ([]ScaleoutSample, error) {
+	return BuildScaleoutDatasetContext(context.Background(), cfg, pred)
+}
+
+// BuildScaleoutDatasetContext is BuildScaleoutDataset with cancellation,
+// checked once per training program (each program is a bounded
+// profile-and-sweep unit of a few milliseconds).
+func BuildScaleoutDatasetContext(ctx context.Context, cfg ScaleoutConfig, pred *Predictor) ([]ScaleoutSample, error) {
 	cfg = cfg.norm()
 	var out []ScaleoutSample
 	for i := 0; i < cfg.TrainPrograms; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Span arithmetic intensities: bias state and compute rates.
 		bias := synth.Config{
 			Profile:     synth.UniformProfile(),
@@ -155,8 +166,14 @@ func MeasureScaleout(mod *ir.Module, ps ProfileSetup, cfg ScaleoutConfig, pred *
 
 // TrainScaleout builds the dataset and fits the GBDT cost model.
 func TrainScaleout(cfg ScaleoutConfig, pred *Predictor) (*ScaleoutModel, error) {
+	return TrainScaleoutContext(context.Background(), cfg, pred)
+}
+
+// TrainScaleoutContext is TrainScaleout with cancellation (threaded
+// through dataset construction, the dominant cost).
+func TrainScaleoutContext(ctx context.Context, cfg ScaleoutConfig, pred *Predictor) (*ScaleoutModel, error) {
 	cfg = cfg.norm()
-	data, err := BuildScaleoutDataset(cfg, pred)
+	data, err := BuildScaleoutDatasetContext(ctx, cfg, pred)
 	if err != nil {
 		return nil, err
 	}

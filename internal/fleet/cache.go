@@ -1,6 +1,9 @@
 package fleet
 
 import (
+	"container/list"
+	"crypto/sha256"
+	"errors"
 	"sync"
 
 	"clara/internal/core"
@@ -8,59 +11,111 @@ import (
 	"clara/internal/niccc"
 )
 
-// predKey identifies one memoized prediction: the module's identity plus
-// the accelerator configuration the prediction assumed. Module identity
-// is the *ir.Module pointer — modules are immutable after lowering, and
-// the element library hands out one cached module per element (see
-// click.Element.Module), so pointer identity is exactly "same NF".
+// errComputePanicked is what cache waiters observe when the leader's
+// computation panicked: the key is dropped (a later request recomputes)
+// and the waiters fail cleanly instead of blocking forever or sharing
+// the panic.
+var errComputePanicked = errors.New("fleet: prediction computation panicked")
+
+// DefaultCacheSize is the prediction cache's entry cap when Config does
+// not set one. Each entry is one (module, accel) prediction — a few KB —
+// so the default bounds a long-running server to a few MB of cache.
+const DefaultCacheSize = 512
+
+// predKey identifies one memoized prediction: the module's content hash
+// plus the accelerator configuration the prediction assumed. Content
+// hashing (over the module's printed IR) rather than pointer identity
+// matters for serving: modules parsed from submitted source get a fresh
+// *ir.Module per request, so a pointer key could never hit, while the
+// same source resubmitted hashes to the same key. Library modules are
+// cached singletons, so their hash is stable too (and hashing a
+// module's IR costs microseconds against the milliseconds a prediction
+// takes).
 type predKey struct {
-	mod   *ir.Module
+	hash  [sha256.Size]byte
 	accel niccc.AccelConfig
+}
+
+func keyFor(mod *ir.Module, accel niccc.AccelConfig) predKey {
+	return predKey{hash: sha256.Sum256([]byte(mod.String())), accel: accel}
 }
 
 // predEntry is one cache slot. The first requester owns the computation;
 // later requesters block on ready. Keeping the slot in the map while the
 // leader computes gives singleflight semantics: N workers analyzing the
-// same module under N workloads run PredictModule exactly once.
+// same module under N workloads run PredictModule exactly once. Waiters
+// hold the entry pointer directly, so evicting an in-flight entry only
+// affects future lookups, never a blocked waiter.
 type predEntry struct {
+	key   predKey
 	ready chan struct{} // closed when mp/err are set
 	mp    *core.ModulePrediction
 	err   error
 }
 
-// predCache memoizes PredictModule results. Failed computations are not
-// retained, so a transient failure does not poison the key.
+// predCache memoizes PredictModule results under an LRU entry cap.
+// Failed computations are not retained, so a transient failure does not
+// poison the key.
 type predCache struct {
-	mu sync.Mutex
-	m  map[predKey]*predEntry
+	mu  sync.Mutex
+	cap int
+	m   map[predKey]*list.Element // values are *predEntry
+	lru *list.List                // front = most recently used
 }
 
-func newPredCache() *predCache {
-	return &predCache{m: make(map[predKey]*predEntry)}
+func newPredCache(capacity int) *predCache {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	return &predCache{
+		cap: capacity,
+		m:   make(map[predKey]*list.Element),
+		lru: list.New(),
+	}
 }
 
 // get returns the cached prediction for (mod, accel), computing it via
 // compute on first request. hit reports whether this caller skipped the
 // computation (found a completed or in-flight entry).
 func (c *predCache) get(mod *ir.Module, accel niccc.AccelConfig, compute func() (*core.ModulePrediction, error)) (mp *core.ModulePrediction, hit bool, err error) {
-	k := predKey{mod: mod, accel: accel}
+	k := keyFor(mod, accel)
 	c.mu.Lock()
-	if e, ok := c.m[k]; ok {
+	if el, ok := c.m[k]; ok {
+		c.lru.MoveToFront(el)
+		e := el.Value.(*predEntry)
 		c.mu.Unlock()
 		<-e.ready
 		return e.mp, true, e.err
 	}
-	e := &predEntry{ready: make(chan struct{})}
-	c.m[k] = e
+	e := &predEntry{key: k, ready: make(chan struct{})}
+	c.m[k] = c.lru.PushFront(e)
+	for c.lru.Len() > c.cap {
+		oldest := c.lru.Back()
+		old := oldest.Value.(*predEntry)
+		c.lru.Remove(oldest)
+		delete(c.m, old.key)
+	}
 	c.mu.Unlock()
 
+	done := false
+	defer func() {
+		if e.err != nil || !done {
+			if !done { // compute panicked; the panic is unwinding past us
+				e.mp, e.err = nil, errComputePanicked
+			}
+			c.mu.Lock()
+			// Only remove our own entry — it may already have been
+			// evicted (or replaced after eviction) while we computed.
+			if el, ok := c.m[k]; ok && el.Value.(*predEntry) == e {
+				c.lru.Remove(el)
+				delete(c.m, k)
+			}
+			c.mu.Unlock()
+		}
+		close(e.ready)
+	}()
 	e.mp, e.err = compute()
-	if e.err != nil {
-		c.mu.Lock()
-		delete(c.m, k)
-		c.mu.Unlock()
-	}
-	close(e.ready)
+	done = true
 	return e.mp, false, e.err
 }
 

@@ -16,8 +16,11 @@
 package fleet
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -61,6 +64,10 @@ type Result struct {
 	// CacheHit records whether the §3 prediction was served from the
 	// fleet cache rather than recomputed.
 	CacheHit bool
+	// Panicked reports that the analysis panicked; Err then carries the
+	// panic value and a stack snippet. The panic is confined to this job —
+	// the rest of the batch is unaffected.
+	Panicked bool
 	// Lint counts this job's offloadability diagnostics by severity.
 	Lint analysis.Summary
 }
@@ -72,6 +79,11 @@ type Config struct {
 	// DisableCache turns off prediction memoization (the sequential
 	// baseline the benchmarks compare against).
 	DisableCache bool
+	// CacheSize caps the prediction cache at this many entries (LRU
+	// eviction); 0 means DefaultCacheSize. A long-running server sees an
+	// unbounded stream of submitted-source modules, so the cache must not
+	// grow with it.
+	CacheSize int
 }
 
 func (c Config) norm() Config {
@@ -100,7 +112,7 @@ func New(tool *core.Clara, cfg Config) (*Fleet, error) {
 	return &Fleet{
 		tool:  tool,
 		cfg:   cfg,
-		cache: newPredCache(),
+		cache: newPredCache(cfg.CacheSize),
 		stats: newCollector(),
 	}, nil
 }
@@ -115,6 +127,16 @@ func (f *Fleet) Stats() Stats { return f.stats.snapshot() }
 // order regardless of scheduling. A job failure is recorded in its
 // Result; Run itself only fails on malformed jobs discovered up front.
 func (f *Fleet) Run(jobs []Job) ([]Result, error) {
+	return f.RunContext(context.Background(), jobs)
+}
+
+// RunContext is Run under a context. Cancellation stops the batch
+// promptly: jobs not yet dispatched are marked with the context's error
+// without running, and in-flight analyses observe ctx inside their
+// stages (profiling checks it every 64 packets) and abort early. Results
+// stay in job order; RunContext returns ctx.Err() so callers can
+// distinguish a canceled batch from a completed one with job failures.
+func (f *Fleet) RunContext(ctx context.Context, jobs []Job) ([]Result, error) {
 	for i, j := range jobs {
 		if j.Mod == nil {
 			return nil, fmt.Errorf("fleet: job %d (%q) has no module", i, j.Name)
@@ -133,24 +155,46 @@ func (f *Fleet) Run(jobs []Job) ([]Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = f.analyze(jobs[i])
+				results[i] = f.analyze(ctx, jobs[i])
 			}
 		}()
 	}
+dispatch:
 	for i := range jobs {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			// Jobs i.. were never dispatched: record them as canceled
+			// without touching cache or latency metrics.
+			for j := i; j < len(jobs); j++ {
+				results[j] = Result{Name: jobs[j].label(), Workload: jobs[j].WL.Name, Err: ctx.Err()}
+				f.stats.recordSkipped()
+			}
+			break dispatch
+		}
 	}
 	close(idx)
 	wg.Wait()
 	f.stats.addWall(time.Since(start))
-	return results, nil
+	return results, ctx.Err()
 }
 
 // analyze runs one job: prediction via the cache, then the
-// workload-dependent analyses.
-func (f *Fleet) analyze(j Job) Result {
+// workload-dependent analyses. A panic anywhere in the analysis is
+// confined to this job's Result — one poisoned NF must not take down the
+// batch (or, in serving mode, the process).
+func (f *Fleet) analyze(ctx context.Context, j Job) (res Result) {
 	start := time.Now()
-	res := Result{Name: j.label(), Workload: j.WL.Name}
+	res = Result{Name: j.label(), Workload: j.WL.Name}
+	defer func() {
+		if r := recover(); r != nil {
+			res.Panicked = true
+			res.Insights = nil
+			res.Err = fmt.Errorf("fleet: job %q panicked: %v\n%s", res.Name, r, stackSnippet())
+		}
+		res.Elapsed = time.Since(start)
+		f.stats.record(res)
+	}()
 
 	var mp *core.ModulePrediction
 	var err error
@@ -162,13 +206,27 @@ func (f *Fleet) analyze(j Job) Result {
 		})
 	}
 	if err == nil {
-		res.Insights, err = f.tool.AnalyzeWithPrediction(j.Mod, j.PS, j.WL, mp)
+		res.Insights, err = f.tool.AnalyzeWithPredictionContext(ctx, j.Mod, j.PS, j.WL, mp)
 	}
 	if res.Insights != nil {
 		res.Lint = analysis.Summarize(res.Insights.Diagnostics)
 	}
 	res.Err = err
-	res.Elapsed = time.Since(start)
-	f.stats.record(res)
 	return res
+}
+
+// stackSnippet returns the first few KB of the panicking goroutine's
+// stack — enough to locate the fault without flooding a Result (or a
+// JSON error response) with a full trace.
+func stackSnippet() []byte {
+	s := debug.Stack()
+	const maxBytes = 2048
+	if len(s) > maxBytes {
+		if i := bytes.LastIndexByte(s[:maxBytes], '\n'); i > 0 {
+			s = s[:i]
+		} else {
+			s = s[:maxBytes]
+		}
+	}
+	return s
 }

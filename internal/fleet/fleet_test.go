@@ -1,14 +1,21 @@
 package fleet
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"clara/internal/analysis"
 	"clara/internal/click"
 	"clara/internal/core"
+	"clara/internal/interp"
+	"clara/internal/ir"
+	"clara/internal/lang"
 	"clara/internal/niccc"
 	"clara/internal/nicsim"
 	"clara/internal/synth"
@@ -181,7 +188,7 @@ func TestFleetSummaryTable(t *testing.T) {
 // computation once, and that errors are not retained.
 func TestCacheSingleflight(t *testing.T) {
 	mod := click.Get("tcpack").MustModule()
-	c := newPredCache()
+	c := newPredCache(0)
 	var mu sync.Mutex
 	calls := 0
 	compute := func() (*core.ModulePrediction, error) {
@@ -284,5 +291,222 @@ func TestStatsRendering(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("stats output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestFleetPanicIsolation checks that a panic inside one job's analysis
+// is confined to that job's Result: the rest of the batch completes and
+// the pool (the serving process, in -serve mode) survives.
+func TestFleetPanicIsolation(t *testing.T) {
+	tool := quickTool(t)
+	e := click.Get("tcpack")
+	mod := e.MustModule()
+	ps := core.ProfileSetup{Setup: e.Setup, LPMTable: e.Routes}
+	jobs := []Job{
+		{Name: "ok-1", Mod: mod, PS: ps, WL: traffic.SmallFlows},
+		{Name: "boom", Mod: mod, WL: traffic.SmallFlows, PS: core.ProfileSetup{
+			Setup: func(*interp.Machine) error { panic("synthetic NF panic") },
+		}},
+		{Name: "ok-2", Mod: mod, PS: ps, WL: traffic.LargeFlows},
+	}
+	fl, err := New(tool, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := fl.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !results[1].Panicked || results[1].Err == nil {
+		t.Fatalf("panicking job not isolated: %+v", results[1])
+	}
+	if msg := results[1].Err.Error(); !strings.Contains(msg, "synthetic NF panic") || !strings.Contains(msg, "goroutine") {
+		t.Errorf("panic error missing value or stack snippet:\n%s", msg)
+	}
+	for _, i := range []int{0, 2} {
+		if results[i].Err != nil || results[i].Insights == nil {
+			t.Errorf("job %d harmed by sibling panic: %+v", i, results[i].Err)
+		}
+	}
+	s := fl.Stats()
+	if s.JobsPanicked != 1 || s.JobsCompleted != 2 || s.JobsFailed != 0 {
+		t.Errorf("stats: %d panicked, %d completed, %d failed", s.JobsPanicked, s.JobsCompleted, s.JobsFailed)
+	}
+}
+
+// TestCachePanicRecovery checks a panicking compute neither deadlocks
+// waiters nor poisons the key.
+func TestCachePanicRecovery(t *testing.T) {
+	mod := click.Get("tcpack").MustModule()
+	c := newPredCache(0)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic swallowed by cache")
+			}
+		}()
+		c.get(mod, niccc.AccelConfig{}, func() (*core.ModulePrediction, error) {
+			panic("compute exploded")
+		})
+	}()
+	if c.len() != 0 {
+		t.Fatalf("panicked entry retained: %d", c.len())
+	}
+	mp, hit, err := c.get(mod, niccc.AccelConfig{}, func() (*core.ModulePrediction, error) {
+		return &core.ModulePrediction{Name: mod.Name}, nil
+	})
+	if err != nil || hit || mp == nil {
+		t.Fatalf("key poisoned after panic: mp=%v hit=%v err=%v", mp, hit, err)
+	}
+}
+
+// TestCacheContentHash checks the serving-mode fix: two modules compiled
+// from the same source are distinct pointers but one cache entry, while
+// different source stays distinct.
+func TestCacheContentHash(t *testing.T) {
+	src := click.Get("tcpack").Src
+	m1, err := lang.Compile("req-1", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := lang.Compile("req-1", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 == m2 {
+		t.Fatal("compiler returned a shared module; test needs fresh pointers")
+	}
+	c := newPredCache(0)
+	calls := 0
+	compute := func() (*core.ModulePrediction, error) {
+		calls++
+		return &core.ModulePrediction{Name: "x"}, nil
+	}
+	if _, hit, _ := c.get(m1, niccc.AccelConfig{}, compute); hit {
+		t.Error("first request hit")
+	}
+	if _, hit, _ := c.get(m2, niccc.AccelConfig{}, compute); !hit {
+		t.Error("identical resubmitted source missed the cache")
+	}
+	if calls != 1 {
+		t.Errorf("compute ran %d times, want 1", calls)
+	}
+	other, err := lang.Compile("req-2", click.Get("aggcounter").Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, _ := c.get(other, niccc.AccelConfig{}, compute); hit {
+		t.Error("different source hit")
+	}
+	if c.len() != 2 {
+		t.Errorf("cache holds %d entries, want 2", c.len())
+	}
+}
+
+// TestCacheLRUEviction checks the size cap: the least recently used
+// entry is evicted, and a touched entry survives.
+func TestCacheLRUEviction(t *testing.T) {
+	names := []string{"tcpack", "aggcounter", "udpipencap"}
+	var mods []*ir.Module
+	for _, n := range names {
+		mods = append(mods, click.Get(n).MustModule())
+	}
+	c := newPredCache(2)
+	compute := func() (*core.ModulePrediction, error) {
+		return &core.ModulePrediction{}, nil
+	}
+	c.get(mods[0], niccc.AccelConfig{}, compute)
+	c.get(mods[1], niccc.AccelConfig{}, compute)
+	// Touch mods[0] so mods[1] is LRU, then insert a third entry.
+	if _, hit, _ := c.get(mods[0], niccc.AccelConfig{}, compute); !hit {
+		t.Fatal("resident entry missed")
+	}
+	c.get(mods[2], niccc.AccelConfig{}, compute)
+	if c.len() != 2 {
+		t.Fatalf("cache holds %d entries, want cap 2", c.len())
+	}
+	if _, hit, _ := c.get(mods[0], niccc.AccelConfig{}, compute); !hit {
+		t.Error("recently-used entry was evicted")
+	}
+	if _, hit, _ := c.get(mods[1], niccc.AccelConfig{}, compute); hit {
+		t.Error("LRU entry survived past the cap")
+	}
+}
+
+// TestRunContextCancel proves a mid-batch cancellation stops the
+// remaining jobs: with one worker pinned inside job 0, canceling the
+// context marks every undispatched job canceled without running it, and
+// job 0's own analysis aborts inside its profiling loop.
+func TestRunContextCancel(t *testing.T) {
+	tool := quickTool(t)
+	mod := click.Get("tcpack").MustModule()
+	const n = 6
+	var executed atomic.Int32
+	started := make(chan struct{}, n)
+	release := make(chan struct{})
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{
+			Name: fmt.Sprintf("job-%d", i),
+			Mod:  mod,
+			WL:   traffic.SmallFlows,
+			PS: core.ProfileSetup{Setup: func(*interp.Machine) error {
+				executed.Add(1)
+				started <- struct{}{}
+				<-release
+				return nil
+			}},
+		}
+	}
+	fl, err := New(tool, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var results []Result
+	var runErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		results, runErr = fl.RunContext(ctx, jobs)
+	}()
+	<-started // job 0 is inside its Setup; the dispatcher is blocked on job 1
+	cancel()
+	// The dispatcher's only runnable path is now ctx.Done: wait until it
+	// has marked the undispatched tail before letting job 0 continue.
+	waitFor(t, "undispatched jobs marked canceled", func() bool {
+		return fl.Stats().JobsCanceled >= n-1
+	})
+	close(release)
+	<-done
+	if !errors.Is(runErr, context.Canceled) {
+		t.Fatalf("RunContext error = %v, want context.Canceled", runErr)
+	}
+	if got := executed.Load(); got != 1 {
+		t.Errorf("%d jobs executed after cancel, want 1", got)
+	}
+	for i, r := range results {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("job %d: err = %v, want canceled", i, r.Err)
+		}
+		if r.Insights != nil {
+			t.Errorf("job %d produced insights after cancel", i)
+		}
+	}
+	if s := fl.Stats(); s.JobsCanceled != n {
+		t.Errorf("stats: %d canceled, want %d", s.JobsCanceled, n)
 	}
 }

@@ -1,6 +1,8 @@
 package fleet
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -67,8 +69,14 @@ func (h Histogram) String() string {
 type Stats struct {
 	JobsCompleted int64
 	JobsFailed    int64
-	CacheHits     int64
-	CacheMisses   int64
+	// JobsCanceled counts jobs that ended with a context error — either
+	// never dispatched after cancellation or aborted mid-analysis.
+	JobsCanceled int64
+	// JobsPanicked counts jobs whose analysis panicked (the panic is
+	// isolated per job; see Result.Panicked). Disjoint from JobsFailed.
+	JobsPanicked int64
+	CacheHits    int64
+	CacheMisses  int64
 	// Lint findings across all completed jobs, by severity.
 	LintErrors   int64
 	LintWarnings int64
@@ -91,7 +99,14 @@ func (s Stats) HitRate() float64 {
 // String renders the snapshot as the CLI's stats footer.
 func (s Stats) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "jobs: %d completed, %d failed\n", s.JobsCompleted, s.JobsFailed)
+	fmt.Fprintf(&b, "jobs: %d completed, %d failed", s.JobsCompleted, s.JobsFailed)
+	if s.JobsCanceled > 0 {
+		fmt.Fprintf(&b, ", %d canceled", s.JobsCanceled)
+	}
+	if s.JobsPanicked > 0 {
+		fmt.Fprintf(&b, ", %d panicked", s.JobsPanicked)
+	}
+	b.WriteString("\n")
 	fmt.Fprintf(&b, "prediction cache: %d hits, %d misses (%.0f%% hit rate)\n",
 		s.CacheHits, s.CacheMisses, 100*s.HitRate())
 	fmt.Fprintf(&b, "lint findings: %d errors, %d warnings, %d notes\n",
@@ -101,25 +116,76 @@ func (s Stats) String() string {
 	return b.String()
 }
 
+// HistCollector accumulates a wall-time histogram over the standard
+// bucket bounds; it is safe for concurrent use. The fleet's per-analysis
+// histogram and the serving layer's per-endpoint request-latency
+// histograms are both instances of it.
+type HistCollector struct {
+	mu     sync.Mutex
+	counts []int64
+	min    time.Duration
+	max    time.Duration
+	sum    time.Duration
+	n      int64
+}
+
+// NewHistCollector returns an empty histogram collector.
+func NewHistCollector() *HistCollector {
+	return &HistCollector{counts: make([]int64, len(histBounds)+1)}
+}
+
+// Observe records one duration.
+func (h *HistCollector) Observe(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.sum += d
+	h.n++
+	h.counts[bucket(d)]++
+}
+
+// Snapshot returns a consistent copy of the distribution.
+func (h *HistCollector) Snapshot() Histogram {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return Histogram{
+		Bounds: append([]time.Duration(nil), histBounds...),
+		Counts: append([]int64(nil), h.counts...),
+		Min:    h.min,
+		Max:    h.max,
+		Sum:    h.sum,
+		N:      h.n,
+	}
+}
+
 // collector accumulates metrics under one mutex. Analysis latencies are
 // a few milliseconds, so a single lock per completed job is invisible
 // next to the work it measures and keeps snapshots trivially consistent.
 type collector struct {
-	mu     sync.Mutex
-	s      Stats
-	counts []int64
+	mu   sync.Mutex
+	s    Stats
+	hist *HistCollector
 }
 
 func newCollector() *collector {
-	return &collector{counts: make([]int64, len(histBounds)+1)}
+	return &collector{hist: NewHistCollector()}
 }
 
 func (c *collector) record(r Result) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if r.Err != nil {
+	switch {
+	case r.Panicked:
+		c.s.JobsPanicked++
+	case r.Err != nil && (errors.Is(r.Err, context.Canceled) || errors.Is(r.Err, context.DeadlineExceeded)):
+		c.s.JobsCanceled++
+	case r.Err != nil:
 		c.s.JobsFailed++
-	} else {
+	default:
 		c.s.JobsCompleted++
 	}
 	if r.CacheHit {
@@ -130,16 +196,17 @@ func (c *collector) record(r Result) {
 	c.s.LintErrors += int64(r.Lint.Errors)
 	c.s.LintWarnings += int64(r.Lint.Warnings)
 	c.s.LintInfos += int64(r.Lint.Infos)
-	h := &c.s.Analyses
-	if h.N == 0 || r.Elapsed < h.Min {
-		h.Min = r.Elapsed
-	}
-	if r.Elapsed > h.Max {
-		h.Max = r.Elapsed
-	}
-	h.Sum += r.Elapsed
-	h.N++
-	c.counts[bucket(r.Elapsed)]++
+	c.mu.Unlock()
+	c.hist.Observe(r.Elapsed)
+}
+
+// recordSkipped accounts a job that was canceled before dispatch: it
+// consulted neither the cache nor ran any analysis, so only the canceled
+// counter moves.
+func (c *collector) recordSkipped() {
+	c.mu.Lock()
+	c.s.JobsCanceled++
+	c.mu.Unlock()
 }
 
 func bucket(d time.Duration) int {
@@ -159,9 +226,8 @@ func (c *collector) addWall(d time.Duration) {
 
 func (c *collector) snapshot() Stats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	s := c.s
-	s.Analyses.Bounds = append([]time.Duration(nil), histBounds...)
-	s.Analyses.Counts = append([]int64(nil), c.counts...)
+	c.mu.Unlock()
+	s.Analyses = c.hist.Snapshot()
 	return s
 }

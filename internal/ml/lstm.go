@@ -1,6 +1,7 @@
 package ml
 
 import (
+	"context"
 	"math"
 	"math/rand"
 )
@@ -228,6 +229,15 @@ func (m *LSTM) backward(steps []lstmStep, y, target []float64, grads []float64) 
 // TrainLSTM trains a model on the samples and reports the final mean
 // training loss (scaled units).
 func TrainLSTM(samples []SeqSample, cfg LSTMConfig) (*LSTM, float64) {
+	m, loss, _ := TrainLSTMContext(context.Background(), samples, cfg)
+	return m, loss
+}
+
+// TrainLSTMContext is TrainLSTM with cancellation: the context is checked
+// once per epoch (the unit of long-running work), so a canceled training
+// request stops within one pass over the corpus. On cancellation the
+// partially-trained model is returned alongside the context's error.
+func TrainLSTMContext(ctx context.Context, samples []SeqSample, cfg LSTMConfig) (*LSTM, float64, error) {
 	m := NewLSTM(cfg)
 	cfg = m.cfg
 	opt := NewAdam(len(m.params), cfg.LR, cfg.Clip)
@@ -235,6 +245,9 @@ func TrainLSTM(samples []SeqSample, cfg LSTMConfig) (*LSTM, float64) {
 	rng := rand.New(rand.NewSource(cfg.Seed + 202))
 	lastLoss := math.Inf(1)
 	for e := 0; e < cfg.Epochs; e++ {
+		if err := ctx.Err(); err != nil {
+			return m, lastLoss, err
+		}
 		perm := rng.Perm(len(samples))
 		total := 0.0
 		for _, si := range perm {
@@ -251,5 +264,5 @@ func TrainLSTM(samples []SeqSample, cfg LSTMConfig) (*LSTM, float64) {
 		}
 		lastLoss = total / float64(len(samples))
 	}
-	return m, lastLoss
+	return m, lastLoss, nil
 }

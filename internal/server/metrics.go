@@ -1,0 +1,170 @@
+package server
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	"clara/internal/fleet"
+)
+
+// statusClientClosed marks requests whose client disconnected before a
+// response could be written (nginx's 499 convention).
+const statusClientClosed = 499
+
+// RouteStats counts one endpoint's requests by outcome class.
+type RouteStats struct {
+	Total        int64 `json:"total"`
+	OK           int64 `json:"ok"`
+	ClientErrors int64 `json:"client_errors"` // 4xx except 429
+	ServerErrors int64 `json:"server_errors"` // 5xx
+	Rejected     int64 `json:"rejected"`      // 429 backpressure
+	Canceled     int64 `json:"canceled"`      // client disconnected
+}
+
+// HistogramJSON is a latency histogram in milliseconds — the /metrics
+// rendering of a fleet.Histogram.
+type HistogramJSON struct {
+	// BoundsMs[i] is the inclusive upper bound of Counts[i];
+	// Counts[len(BoundsMs)] is the overflow bucket.
+	BoundsMs []float64 `json:"bounds_ms"`
+	Counts   []int64   `json:"counts"`
+	N        int64     `json:"n"`
+	MinMs    float64   `json:"min_ms"`
+	MeanMs   float64   `json:"mean_ms"`
+	MaxMs    float64   `json:"max_ms"`
+}
+
+func histJSON(h fleet.Histogram) HistogramJSON {
+	out := HistogramJSON{
+		Counts: h.Counts,
+		N:      h.N,
+		MinMs:  ms(h.Min),
+		MeanMs: ms(h.Mean()),
+		MaxMs:  ms(h.Max),
+	}
+	for _, b := range h.Bounds {
+		out.BoundsMs = append(out.BoundsMs, ms(b))
+	}
+	return out
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// FleetStats is the /metrics rendering of fleet.Stats.
+type FleetStats struct {
+	JobsCompleted   int64         `json:"jobs_completed"`
+	JobsFailed      int64         `json:"jobs_failed"`
+	JobsCanceled    int64         `json:"jobs_canceled"`
+	JobsPanicked    int64         `json:"jobs_panicked"`
+	CacheHits       int64         `json:"cache_hits"`
+	CacheMisses     int64         `json:"cache_misses"`
+	CacheHitRate    float64       `json:"cache_hit_rate"`
+	LintErrors      int64         `json:"lint_errors"`
+	LintWarnings    int64         `json:"lint_warnings"`
+	LintInfos       int64         `json:"lint_infos"`
+	AnalysisLatency HistogramJSON `json:"analysis_latency"`
+}
+
+// MetricsSnapshot is the /metrics response schema.
+type MetricsSnapshot struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Requests counts per-endpoint outcomes (analyze, lint, elements).
+	Requests map[string]RouteStats `json:"requests"`
+	// Queue reports admission occupancy: Depth slots of Capacity held.
+	Queue struct {
+		Depth    int `json:"depth"`
+		Capacity int `json:"capacity"`
+	} `json:"queue"`
+	// Latency is the per-endpoint request wall-time distribution.
+	Latency map[string]HistogramJSON `json:"latency"`
+	// Fleet is the analysis pool's lifetime stats (per-job, not
+	// per-request: one batch request contributes many jobs).
+	Fleet FleetStats `json:"fleet"`
+}
+
+// metrics accumulates per-route counters and latency histograms.
+type metrics struct {
+	mu     sync.Mutex
+	start  time.Time
+	routes map[string]*RouteStats
+	lat    map[string]*fleet.HistCollector
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		start:  time.Now(),
+		routes: make(map[string]*RouteStats),
+		lat:    make(map[string]*fleet.HistCollector),
+	}
+}
+
+func (m *metrics) observe(route string, status int, d time.Duration) {
+	m.mu.Lock()
+	rs := m.routes[route]
+	if rs == nil {
+		rs = &RouteStats{}
+		m.routes[route] = rs
+	}
+	h := m.lat[route]
+	if h == nil {
+		h = fleet.NewHistCollector()
+		m.lat[route] = h
+	}
+	rs.Total++
+	switch {
+	case status == statusClientClosed:
+		rs.Canceled++
+	case status == http.StatusTooManyRequests:
+		rs.Rejected++
+	case status >= 500:
+		rs.ServerErrors++
+	case status >= 400:
+		rs.ClientErrors++
+	default:
+		rs.OK++
+	}
+	m.mu.Unlock()
+	h.Observe(d)
+}
+
+func (m *metrics) snapshot(fs fleet.Stats, queueDepth, queueCap int) MetricsSnapshot {
+	out := MetricsSnapshot{
+		Requests: make(map[string]RouteStats),
+		Latency:  make(map[string]HistogramJSON),
+	}
+	m.mu.Lock()
+	out.UptimeSeconds = time.Since(m.start).Seconds()
+	for route, rs := range m.routes {
+		out.Requests[route] = *rs
+	}
+	hists := make(map[string]*fleet.HistCollector, len(m.lat))
+	for route, h := range m.lat {
+		hists[route] = h
+	}
+	m.mu.Unlock()
+	for route, h := range hists {
+		out.Latency[route] = histJSON(h.Snapshot())
+	}
+	out.Queue.Depth = queueDepth
+	out.Queue.Capacity = queueCap
+	out.Fleet = FleetStats{
+		JobsCompleted:   fs.JobsCompleted,
+		JobsFailed:      fs.JobsFailed,
+		JobsCanceled:    fs.JobsCanceled,
+		JobsPanicked:    fs.JobsPanicked,
+		CacheHits:       fs.CacheHits,
+		CacheMisses:     fs.CacheMisses,
+		CacheHitRate:    fs.HitRate(),
+		LintErrors:      fs.LintErrors,
+		LintWarnings:    fs.LintWarnings,
+		LintInfos:       fs.LintInfos,
+		AnalysisLatency: histJSON(fs.Analyses),
+	}
+	return out
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.met.snapshot(s.fl.Stats(), len(s.sem), cap(s.sem))
+	writeJSON(w, http.StatusOK, snap)
+}

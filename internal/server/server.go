@@ -1,0 +1,486 @@
+// Package server turns Clara from a one-shot CLI into a long-running
+// HTTP analysis service: clients POST NFC source (or library element
+// names) and receive the full offloading insights as JSON.
+//
+// The serving layer adds exactly the robustness a continuously-invoked
+// analyzer needs on top of core.Clara + fleet:
+//
+//   - per-request context: timeouts and client disconnects cancel the
+//     underlying analysis (observed inside fleet.RunContext and the
+//     core profiling loop), so abandoned requests stop burning workers;
+//   - bounded admission: at most Config.QueueDepth requests hold
+//     analysis slots at once; requests beyond that are rejected with
+//     429 (backpressure) instead of queueing without bound;
+//   - panic isolation: a poisoned NF panics its own fleet job, which is
+//     converted to a per-job error — the process survives;
+//   - graceful shutdown: Shutdown stops admitting work and drains the
+//     in-flight requests before returning;
+//   - observability: /metrics returns a JSON snapshot (request counts,
+//     queue depth, per-endpoint latency histograms, fleet cache/lint
+//     stats) and /debug/pprof exposes the runtime profiles.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"clara/internal/analysis"
+	"clara/internal/click"
+	"clara/internal/core"
+	"clara/internal/fleet"
+	"clara/internal/lang"
+	"clara/internal/traffic"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// Tool is the trained analyzer; required.
+	Tool *core.Clara
+	// Workers bounds the fleet's analysis pool; 0 = GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds concurrently admitted /v1/analyze requests
+	// (lint is static and cheap, so it bypasses admission); requests
+	// beyond it get 429. 0 means 4 × the resolved worker count.
+	QueueDepth int
+	// RequestTimeout caps one request's analysis time (a client-supplied
+	// timeout_ms may only shorten it). 0 means 30s.
+	RequestTimeout time.Duration
+	// CacheSize caps the fleet prediction cache; 0 = fleet default.
+	CacheSize int
+
+	// jobHook, when set, is applied to every job built from a request —
+	// a test seam for injecting slow or panicking analyses.
+	jobHook func(j *fleet.Job)
+}
+
+// Server is the HTTP analysis service. Create with New, expose via
+// Handler (for tests / custom listeners) or ListenAndServe.
+type Server struct {
+	cfg     Config
+	fl      *fleet.Fleet
+	mux     *http.ServeMux
+	sem     chan struct{} // admission slots
+	met     *metrics
+	drain   drainGate
+	httpSrv *http.Server
+}
+
+// New builds a server around a trained tool.
+func New(cfg Config) (*Server, error) {
+	if cfg.Tool == nil {
+		return nil, errors.New("server: nil tool")
+	}
+	fl, err := fleet.New(cfg.Tool, fleet.Config{Workers: cfg.Workers, CacheSize: cfg.CacheSize})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * fl.Workers()
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	s := &Server{
+		cfg: cfg,
+		fl:  fl,
+		sem: make(chan struct{}, cfg.QueueDepth),
+		met: newMetrics(),
+	}
+	s.drain.idle = make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("POST /v1/lint", s.handleLint)
+	mux.HandleFunc("GET /v1/elements", s.handleElements)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler (for httptest or custom
+// servers).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Fleet exposes the underlying fleet (its Stats feed /metrics).
+func (s *Server) Fleet() *fleet.Fleet { return s.fl }
+
+// ListenAndServe serves on addr until ctx is canceled, then shuts down
+// gracefully, draining in-flight analyses (bounded by a 30s grace
+// period).
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	s.httpSrv = &http.Server{Addr: addr, Handler: s.mux}
+	errCh := make(chan error, 1)
+	go func() { errCh <- s.httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	grace, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(grace); err != nil {
+		return err
+	}
+	return s.httpSrv.Shutdown(grace)
+}
+
+// Shutdown stops admitting new analysis requests (they get 503) and
+// blocks until every in-flight request has drained or ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.drain.close()
+	select {
+	case <-s.drain.idle:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// drainGate tracks in-flight requests so Shutdown can drain them. (A
+// bare WaitGroup would race Add against Wait; the mutex-guarded counter
+// makes enter-after-close an explicit rejection instead.)
+type drainGate struct {
+	mu     sync.Mutex
+	n      int
+	closed bool
+	idle   chan struct{} // closed once closed && n == 0
+}
+
+func (d *drainGate) enter() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return false
+	}
+	d.n++
+	return true
+}
+
+func (d *drainGate) exit() {
+	d.mu.Lock()
+	d.n--
+	if d.closed && d.n == 0 {
+		close(d.idle)
+	}
+	d.mu.Unlock()
+}
+
+func (d *drainGate) close() {
+	d.mu.Lock()
+	if !d.closed {
+		d.closed = true
+		if d.n == 0 {
+			close(d.idle)
+		}
+	}
+	d.mu.Unlock()
+}
+
+// maxBodyBytes bounds request bodies; NFC sources are small programs.
+const maxBodyBytes = 1 << 20
+
+// analyzeRequest is the /v1/analyze body. Exactly one of NF, NFs, or
+// Src selects what to analyze.
+type analyzeRequest struct {
+	// NF names one library element; NFs names several (one batch).
+	NF  string   `json:"nf,omitempty"`
+	NFs []string `json:"nfs,omitempty"`
+	// Src is NFC source to compile and analyze; Name labels it.
+	Src  string `json:"src,omitempty"`
+	Name string `json:"name,omitempty"`
+	// Workload is small | large | mix (default mix).
+	Workload string `json:"workload,omitempty"`
+	// TimeoutMs optionally shortens the server's request timeout.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// analyzeResult is one job's JSON outcome.
+type analyzeResult struct {
+	Name      string         `json:"name"`
+	Workload  string         `json:"workload"`
+	Insights  *core.Insights `json:"insights,omitempty"`
+	Error     string         `json:"error,omitempty"`
+	Panicked  bool           `json:"panicked,omitempty"`
+	CacheHit  bool           `json:"cache_hit"`
+	ElapsedMs float64        `json:"elapsed_ms"`
+}
+
+type analyzeResponse struct {
+	Results []analyzeResult `json:"results"`
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	const route = "analyze"
+	var req analyzeRequest
+	if !s.decode(w, r, route, &req) {
+		return
+	}
+	jobs, errMsg := s.buildJobs(&req)
+	if errMsg != "" {
+		s.writeError(w, route, http.StatusBadRequest, errMsg)
+		return
+	}
+
+	// Admission: a slot per request, held for its whole analysis. No
+	// hidden queue behind it — a full service answers 429 immediately
+	// and the client retries against visible backpressure.
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		w.Header().Set("Retry-After", "1")
+		s.met.observe(route, http.StatusTooManyRequests, time.Since(start))
+		writeJSON(w, http.StatusTooManyRequests, map[string]string{
+			"error": "analysis queue full",
+		})
+		return
+	}
+	defer func() { <-s.sem }()
+	if !s.drain.enter() {
+		s.writeError(w, route, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	defer s.drain.exit()
+
+	timeout := s.cfg.RequestTimeout
+	if req.TimeoutMs > 0 && time.Duration(req.TimeoutMs)*time.Millisecond < timeout {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	results, runErr := s.fl.RunContext(ctx, jobs)
+	elapsed := time.Since(start)
+
+	if r.Context().Err() != nil {
+		// Client went away: there is nobody to write to. Record the
+		// cancellation (the analysis itself stopped inside RunContext).
+		s.met.observe(route, statusClientClosed, elapsed)
+		return
+	}
+	if runErr != nil && errors.Is(runErr, context.DeadlineExceeded) {
+		s.writeError(w, route, http.StatusGatewayTimeout,
+			fmt.Sprintf("analysis timed out after %s", timeout))
+		return
+	}
+	if runErr != nil {
+		s.writeError(w, route, http.StatusInternalServerError, runErr.Error())
+		return
+	}
+
+	resp := analyzeResponse{Results: make([]analyzeResult, len(results))}
+	status := http.StatusOK
+	for i, res := range results {
+		out := analyzeResult{
+			Name:      res.Name,
+			Workload:  res.Workload,
+			Insights:  res.Insights,
+			CacheHit:  res.CacheHit,
+			Panicked:  res.Panicked,
+			ElapsedMs: float64(res.Elapsed) / float64(time.Millisecond),
+		}
+		if res.Err != nil {
+			out.Error = res.Err.Error()
+			// A failed job is a server-side analysis fault; surface it in
+			// the status while still returning every result.
+			status = http.StatusInternalServerError
+		}
+		resp.Results[i] = out
+	}
+	s.met.observe(route, status, elapsed)
+	writeJSON(w, status, resp)
+}
+
+// buildJobs resolves an analyze request into fleet jobs.
+func (s *Server) buildJobs(req *analyzeRequest) ([]fleet.Job, string) {
+	wl, err := pickWorkload(req.Workload)
+	if err != nil {
+		return nil, err.Error()
+	}
+	selectors := 0
+	for _, set := range []bool{req.NF != "", len(req.NFs) > 0, req.Src != ""} {
+		if set {
+			selectors++
+		}
+	}
+	if selectors != 1 {
+		return nil, "exactly one of nf, nfs, or src must be set"
+	}
+	var jobs []fleet.Job
+	switch {
+	case req.Src != "":
+		name := req.Name
+		if name == "" {
+			name = "submitted"
+		}
+		mod, err := lang.Compile(name, req.Src)
+		if err != nil {
+			return nil, fmt.Sprintf("compiling %s: %v", name, err)
+		}
+		jobs = append(jobs, fleet.Job{Name: name, Mod: mod, WL: wl})
+	default:
+		names := req.NFs
+		if req.NF != "" {
+			names = []string{req.NF}
+		}
+		for _, n := range names {
+			e := click.Get(n)
+			if e == nil {
+				return nil, fmt.Sprintf("unknown element %q (GET /v1/elements lists them)", n)
+			}
+			mod, err := e.Module()
+			if err != nil {
+				return nil, err.Error()
+			}
+			jobs = append(jobs, fleet.Job{
+				Name: e.Name,
+				Mod:  mod,
+				PS:   core.ProfileSetup{Setup: e.Setup, LPMTable: e.Routes},
+				WL:   wl,
+			})
+		}
+	}
+	if s.cfg.jobHook != nil {
+		for i := range jobs {
+			s.cfg.jobHook(&jobs[i])
+		}
+	}
+	return jobs, ""
+}
+
+// lintRequest is the /v1/lint body: a library element name or source.
+type lintRequest struct {
+	NF   string `json:"nf,omitempty"`
+	Src  string `json:"src,omitempty"`
+	Name string `json:"name,omitempty"`
+}
+
+type lintResponse struct {
+	Name        string                `json:"name"`
+	Summary     analysis.Summary      `json:"summary"`
+	Diagnostics []analysis.Diagnostic `json:"diagnostics"`
+}
+
+func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	const route = "lint"
+	var req lintRequest
+	if !s.decode(w, r, route, &req) {
+		return
+	}
+	name, src := req.Name, req.Src
+	switch {
+	case req.NF != "" && req.Src == "":
+		e := click.Get(req.NF)
+		if e == nil {
+			s.writeError(w, route, http.StatusBadRequest, fmt.Sprintf("unknown element %q", req.NF))
+			return
+		}
+		name, src = e.Name, e.Src
+	case req.Src != "" && req.NF == "":
+		if name == "" {
+			name = "submitted"
+		}
+	default:
+		s.writeError(w, route, http.StatusBadRequest, "exactly one of nf or src must be set")
+		return
+	}
+	if !s.drain.enter() {
+		s.writeError(w, route, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	defer s.drain.exit()
+
+	ds, err := analysis.LintSource(name, src, s.cfg.Tool.LintConfig())
+	if err != nil {
+		s.writeError(w, route, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	s.met.observe(route, http.StatusOK, time.Since(start))
+	writeJSON(w, http.StatusOK, lintResponse{
+		Name:        name,
+		Summary:     analysis.Summarize(ds),
+		Diagnostics: ds,
+	})
+}
+
+// elementInfo is one row of /v1/elements.
+type elementInfo struct {
+	Name     string `json:"name"`
+	Desc     string `json:"desc"`
+	LoC      int    `json:"loc"`
+	Stateful bool   `json:"stateful"`
+}
+
+func (s *Server) handleElements(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var out []elementInfo
+	for _, e := range click.Library() {
+		out = append(out, elementInfo{Name: e.Name, Desc: e.Desc, LoC: e.LoC(), Stateful: e.Stateful})
+	}
+	s.met.observe("elements", http.StatusOK, time.Since(start))
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.drain.closing() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (d *drainGate) closing() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.closed
+}
+
+// decode parses a JSON request body, answering 400 on malformed input.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, route string, into any) bool {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		s.writeError(w, route, http.StatusBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func (s *Server) writeError(w http.ResponseWriter, route string, status int, msg string) {
+	s.met.observe(route, status, 0)
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the client may already be gone
+}
+
+func pickWorkload(name string) (traffic.Spec, error) {
+	switch name {
+	case "small":
+		return traffic.SmallFlows, nil
+	case "large":
+		return traffic.LargeFlows, nil
+	case "mix", "":
+		return traffic.MediumMix, nil
+	default:
+		return traffic.Spec{}, fmt.Errorf("unknown workload %q (small | large | mix)", name)
+	}
+}

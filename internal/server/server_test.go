@@ -1,0 +1,470 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"clara/internal/click"
+	"clara/internal/core"
+	"clara/internal/fleet"
+	"clara/internal/interp"
+	"clara/internal/nicsim"
+	"clara/internal/synth"
+)
+
+// The trained tool is shared across tests; training dominates test time
+// and the trained models are read-only.
+var (
+	toolOnce sync.Once
+	testTool *core.Clara
+	toolErr  error
+)
+
+func quickTool(t testing.TB) *core.Clara {
+	t.Helper()
+	toolOnce.Do(func() {
+		const seed = 7
+		params := nicsim.DefaultParams()
+		mods, err := click.Modules(click.Table2Order)
+		if err != nil {
+			toolErr = err
+			return
+		}
+		pred, err := core.TrainPredictor(core.PredictorConfig{
+			TrainPrograms: 50, Epochs: 6, Hidden: 16,
+			CompactVocab: true, Seed: seed,
+		}, core.CorpusProfile(mods))
+		if err != nil {
+			toolErr = err
+			return
+		}
+		algo, err := core.TrainAlgoIdentifier(synth.AlgoCorpus(12, seed), 48, seed)
+		if err != nil {
+			toolErr = err
+			return
+		}
+		sm, err := core.TrainScaleout(core.ScaleoutConfig{
+			TrainPrograms: 8, PacketsPerTrace: 400,
+			CoreGrid: []int{2, 8, 16, 32, 48, 60},
+			Params:   params, Seed: seed,
+		}, pred)
+		if err != nil {
+			toolErr = err
+			return
+		}
+		testTool = &core.Clara{Predictor: pred, AlgoID: algo, Scaleout: sm, Params: params}
+	})
+	if toolErr != nil {
+		t.Fatalf("training quick tool: %v", toolErr)
+	}
+	return testTool
+}
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	cfg.Tool = quickTool(t)
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func postJSON(t *testing.T, h http.Handler, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	blob, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", path, bytes.NewReader(blob))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func decodeAnalyze(t *testing.T, rec *httptest.ResponseRecorder) analyzeResponse {
+	t.Helper()
+	var resp analyzeResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("bad analyze response (%d): %v\n%s", rec.Code, err, rec.Body.String())
+	}
+	return resp
+}
+
+// TestAnalyzeSubmittedSource is the end-to-end serving path: POST NFC
+// source, get JSON insights back — and a resubmission of the same
+// source hits the content-hashed prediction cache even though it is
+// compiled to a fresh module.
+func TestAnalyzeSubmittedSource(t *testing.T) {
+	s := newTestServer(t, Config{})
+	src := click.Get("tcpack").Src
+	rec := postJSON(t, s.Handler(), "/v1/analyze", analyzeRequest{Src: src, Name: "submitted-tcpack", Workload: "mix"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d:\n%s", rec.Code, rec.Body.String())
+	}
+	resp := decodeAnalyze(t, rec)
+	if len(resp.Results) != 1 {
+		t.Fatalf("got %d results", len(resp.Results))
+	}
+	r := resp.Results[0]
+	if r.Error != "" || r.Insights == nil || r.Insights.Prediction == nil {
+		t.Fatalf("no insights: %+v", r)
+	}
+	if r.Name != "submitted-tcpack" || r.Workload != "medium-mix" && r.Workload == "" {
+		t.Errorf("bad labels: %+v", r)
+	}
+	if r.Insights.Prediction.TotalCompute <= 0 {
+		t.Errorf("empty prediction: %+v", r.Insights.Prediction)
+	}
+	if r.CacheHit {
+		t.Error("first submission claimed a cache hit")
+	}
+
+	rec2 := postJSON(t, s.Handler(), "/v1/analyze", analyzeRequest{Src: src, Name: "submitted-tcpack", Workload: "small"})
+	resp2 := decodeAnalyze(t, rec2)
+	if !resp2.Results[0].CacheHit {
+		t.Error("resubmitted source missed the prediction cache")
+	}
+}
+
+// TestAnalyzeLibraryBatch analyzes library elements by name, as a batch.
+func TestAnalyzeLibraryBatch(t *testing.T) {
+	s := newTestServer(t, Config{})
+	rec := postJSON(t, s.Handler(), "/v1/analyze", analyzeRequest{NFs: []string{"tcpack", "aggcounter"}})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d:\n%s", rec.Code, rec.Body.String())
+	}
+	resp := decodeAnalyze(t, rec)
+	if len(resp.Results) != 2 {
+		t.Fatalf("got %d results", len(resp.Results))
+	}
+	for _, r := range resp.Results {
+		if r.Error != "" || r.Insights == nil {
+			t.Errorf("job %s failed: %s", r.Name, r.Error)
+		}
+	}
+}
+
+// TestAnalyzeValidation pins the 400 paths.
+func TestAnalyzeValidation(t *testing.T) {
+	s := newTestServer(t, Config{})
+	for name, body := range map[string]analyzeRequest{
+		"no selector":      {},
+		"two selectors":    {NF: "tcpack", Src: "void handle() {}"},
+		"unknown element":  {NF: "nosuch"},
+		"unknown workload": {NF: "tcpack", Workload: "insane"},
+		"bad source":       {Src: "not nfc at all ("},
+	} {
+		if rec := postJSON(t, s.Handler(), "/v1/analyze", body); rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, rec.Code)
+		}
+	}
+	req := httptest.NewRequest("POST", "/v1/analyze", strings.NewReader("{not json"))
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d, want 400", rec.Code)
+	}
+}
+
+// TestLintOnly exercises the static path: no profiling, and findings
+// for SmartNIC-hostile source.
+func TestLintOnly(t *testing.T) {
+	s := newTestServer(t, Config{})
+	rec := postJSON(t, s.Handler(), "/v1/lint", lintRequest{
+		Name: "floaty",
+		Src: `void handle() {
+	u32 rate = ewma_rate(u32(pkt_len()));
+	if (rate > 1000000) { pkt_drop(); return; }
+	pkt_send(0);
+}
+`,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d:\n%s", rec.Code, rec.Body.String())
+	}
+	var resp lintResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Diagnostics) == 0 {
+		t.Fatal("float-using NF linted clean")
+	}
+	found := false
+	for _, d := range resp.Diagnostics {
+		if strings.Contains(d.Rule, "float") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no float rule fired: %+v", resp.Diagnostics)
+	}
+
+	rec = postJSON(t, s.Handler(), "/v1/lint", lintRequest{NF: "tcpack"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("library lint status %d", rec.Code)
+	}
+}
+
+// blockingHook returns a job hook whose Setup announces itself on
+// started and then blocks until release is closed.
+func blockingHook(started chan<- struct{}, release <-chan struct{}) func(*fleet.Job) {
+	return func(j *fleet.Job) {
+		j.PS = core.ProfileSetup{Setup: func(*interp.Machine) error {
+			started <- struct{}{}
+			<-release
+			return nil
+		}}
+	}
+}
+
+// TestQueueFullBackpressure fills the admission queue with one pinned
+// request and checks the next one is rejected with 429 — visible
+// backpressure, not unbounded queueing.
+func TestQueueFullBackpressure(t *testing.T) {
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	s := newTestServer(t, Config{QueueDepth: 1, Workers: 1,
+		jobHook: blockingHook(started, release)})
+
+	firstDone := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		firstDone <- postJSON(t, s.Handler(), "/v1/analyze", analyzeRequest{NF: "tcpack"})
+	}()
+	<-started // the slot is held and the analysis is in flight
+
+	rec := postJSON(t, s.Handler(), "/v1/analyze", analyzeRequest{NF: "aggcounter"})
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429:\n%s", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	close(release)
+	if rec := <-firstDone; rec.Code != http.StatusOK {
+		t.Fatalf("pinned request failed: %d\n%s", rec.Code, rec.Body.String())
+	}
+	snap := s.met.snapshot(s.fl.Stats(), len(s.sem), cap(s.sem))
+	if snap.Requests["analyze"].Rejected != 1 {
+		t.Errorf("rejected count = %d, want 1", snap.Requests["analyze"].Rejected)
+	}
+}
+
+// TestClientCancelStopsAnalysis proves a client disconnect cancels the
+// underlying fleet work: the analysis aborts inside its profiling loop
+// and the fleet records a canceled job, not a completed one.
+func TestClientCancelStopsAnalysis(t *testing.T) {
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	s := newTestServer(t, Config{Workers: 1, jobHook: blockingHook(started, release)})
+
+	blob, _ := json.Marshal(analyzeRequest{NF: "tcpack"})
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest("POST", "/v1/analyze", bytes.NewReader(blob)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.Handler().ServeHTTP(rec, req)
+	}()
+	<-started // analysis running; worker pinned in Setup
+	cancel()  // client goes away
+	close(release)
+	<-done
+
+	fs := s.fl.Stats()
+	if fs.JobsCanceled != 1 {
+		t.Errorf("fleet canceled jobs = %d, want 1 (completed=%d failed=%d)",
+			fs.JobsCanceled, fs.JobsCompleted, fs.JobsFailed)
+	}
+	snap := s.met.snapshot(fs, len(s.sem), cap(s.sem))
+	if snap.Requests["analyze"].Canceled != 1 {
+		t.Errorf("canceled request count = %d, want 1", snap.Requests["analyze"].Canceled)
+	}
+}
+
+// TestRequestTimeout checks the per-request deadline: an analysis that
+// cannot finish inside timeout_ms answers 504.
+func TestRequestTimeout(t *testing.T) {
+	started := make(chan struct{}, 4)
+	release := make(chan struct{})
+	defer close(release)
+	hook := func(j *fleet.Job) {
+		j.PS = core.ProfileSetup{Setup: func(*interp.Machine) error {
+			started <- struct{}{}
+			select {
+			case <-release:
+			case <-time.After(5 * time.Second):
+			}
+			return nil
+		}}
+	}
+	s := newTestServer(t, Config{Workers: 1, jobHook: hook})
+	rec := postJSON(t, s.Handler(), "/v1/analyze", analyzeRequest{NF: "tcpack", TimeoutMs: 50})
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504:\n%s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestPanickingNFIsolation submits a job whose analysis panics: the
+// response reports the per-job error and the server keeps serving.
+func TestPanickingNFIsolation(t *testing.T) {
+	s := newTestServer(t, Config{
+		jobHook: func(j *fleet.Job) {
+			j.PS = core.ProfileSetup{Setup: func(*interp.Machine) error {
+				panic("synthetic NF panic")
+			}}
+		},
+	})
+	rec := postJSON(t, s.Handler(), "/v1/analyze", analyzeRequest{NF: "tcpack"})
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500:\n%s", rec.Code, rec.Body.String())
+	}
+	resp := decodeAnalyze(t, rec)
+	if !resp.Results[0].Panicked || !strings.Contains(resp.Results[0].Error, "synthetic NF panic") {
+		t.Fatalf("panic not surfaced: %+v", resp.Results[0])
+	}
+
+	// The process survived; a clean request still works.
+	s2 := newTestServer(t, Config{})
+	_ = s2
+	rec = postJSON(t, s.Handler(), "/v1/lint", lintRequest{NF: "tcpack"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("server unhealthy after panic: %d", rec.Code)
+	}
+	if got := s.fl.Stats().JobsPanicked; got != 1 {
+		t.Errorf("panicked jobs = %d, want 1", got)
+	}
+}
+
+// TestMetricsEndpoint drives a few requests and checks the snapshot
+// schema: request counts, cache hit rate, latency histograms, queue
+// occupancy.
+func TestMetricsEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{QueueDepth: 3})
+	src := click.Get("aggcounter").Src
+	for i := 0; i < 2; i++ {
+		if rec := postJSON(t, s.Handler(), "/v1/analyze", analyzeRequest{Src: src, Name: "m"}); rec.Code != http.StatusOK {
+			t.Fatalf("analyze %d: %d", i, rec.Code)
+		}
+	}
+	postJSON(t, s.Handler(), "/v1/lint", lintRequest{NF: "tcpack"})
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", rec.Code)
+	}
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if snap.Requests["analyze"].Total != 2 || snap.Requests["analyze"].OK != 2 {
+		t.Errorf("analyze counts: %+v", snap.Requests["analyze"])
+	}
+	if snap.Requests["lint"].OK != 1 {
+		t.Errorf("lint counts: %+v", snap.Requests["lint"])
+	}
+	if snap.Queue.Capacity != 3 || snap.Queue.Depth != 0 {
+		t.Errorf("queue: %+v", snap.Queue)
+	}
+	if h := snap.Latency["analyze"]; h.N != 2 || len(h.Counts) != len(h.BoundsMs)+1 {
+		t.Errorf("analyze latency histogram: %+v", h)
+	}
+	// Identical source twice: second request's prediction is a hit.
+	if snap.Fleet.CacheHits != 1 || snap.Fleet.CacheHitRate <= 0 {
+		t.Errorf("fleet cache: hits=%d rate=%v", snap.Fleet.CacheHits, snap.Fleet.CacheHitRate)
+	}
+	if snap.Fleet.JobsCompleted != 2 || snap.Fleet.AnalysisLatency.N != 2 {
+		t.Errorf("fleet jobs: %+v", snap.Fleet)
+	}
+}
+
+// TestGracefulShutdownDrains starts an analysis, begins shutdown, and
+// checks: shutdown waits for the in-flight request, new requests get
+// 503, and the drained request still completes successfully.
+func TestGracefulShutdownDrains(t *testing.T) {
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 2,
+		jobHook: blockingHook(started, release)})
+
+	firstDone := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		firstDone <- postJSON(t, s.Handler(), "/v1/analyze", analyzeRequest{NF: "tcpack"})
+	}()
+	<-started
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("shutdown returned before drain: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	rec := postJSON(t, s.Handler(), "/v1/analyze", analyzeRequest{NF: "aggcounter"})
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("during drain: status %d, want 503", rec.Code)
+	}
+
+	close(release)
+	if rec := <-firstDone; rec.Code != http.StatusOK {
+		t.Fatalf("drained request failed: %d\n%s", rec.Code, rec.Body.String())
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestConcurrentRequests hammers the server with parallel analyze and
+// lint requests — the -race run for the whole serving stack.
+func TestConcurrentRequests(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 4, QueueDepth: 32})
+	var wg sync.WaitGroup
+	names := []string{"tcpack", "aggcounter", "udpipencap", "forcetcp"}
+	errs := make(chan string, 64)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := names[i%len(names)]
+			if i%4 == 3 {
+				if rec := postJSON(t, s.Handler(), "/v1/lint", lintRequest{NF: name}); rec.Code != http.StatusOK {
+					errs <- fmt.Sprintf("lint %s: %d", name, rec.Code)
+				}
+				return
+			}
+			rec := postJSON(t, s.Handler(), "/v1/analyze", analyzeRequest{NF: name})
+			if rec.Code != http.StatusOK {
+				errs <- fmt.Sprintf("analyze %s: %d", name, rec.Code)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	// Analyze requests cycle names[i%4] for i%4 in {0,1,2}: 12 jobs over
+	// 3 distinct modules, so exactly 3 predictions are computed.
+	if fs := s.fl.Stats(); fs.JobsCompleted != 12 || fs.CacheMisses != 3 {
+		t.Errorf("fleet stats after hammer: %+v", fs)
+	}
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check check serve-check fuzz bench-fleet update-golden
+.PHONY: build test race vet fmt-check check serve-check fuzz bench bench-smoke bench-fleet update-golden
 
 build:
 	$(GO) build ./...
@@ -28,8 +28,19 @@ serve-check:
 	$(GO) test -race ./internal/server/...
 
 # check is the PR gate: static gates first, then build, plain tests,
-# then the race passes.
-check: vet fmt-check build test race serve-check
+# then the race passes, then a quick run of the benchmark harness.
+check: vet fmt-check build test race serve-check bench-smoke
+
+# bench regenerates the committed BENCH_PR5.json: cold-start vs
+# warm-start seconds, LSTM training samples/sec, predict µs/block, and
+# fleet jobs/sec.
+bench:
+	$(GO) run ./cmd/perfbench -out BENCH_PR5.json
+
+# bench-smoke runs the same harness with shrunken workloads to verify
+# it end to end (CI); it does not overwrite the committed numbers.
+bench-smoke:
+	$(GO) run ./cmd/perfbench -quick -out /tmp/clara-bench-smoke.json
 
 # Short smoke runs of every fuzz target (seed corpus always runs under
 # plain `go test`; this adds a bounded mutation pass).

@@ -19,6 +19,7 @@ package clara
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"clara/internal/analysis"
 	"clara/internal/click"
@@ -93,6 +94,9 @@ type (
 	Server = server.Server
 	// ServerConfig sizes a Server (workers, queue depth, timeouts).
 	ServerConfig = server.Config
+	// ModelInfo is the served model's provenance (bundle hash, warm
+	// start, training wall time) surfaced by /metrics and /healthz.
+	ModelInfo = server.ModelInfo
 )
 
 // Diagnostic severities, most severe first.
@@ -134,6 +138,11 @@ type TrainConfig struct {
 	// Quick trades accuracy for speed (tests, demos).
 	Quick bool
 	Seed  int64
+	// Workers bounds training parallelism — corpus synthesis, compilation,
+	// scale-out measurement, and minibatch gradient sharding (0 =
+	// GOMAXPROCS). Any value produces bit-identical models; it only trades
+	// wall clock.
+	Workers int
 }
 
 // Train builds a full Clara tool: it synthesizes a corpus guided by the
@@ -152,9 +161,9 @@ func TrainContext(ctx context.Context, cfg TrainConfig) (*Tool, error) {
 	if err != nil {
 		return nil, err
 	}
-	pcfg := core.PredictorConfig{CompactVocab: true, Seed: cfg.Seed}
+	pcfg := core.PredictorConfig{CompactVocab: true, Seed: cfg.Seed, Workers: cfg.Workers}
 	acN := 40
-	scfg := core.ScaleoutConfig{Params: params, Seed: cfg.Seed}
+	scfg := core.ScaleoutConfig{Params: params, Seed: cfg.Seed, Workers: cfg.Workers}
 	if cfg.Quick {
 		pcfg.TrainPrograms, pcfg.Epochs, pcfg.Hidden = 50, 6, 16
 		acN = 12
@@ -177,6 +186,57 @@ func TrainContext(ctx context.Context, cfg TrainConfig) (*Tool, error) {
 		return nil, err
 	}
 	return &Tool{Predictor: pred, AlgoID: algo, Scaleout: sm, Params: params}, nil
+}
+
+// Model-bundle rejection causes (see LoadTool), matchable with errors.Is.
+var (
+	ErrBundleVersion = core.ErrBundleVersion
+	ErrBundleCorrupt = core.ErrBundleCorrupt
+	ErrBundleStale   = core.ErrBundleStale
+	ErrBundleConfig  = core.ErrBundleConfig
+)
+
+// SaveTool persists a trained tool as a versioned, content-hashed model
+// bundle (atomic write). cfg must be the TrainConfig the tool was trained
+// with — it is recorded so LoadTool can refuse mismatched bundles.
+// trainSeconds is recorded for telemetry (0 if unknown). Returns the
+// bundle's content hash.
+func SaveTool(path string, tool *Tool, cfg TrainConfig, trainSeconds float64) (string, error) {
+	b, err := core.NewBundle(tool, core.BundleMeta{
+		Quick:        cfg.Quick,
+		Seed:         cfg.Seed,
+		TrainSeconds: trainSeconds,
+		CreatedUnix:  time.Now().Unix(),
+	})
+	if err != nil {
+		return "", err
+	}
+	if err := core.SaveBundle(path, b); err != nil {
+		return "", err
+	}
+	return b.Hash, nil
+}
+
+// LoadTool restores a tool from a model bundle, validating the encoding
+// version, content hash, vendor-library fingerprint, and that the bundle
+// was trained under the requested cfg (Quick and Seed; Workers is a
+// wall-clock knob and is ignored). The restored tool predicts
+// bit-identically to the one SaveTool captured. Returns the bundle's
+// content hash alongside the tool.
+func LoadTool(path string, cfg TrainConfig) (*Tool, string, error) {
+	b, err := core.LoadBundle(path)
+	if err != nil {
+		return nil, "", err
+	}
+	if b.Meta.Quick != cfg.Quick || b.Meta.Seed != cfg.Seed {
+		return nil, "", fmt.Errorf("clara: %w: bundle trained with quick=%v seed=%d, want quick=%v seed=%d",
+			core.ErrBundleConfig, b.Meta.Quick, b.Meta.Seed, cfg.Quick, cfg.Seed)
+	}
+	tool, err := b.Tool()
+	if err != nil {
+		return nil, "", err
+	}
+	return tool, b.Hash, nil
 }
 
 // NewServer builds the HTTP analysis service around a trained tool; see

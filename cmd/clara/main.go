@@ -10,6 +10,8 @@
 //	clara -fleet [-workers 8] [-quick]      # whole library × all workloads
 //	clara -lint -src element.nfc [-json]    # offloadability lint, no training
 //	clara -serve :8080 [-workers 8] [-quick]  # HTTP analysis service
+//	clara -nf mazunat -model-save model.json      # persist the trained model
+//	clara -serve :8080 -model-load model.json     # warm start (ms, no training)
 //	clara -list
 package main
 
@@ -43,14 +45,16 @@ func main() {
 		serveAddr = flag.String("serve", "", "serve the HTTP analysis API on this address (e.g. :8080)")
 		queue     = flag.Int("queue", 0, "with -serve: max concurrent analysis requests (0 = 4x workers)")
 		timeout   = flag.Duration("timeout", 0, "with -serve: per-request analysis deadline (0 = 30s)")
+		modelLoad = flag.String("model-load", "", "warm-start from a saved model bundle (falls back to training when missing or invalid)")
+		modelSave = flag.String("model-save", "", "after training, persist the model bundle to this path")
 	)
 	flag.Parse()
 
 	validateFlags(*nfName, *srcPath, *fleetMode, *lintMode, *list, *jsonOut,
-		*serveAddr, *tracePath, *workers, *queue, *timeout)
+		*serveAddr, *tracePath, *modelLoad, *modelSave, *workers, *queue, *timeout)
 
 	if *serveAddr != "" {
-		serve(*serveAddr, *workers, *queue, *timeout, *quick)
+		serve(*serveAddr, *workers, *queue, *timeout, *quick, *modelLoad, *modelSave)
 		return
 	}
 
@@ -63,7 +67,7 @@ func main() {
 	}
 
 	if *fleetMode {
-		analyzeFleet(*workers, *quick)
+		analyzeFleet(*workers, *quick, *modelLoad, *modelSave)
 		return
 	}
 
@@ -109,11 +113,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Fprintln(os.Stderr, "training Clara (predictor + algorithm ID + scale-out model)...")
-	tool, err := clara.Train(clara.TrainConfig{Quick: *quick, Seed: 42})
-	if err != nil {
-		fatal(err)
-	}
+	tool, _ := obtainTool(context.Background(), *quick, *modelLoad, *modelSave)
 
 	if *tracePath != "" {
 		// Workload comes from a recorded trace (the paper's pcap profile
@@ -164,7 +164,7 @@ func main() {
 // validateFlags rejects incoherent flag combinations up front (exit 2
 // with usage) instead of silently ignoring the extra flags.
 func validateFlags(nf, src string, fleetMode, lintMode, list, jsonOut bool,
-	serveAddr, tracePath string, workers, queue int, timeout time.Duration) {
+	serveAddr, tracePath, modelLoad, modelSave string, workers, queue int, timeout time.Duration) {
 	usageErr := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "clara: "+format+"\n\n", args...)
 		flag.Usage()
@@ -173,6 +173,12 @@ func validateFlags(nf, src string, fleetMode, lintMode, list, jsonOut bool,
 	if jsonOut && !lintMode {
 		usageErr("-json only applies to -lint output")
 	}
+	if (modelLoad != "" || modelSave != "") && (lintMode || list) {
+		usageErr("-model-load/-model-save only apply to modes that train a model (analyze, -fleet, -serve)")
+	}
+	// -model-load and -model-save may name the same file: load-or-train-
+	// and-save is the natural caching pattern (save only runs after an
+	// actual training pass, never after a successful warm start).
 	if workers < 0 {
 		usageErr("-workers must be >= 0 (got %d)", workers)
 	}
@@ -209,27 +215,86 @@ func validateFlags(nf, src string, fleetMode, lintMode, list, jsonOut bool,
 	}
 }
 
-// serve trains the tool, then runs the HTTP analysis service until
-// SIGINT/SIGTERM, draining in-flight analyses before exiting.
-func serve(addr string, workers, queue int, timeout time.Duration, quick bool) {
+// obtainTool resolves the trained tool for a training mode: warm-start
+// from -model-load when the bundle is valid for this build and config,
+// otherwise train from scratch (persisting to -model-save when set).
+func obtainTool(ctx context.Context, quick bool, loadPath, savePath string) (*clara.Tool, clara.ModelInfo) {
+	cfg := clara.TrainConfig{Quick: quick, Seed: 42}
+	if loadPath != "" {
+		tool, hash, err := clara.LoadTool(loadPath, cfg)
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "clara: warm start from %s (model %.12s…)\n", loadPath, hash)
+			return tool, clara.ModelInfo{Hash: hash, WarmStart: true}
+		}
+		fmt.Fprintf(os.Stderr, "clara: cannot warm start from %s (%v); training instead\n", loadPath, err)
+	}
+	fmt.Fprintln(os.Stderr, "training Clara (predictor + algorithm ID + scale-out model)...")
+	start := time.Now()
+	tool, err := clara.TrainContext(ctx, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	info := clara.ModelInfo{TrainSeconds: time.Since(start).Seconds()}
+	if savePath != "" {
+		hash, err := clara.SaveTool(savePath, tool, cfg, info.TrainSeconds)
+		if err != nil {
+			fatal(fmt.Errorf("saving model bundle: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "clara: saved model bundle to %s (model %.12s…)\n", savePath, hash)
+		info.Hash = hash
+	}
+	return tool, info
+}
+
+// serve runs the HTTP analysis service until SIGINT/SIGTERM, draining
+// in-flight analyses before exiting. With a valid -model-load bundle the
+// server warm-starts and is ready before the first request; otherwise it
+// binds immediately and trains in the background, answering /healthz 503
+// "training" until the model is ready.
+func serve(addr string, workers, queue int, timeout time.Duration, quick bool, loadPath, savePath string) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	fmt.Fprintln(os.Stderr, "training Clara (predictor + algorithm ID + scale-out model)...")
-	tool, err := clara.TrainContext(ctx, clara.TrainConfig{Quick: quick, Seed: 42})
+	cfg := clara.TrainConfig{Quick: quick, Seed: 42}
+	scfg := clara.ServerConfig{Workers: workers, QueueDepth: queue, RequestTimeout: timeout}
+	if loadPath != "" {
+		tool, hash, err := clara.LoadTool(loadPath, cfg)
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "clara: warm start from %s (model %.12s…)\n", loadPath, hash)
+			scfg.Tool = tool
+			scfg.Model = clara.ModelInfo{Hash: hash, WarmStart: true}
+		} else {
+			fmt.Fprintf(os.Stderr, "clara: cannot warm start from %s (%v); training in background\n", loadPath, err)
+		}
+	}
+	if scfg.Tool == nil {
+		scfg.Train = func(ctx context.Context) (*clara.Tool, clara.ModelInfo, error) {
+			fmt.Fprintln(os.Stderr, "training Clara (predictor + algorithm ID + scale-out model)...")
+			start := time.Now()
+			tool, err := clara.TrainContext(ctx, cfg)
+			if err != nil {
+				return nil, clara.ModelInfo{}, err
+			}
+			info := clara.ModelInfo{TrainSeconds: time.Since(start).Seconds()}
+			if savePath != "" {
+				hash, err := clara.SaveTool(savePath, tool, cfg, info.TrainSeconds)
+				if err != nil {
+					// A failed save must not take down a trained server.
+					fmt.Fprintf(os.Stderr, "clara: saving model bundle: %v\n", err)
+				} else {
+					fmt.Fprintf(os.Stderr, "clara: saved model bundle to %s (model %.12s…)\n", savePath, hash)
+					info.Hash = hash
+				}
+			}
+			fmt.Fprintf(os.Stderr, "clara: model ready (trained in %.1fs)\n", info.TrainSeconds)
+			return tool, info, nil
+		}
+	}
+	srv, err := clara.NewServer(scfg)
 	if err != nil {
 		fatal(err)
 	}
-	srv, err := clara.NewServer(clara.ServerConfig{
-		Tool:           tool,
-		Workers:        workers,
-		QueueDepth:     queue,
-		RequestTimeout: timeout,
-	})
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Fprintf(os.Stderr, "clara: serving on %s (%d workers)\n", addr, srv.Fleet().Workers())
+	fmt.Fprintf(os.Stderr, "clara: serving on %s\n", addr)
 	if err := srv.ListenAndServe(ctx, addr); err != nil {
 		fatal(err)
 	}
@@ -284,12 +349,8 @@ func lint(name, src string, jsonOut bool) {
 // analyzeFleet runs the whole element library (Table 2 order) under the
 // three standard workloads on a bounded worker pool and prints the
 // summary table plus the fleet's cache/latency metrics.
-func analyzeFleet(workers int, quick bool) {
-	fmt.Fprintln(os.Stderr, "training Clara (predictor + algorithm ID + scale-out model)...")
-	tool, err := clara.Train(clara.TrainConfig{Quick: quick, Seed: 42})
-	if err != nil {
-		fatal(err)
-	}
+func analyzeFleet(workers int, quick bool, loadPath, savePath string) {
+	tool, _ := obtainTool(context.Background(), quick, loadPath, savePath)
 	jobs, err := clara.LibraryJobs()
 	if err != nil {
 		fatal(err)

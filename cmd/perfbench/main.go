@@ -1,0 +1,201 @@
+// Command perfbench measures the training/serving fast path end to end
+// and writes the numbers as JSON (the committed BENCH_PR5.json):
+//
+//   - cold-start: full quick-mode tool training (corpus synthesis +
+//     LSTM predictor + algorithm ID + scale-out model);
+//   - warm-start: persisting the trained tool as a model bundle and
+//     loading it back — the `clara -serve -model-load` startup path;
+//   - train throughput: LSTM minibatch training samples/sec at the
+//     bundle's batch size;
+//   - predict latency: µs per basic block across the whole element
+//     library;
+//   - fleet throughput: library × workloads jobs/sec on the analysis
+//     pool (cold prediction cache).
+//
+// Usage:
+//
+//	perfbench [-quick] [-out BENCH_PR5.json]
+//
+// -quick shrinks the measured workloads for CI smoke runs; the
+// committed numbers come from a run without it.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"clara"
+	"clara/internal/ml"
+	"clara/internal/niccc"
+)
+
+// report is the BENCH_PR5.json schema.
+type report struct {
+	GeneratedUnix      int64   `json:"generated_unix"`
+	GoMaxProcs         int     `json:"gomaxprocs"`
+	Quick              bool    `json:"quick"`
+	ColdStartSeconds   float64 `json:"cold_start_seconds"`
+	WarmStartSeconds   float64 `json:"warm_start_seconds"`
+	BundleBytes        int64   `json:"bundle_bytes"`
+	ModelHash          string  `json:"model_hash"`
+	TrainSamplesPerSec float64 `json:"train_samples_per_sec"`
+	PredictUsPerBlock  float64 `json:"predict_us_per_block"`
+	FleetJobsPerSec    float64 `json:"fleet_jobs_per_sec"`
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "smaller measured workloads (CI smoke)")
+	out := flag.String("out", "BENCH_PR5.json", "output JSON path")
+	flag.Parse()
+
+	rep := report{
+		GeneratedUnix: time.Now().Unix(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		Quick:         *quick,
+	}
+	cfg := clara.TrainConfig{Quick: true, Seed: 42}
+
+	// Cold start: the whole training pipeline, as `clara -serve` without
+	// a bundle would run it.
+	fmt.Fprintln(os.Stderr, "perfbench: cold-start training...")
+	t0 := time.Now()
+	tool, err := clara.TrainContext(context.Background(), cfg)
+	if err != nil {
+		fatal(err)
+	}
+	rep.ColdStartSeconds = time.Since(t0).Seconds()
+
+	// Warm start: bundle round trip — `-model-save` then `-model-load`.
+	dir, err := os.MkdirTemp("", "perfbench-*")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	bundlePath := filepath.Join(dir, "model.json")
+	if _, err := clara.SaveTool(bundlePath, tool, cfg, rep.ColdStartSeconds); err != nil {
+		fatal(err)
+	}
+	if fi, err := os.Stat(bundlePath); err == nil {
+		rep.BundleBytes = fi.Size()
+	}
+	t0 = time.Now()
+	warm, hash, err := clara.LoadTool(bundlePath, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	rep.WarmStartSeconds = time.Since(t0).Seconds()
+	rep.ModelHash = hash
+
+	// Training throughput: LSTM minibatch epochs over a synthetic token
+	// corpus, the shape the predictor trains on.
+	n, epochs := 400, 6
+	if *quick {
+		n, epochs = 100, 2
+	}
+	rep.TrainSamplesPerSec = trainThroughput(n, epochs)
+
+	// Predict latency: every library element, block by block, on the
+	// warm-started tool.
+	iters := 5
+	if *quick {
+		iters = 1
+	}
+	us, err := predictLatency(warm, iters)
+	if err != nil {
+		fatal(err)
+	}
+	rep.PredictUsPerBlock = us
+
+	// Fleet throughput: the full library × standard-workloads sweep on
+	// the analysis pool, cold prediction cache.
+	jobs, err := clara.LibraryJobs()
+	if err != nil {
+		fatal(err)
+	}
+	fl, err := clara.NewFleet(warm, clara.FleetConfig{})
+	if err != nil {
+		fatal(err)
+	}
+	t0 = time.Now()
+	results, err := fl.Run(jobs)
+	if err != nil {
+		fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			fatal(fmt.Errorf("fleet job %s: %w", r.Name, r.Err))
+		}
+	}
+	rep.FleetJobsPerSec = float64(len(results)) / time.Since(t0).Seconds()
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "perfbench: wrote %s\n", *out)
+	fmt.Println(string(blob))
+}
+
+// trainThroughput times LSTM minibatch training over a synthetic
+// sequence corpus (the predictor's training shape) and returns
+// samples/sec, counting each sample once per epoch.
+func trainThroughput(n, epochs int) float64 {
+	const vocab = 16
+	rng := rand.New(rand.NewSource(11))
+	samples := make([]ml.SeqSample, n)
+	for i := range samples {
+		ln := 4 + rng.Intn(24)
+		toks := make([]int, ln)
+		sum := 0.0
+		for j := range toks {
+			toks[j] = rng.Intn(vocab)
+			sum += float64(toks[j])
+		}
+		samples[i] = ml.SeqSample{Tokens: toks, Target: []float64{sum}}
+	}
+	cfg := ml.LSTMConfig{Vocab: vocab, Hidden: 24, Epochs: epochs, Seed: 3, Batch: 8}
+	t0 := time.Now()
+	ml.TrainLSTM(samples, cfg)
+	return float64(n*epochs) / time.Since(t0).Seconds()
+}
+
+// predictLatency runs the predictor over every library element and
+// returns mean µs per basic block.
+func predictLatency(tool *clara.Tool, iters int) (float64, error) {
+	var blocks int
+	var total time.Duration
+	for it := 0; it < iters; it++ {
+		for _, e := range clara.Elements() {
+			mod, err := e.Module()
+			if err != nil {
+				return 0, err
+			}
+			t0 := time.Now()
+			pred, err := tool.Predictor.PredictModule(mod, niccc.AccelConfig{})
+			if err != nil {
+				return 0, err
+			}
+			total += time.Since(t0)
+			blocks += len(pred.Blocks)
+		}
+	}
+	if blocks == 0 {
+		return 0, fmt.Errorf("no blocks predicted")
+	}
+	return float64(total.Microseconds()) / float64(blocks), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "perfbench:", err)
+	os.Exit(1)
+}

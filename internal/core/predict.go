@@ -19,6 +19,7 @@ import (
 	"clara/internal/lang"
 	"clara/internal/ml"
 	"clara/internal/niccc"
+	"clara/internal/par"
 	"clara/internal/stats"
 	"clara/internal/synth"
 )
@@ -45,6 +46,16 @@ type PredictorConfig struct {
 	// (exact), the LSTM must predict them too.
 	PredictAPI bool
 	Seed       int64
+	// Batch is the LSTM minibatch size (samples per optimizer step);
+	// 0 picks the tuned default. Changing it changes training dynamics
+	// (and therefore the exact trained weights), so it participates in
+	// the model-bundle config hash.
+	Batch int
+	// Workers bounds the goroutines used for corpus synthesis,
+	// compilation, and minibatch gradient sharding (0 = GOMAXPROCS).
+	// Any value produces bit-identical models — it only trades wall
+	// clock, so it is *not* part of the bundle config hash.
+	Workers int
 }
 
 func (c PredictorConfig) norm() PredictorConfig {
@@ -59,6 +70,9 @@ func (c PredictorConfig) norm() PredictorConfig {
 	}
 	if c.Ensemble == 0 {
 		c.Ensemble = 1
+	}
+	if c.Batch == 0 {
+		c.Batch = 8
 	}
 	return c
 }
@@ -76,15 +90,22 @@ type BlockSample struct {
 
 // BlockCorpus extracts per-block samples from modules by compiling them
 // with the vendor toolchain (accelerators off: training programs are naive
-// ports, like the paper's).
+// ports, like the paper's). Modules compile in parallel; sample order is
+// module order regardless of worker scheduling.
 func BlockCorpus(mods []*ir.Module, compact bool) ([]BlockSample, error) {
-	var out []BlockSample
-	for _, m := range mods {
+	return blockCorpus(mods, compact, 0)
+}
+
+func blockCorpus(mods []*ir.Module, compact bool, workers int) ([]BlockSample, error) {
+	perMod := make([][]BlockSample, len(mods))
+	err := par.ForErr(context.Background(), workers, len(mods), func(i int) error {
+		m := mods[i]
 		prog, err := niccc.Compile(m, niccc.Options{})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		f := m.Handler()
+		samples := make([]BlockSample, 0, len(f.Blocks))
 		for bi, b := range f.Blocks {
 			irMem, irCompute, apiInstrs := 0, 0, 0
 			for _, in := range b.Instrs {
@@ -100,7 +121,7 @@ func BlockCorpus(mods []*ir.Module, compact bool) ([]BlockSample, error) {
 					}
 				}
 			}
-			out = append(out, BlockSample{
+			samples = append(samples, BlockSample{
 				Words:     ir.BlockWords(b, compact),
 				Compute:   prog.Blocks[bi].ComputeCount,
 				APIInstrs: apiInstrs,
@@ -109,20 +130,39 @@ func BlockCorpus(mods []*ir.Module, compact bool) ([]BlockSample, error) {
 				IRCompute: irCompute,
 			})
 		}
+		perMod[i] = samples
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []BlockSample
+	for _, s := range perMod {
+		out = append(out, s...)
 	}
 	return out, nil
 }
 
 // SynthTrainingModules generates the synthesized training corpus (the data
-// synthesis step of §3.2).
+// synthesis step of §3.2). Programs are independent — each is derived from
+// seed+i — so they generate in parallel with the output in index order,
+// identical to the serial corpus for any worker count.
 func SynthTrainingModules(n int, prof synth.Profile, seed int64) ([]*ir.Module, error) {
-	var mods []*ir.Module
-	for i := 0; i < n; i++ {
+	return synthTrainingModules(n, prof, seed, 0)
+}
+
+func synthTrainingModules(n int, prof synth.Profile, seed int64, workers int) ([]*ir.Module, error) {
+	mods := make([]*ir.Module, n)
+	err := par.ForErr(context.Background(), workers, n, func(i int) error {
 		m, _, err := synth.GenerateModule(synth.Config{Profile: prof, Seed: seed + int64(i)}, lang.Compile)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		mods = append(mods, m)
+		mods[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return mods, nil
 }
@@ -167,7 +207,7 @@ func TrainPredictorContext(ctx context.Context, cfg PredictorConfig, corpusProfi
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	mods, err := SynthTrainingModules(cfg.TrainPrograms, guide, cfg.Seed+1000)
+	mods, err := synthTrainingModules(cfg.TrainPrograms, guide, cfg.Seed+1000, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -175,7 +215,7 @@ func TrainPredictorContext(ctx context.Context, cfg PredictorConfig, corpusProfi
 		return nil, err
 	}
 	vocab := ir.BuildVocab(mods, cfg.CompactVocab)
-	samples, err := BlockCorpus(mods, cfg.CompactVocab)
+	samples, err := blockCorpus(mods, cfg.CompactVocab, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -204,6 +244,7 @@ func TrainPredictorContext(ctx context.Context, cfg PredictorConfig, corpusProfi
 		model, loss, err := ml.TrainLSTMContext(ctx, seq, ml.LSTMConfig{
 			Vocab: vocab.Size(), Hidden: cfg.Hidden, Out: 1,
 			Epochs: cfg.Epochs, Seed: cfg.Seed + int64(k)*7919,
+			Batch: cfg.Batch, Workers: cfg.Workers,
 		})
 		if err != nil {
 			return nil, err

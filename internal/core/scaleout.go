@@ -10,6 +10,7 @@ import (
 	"clara/internal/ml"
 	"clara/internal/niccc"
 	"clara/internal/nicsim"
+	"clara/internal/par"
 	"clara/internal/synth"
 	"clara/internal/traffic"
 )
@@ -28,6 +29,9 @@ type ScaleoutConfig struct {
 	Workloads       []traffic.Spec
 	Params          nicsim.Params
 	Seed            int64
+	// Workers bounds the goroutines measuring training programs
+	// (0 = GOMAXPROCS). Dataset contents are identical for any value.
+	Workers int
 }
 
 func (c ScaleoutConfig) norm() ScaleoutConfig {
@@ -94,14 +98,14 @@ func BuildScaleoutDataset(cfg ScaleoutConfig, pred *Predictor) ([]ScaleoutSample
 
 // BuildScaleoutDatasetContext is BuildScaleoutDataset with cancellation,
 // checked once per training program (each program is a bounded
-// profile-and-sweep unit of a few milliseconds).
+// profile-and-sweep unit of a few milliseconds). Programs are generated,
+// profiled, and swept in parallel; each is derived from a per-index seed
+// and lands in its index's slot, so the dataset is identical — in content
+// and order — for any worker count.
 func BuildScaleoutDatasetContext(ctx context.Context, cfg ScaleoutConfig, pred *Predictor) ([]ScaleoutSample, error) {
 	cfg = cfg.norm()
-	var out []ScaleoutSample
-	for i := 0; i < cfg.TrainPrograms; i++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
+	perProg := make([][]ScaleoutSample, cfg.TrainPrograms)
+	err := par.ForErr(ctx, cfg.Workers, cfg.TrainPrograms, func(i int) error {
 		// Span arithmetic intensities: bias state and compute rates.
 		bias := synth.Config{
 			Profile:     synth.UniformProfile(),
@@ -111,13 +115,21 @@ func BuildScaleoutDatasetContext(ctx context.Context, cfg ScaleoutConfig, pred *
 		}
 		mod, _, err := synth.GenerateModule(bias, lang.Compile)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		samples, err := MeasureScaleout(mod, ProfileSetup{}, cfg, pred)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, samples...)
+		perProg[i] = samples
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []ScaleoutSample
+	for _, s := range perProg {
+		out = append(out, s...)
 	}
 	return out, nil
 }

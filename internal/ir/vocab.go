@@ -109,6 +109,24 @@ func (v *Vocab) Encode(words []string) []int {
 	return out
 }
 
+// VocabFromWords reconstructs a vocabulary from its index-ordered word
+// list (the inverse of Words, used by model-bundle decoding). The word at
+// index i keeps index i, so token encodings match the original exactly.
+func VocabFromWords(words []string) (*Vocab, error) {
+	v := &Vocab{index: make(map[string]int, len(words))}
+	for i, w := range words {
+		if _, dup := v.index[w]; dup {
+			return nil, fmt.Errorf("ir: duplicate vocabulary word %q at index %d", w, i)
+		}
+		v.index[w] = i
+		v.words = append(v.words, w)
+	}
+	if _, ok := v.index[UnknownWord]; !ok {
+		return nil, fmt.Errorf("ir: vocabulary word list lacks %q", UnknownWord)
+	}
+	return v, nil
+}
+
 // BuildVocab constructs a vocabulary from a corpus of modules.
 func BuildVocab(mods []*Module, compact bool) *Vocab {
 	v := NewVocab()

@@ -4,6 +4,11 @@ import (
 	"context"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"clara/internal/ml/vek"
 )
 
 // SeqSample is one training pair for sequence models: an encoded
@@ -24,6 +29,15 @@ type LSTMConfig struct {
 	Clip        float64
 	TargetScale float64 // targets are divided by this during training
 	Seed        int64
+	// Batch is the number of samples per optimizer step. 0 or 1 keeps the
+	// original per-sample update; >1 accumulates a minibatch gradient
+	// (summed, not averaged — Adam normalizes scale away).
+	Batch int
+	// Workers is the number of goroutines sharing each minibatch. 0 means
+	// GOMAXPROCS. Results are bit-identical for any worker count: each
+	// batch slot accumulates into its own gradient buffer and the buffers
+	// are reduced in slot order, so no float ever depends on scheduling.
+	Workers int
 }
 
 func (c LSTMConfig) norm() LSTMConfig {
@@ -44,6 +58,9 @@ func (c LSTMConfig) norm() LSTMConfig {
 	}
 	if c.TargetScale == 0 {
 		c.TargetScale = 10
+	}
+	if c.Batch == 0 {
+		c.Batch = 1
 	}
 	return c
 }
@@ -89,30 +106,39 @@ type lstmStep struct {
 	c, tc, h   []float64
 }
 
-func (m *LSTM) forward(tokens []int) ([]lstmStep, []float64) {
+// lstmScratch holds every temporary one forward+backward pass needs.
+// Not goroutine-safe; Predict borrows one from a pool, trainers keep one
+// per worker. A forward Reset()s the arena, so step state from the
+// previous sample dies there; backward Takes more from the same arena
+// without resetting (the steps it walks live in it).
+type lstmScratch struct {
+	ar    vek.Arena
+	steps []lstmStep
+}
+
+var lstmScratchPool = sync.Pool{New: func() any { return new(lstmScratch) }}
+
+func (m *LSTM) forwardScratch(sc *lstmScratch, tokens []int) ([]lstmStep, []float64) {
 	H, D := m.cfg.Hidden, m.cfg.Out
 	p := m.params
-	steps := make([]lstmStep, len(tokens))
-	hPrev := make([]float64, H)
-	cPrev := make([]float64, H)
-	z := make([]float64, 4*H)
+	sc.ar.Reset()
+	if cap(sc.steps) < len(tokens) {
+		sc.steps = make([]lstmStep, len(tokens))
+	}
+	steps := sc.steps[:len(tokens)]
+	hPrev := sc.ar.Take(H)
+	cPrev := sc.ar.Take(H)
+	z := sc.ar.Take(4 * H)
 	for t, tok := range tokens {
 		wx := p[m.oWx+tok*4*H : m.oWx+(tok+1)*4*H]
 		copy(z, wx)
-		Axpy(1, p[m.oB:m.oB+4*H], z)
-		for j := 0; j < H; j++ {
-			hj := hPrev[j]
-			if hj == 0 {
-				continue
-			}
-			row := p[m.oWh+j*4*H : m.oWh+(j+1)*4*H]
-			Axpy(hj, row, z)
-		}
+		vek.Add(p[m.oB:m.oB+4*H], z)
+		vek.GemvTAdd(z, p[m.oWh:m.oB], hPrev, H, 4*H)
 		st := lstmStep{
 			tok: tok,
-			i:   make([]float64, H), f: make([]float64, H),
-			g: make([]float64, H), o: make([]float64, H),
-			c: make([]float64, H), tc: make([]float64, H), h: make([]float64, H),
+			i:   sc.ar.Take(H), f: sc.ar.Take(H),
+			g: sc.ar.Take(H), o: sc.ar.Take(H),
+			c: sc.ar.Take(H), tc: sc.ar.Take(H), h: sc.ar.Take(H),
 		}
 		for j := 0; j < H; j++ {
 			st.i[j] = sigmoid(z[j])
@@ -126,7 +152,7 @@ func (m *LSTM) forward(tokens []int) ([]lstmStep, []float64) {
 		steps[t] = st
 		hPrev, cPrev = st.h, st.c
 	}
-	y := make([]float64, D)
+	y := sc.ar.Take(D)
 	for d := 0; d < D; d++ {
 		y[d] = p[m.oBo+d]
 		for j := 0; j < H; j++ {
@@ -134,6 +160,12 @@ func (m *LSTM) forward(tokens []int) ([]lstmStep, []float64) {
 		}
 	}
 	return steps, y
+}
+
+// forward keeps the historical signature (gradient-check tests call it
+// directly); fresh scratch means the returned slices stay valid.
+func (m *LSTM) forward(tokens []int) ([]lstmStep, []float64) {
+	return m.forwardScratch(new(lstmScratch), tokens)
 }
 
 // Predict returns the model outputs rescaled to target units, clamped to
@@ -149,29 +181,34 @@ func (m *LSTM) Predict(tokens []int) []float64 {
 }
 
 // PredictRaw returns the model outputs rescaled to target units without
-// clamping (for signed targets such as residuals).
+// clamping (for signed targets such as residuals). Safe for concurrent
+// use: scratch comes from a pool, one per in-flight call.
 func (m *LSTM) PredictRaw(tokens []int) []float64 {
 	if len(tokens) == 0 {
 		return make([]float64, m.cfg.Out)
 	}
-	_, y := m.forward(tokens)
+	sc := lstmScratchPool.Get().(*lstmScratch)
+	_, y := m.forwardScratch(sc, tokens)
 	out := make([]float64, len(y))
 	for i := range y {
 		out[i] = y[i] * m.cfg.TargetScale
 	}
+	lstmScratchPool.Put(sc)
 	return out
 }
 
-// backward accumulates gradients for one sample; returns the loss.
-func (m *LSTM) backward(steps []lstmStep, y, target []float64, grads []float64) float64 {
+// backwardScratch accumulates gradients for one sample; returns the loss.
+// It Takes from the same arena that holds steps, so it must run before
+// the next forwardScratch on that scratch.
+func (m *LSTM) backwardScratch(sc *lstmScratch, steps []lstmStep, y, target []float64, grads []float64) float64 {
 	H, D := m.cfg.Hidden, m.cfg.Out
 	p := m.params
 	T := len(steps)
-	dh := make([]float64, H)
-	dc := make([]float64, H)
+	dh := sc.ar.Take(H)
+	dc := sc.ar.Take(H)
 
 	loss := 0.0
-	dy := make([]float64, D)
+	dy := sc.ar.Take(D)
 	hT := steps[T-1].h
 	for d := 0; d < D; d++ {
 		diff := y[d] - target[d]/m.cfg.TargetScale
@@ -184,7 +221,7 @@ func (m *LSTM) backward(steps []lstmStep, y, target []float64, grads []float64) 
 		}
 	}
 
-	dz := make([]float64, 4*H)
+	dz := sc.ar.Take(4 * H)
 	for t := T - 1; t >= 0; t-- {
 		st := &steps[t]
 		var cPrev, hPrev []float64
@@ -209,21 +246,24 @@ func (m *LSTM) backward(steps []lstmStep, y, target []float64, grads []float64) 
 		}
 		// Parameter gradients.
 		gw := grads[m.oWx+st.tok*4*H : m.oWx+(st.tok+1)*4*H]
-		Axpy(1, dz, gw)
-		Axpy(1, dz, grads[m.oB:m.oB+4*H])
-		for j := 0; j < H; j++ {
-			dh[j] = 0
-		}
+		vek.Add(dz, gw)
+		vek.Add(dz, grads[m.oB:m.oB+4*H])
+		vek.Zero(dh)
 		if hPrev != nil {
 			for j := 0; j < H; j++ {
 				if hPrev[j] != 0 {
-					Axpy(hPrev[j], dz, grads[m.oWh+j*4*H:m.oWh+(j+1)*4*H])
+					vek.Axpy(hPrev[j], dz, grads[m.oWh+j*4*H:m.oWh+(j+1)*4*H])
 				}
-				dh[j] = Dot(p[m.oWh+j*4*H:m.oWh+(j+1)*4*H], dz)
 			}
+			vek.Gemv(dh, p[m.oWh:m.oB], dz, H, 4*H)
 		}
 	}
 	return loss
+}
+
+// backward keeps the historical signature for the gradient-check tests.
+func (m *LSTM) backward(steps []lstmStep, y, target []float64, grads []float64) float64 {
+	return m.backwardScratch(new(lstmScratch), steps, y, target, grads)
 }
 
 // TrainLSTM trains a model on the samples and reports the final mean
@@ -237,11 +277,54 @@ func TrainLSTM(samples []SeqSample, cfg LSTMConfig) (*LSTM, float64) {
 // once per epoch (the unit of long-running work), so a canceled training
 // request stops within one pass over the corpus. On cancellation the
 // partially-trained model is returned alongside the context's error.
+//
+// With cfg.Batch > 1 the epoch is walked in minibatches whose samples are
+// processed by cfg.Workers goroutines. Each batch slot owns a private
+// gradient buffer; after the batch the buffers are reduced in slot order
+// and one optimizer step is taken. The reduction order — and therefore
+// every trained weight — is a function of (seed, batch) only, never of
+// the worker count or goroutine schedule.
 func TrainLSTMContext(ctx context.Context, samples []SeqSample, cfg LSTMConfig) (*LSTM, float64, error) {
 	m := NewLSTM(cfg)
 	cfg = m.cfg
 	opt := NewAdam(len(m.params), cfg.LR, cfg.Clip)
+	B := cfg.Batch
+	if B > len(samples) && len(samples) > 0 {
+		B = len(samples)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > B {
+		workers = B
+	}
+
 	grads := make([]float64, len(m.params))
+	slots := make([][]float64, B)
+	slotLoss := make([]float64, B)
+	slotUsed := make([]bool, B)
+	for b := range slots {
+		slots[b] = make([]float64, len(m.params))
+	}
+	scratch := make([]*lstmScratch, workers)
+	for w := range scratch {
+		scratch[w] = new(lstmScratch)
+	}
+
+	// runSlot computes slot b's gradient for sample s on worker scratch sc.
+	runSlot := func(b int, s SeqSample, sc *lstmScratch) {
+		vek.Zero(slots[b])
+		slotLoss[b] = 0
+		slotUsed[b] = false
+		if len(s.Tokens) == 0 {
+			return
+		}
+		steps, y := m.forwardScratch(sc, s.Tokens)
+		slotLoss[b] = m.backwardScratch(sc, steps, y, s.Target, slots[b])
+		slotUsed[b] = true
+	}
+
 	rng := rand.New(rand.NewSource(cfg.Seed + 202))
 	lastLoss := math.Inf(1)
 	for e := 0; e < cfg.Epochs; e++ {
@@ -250,17 +333,48 @@ func TrainLSTMContext(ctx context.Context, samples []SeqSample, cfg LSTMConfig) 
 		}
 		perm := rng.Perm(len(samples))
 		total := 0.0
-		for _, si := range perm {
-			s := samples[si]
-			if len(s.Tokens) == 0 {
-				continue
+		for start := 0; start < len(perm); start += B {
+			batch := perm[start:min(start+B, len(perm))]
+			nw := workers
+			if nw > len(batch) {
+				nw = len(batch)
 			}
-			steps, y := m.forward(s.Tokens)
-			for i := range grads {
-				grads[i] = 0
+			if nw <= 1 {
+				for b, si := range batch {
+					runSlot(b, samples[si], scratch[0])
+				}
+			} else {
+				var next atomic.Int64
+				var wg sync.WaitGroup
+				for w := 0; w < nw; w++ {
+					wg.Add(1)
+					go func(sc *lstmScratch) {
+						defer wg.Done()
+						for {
+							b := int(next.Add(1)) - 1
+							if b >= len(batch) {
+								return
+							}
+							runSlot(b, samples[batch[b]], sc)
+						}
+					}(scratch[w])
+				}
+				wg.Wait()
 			}
-			total += m.backward(steps, y, s.Target, grads)
-			opt.Step(m.params, grads)
+			// Fixed-order reduce: slot 0..n-1, independent of who computed what.
+			vek.Zero(grads)
+			any := false
+			for b := range batch {
+				if !slotUsed[b] {
+					continue
+				}
+				vek.Add(slots[b], grads)
+				total += slotLoss[b]
+				any = true
+			}
+			if any {
+				opt.Step(m.params, grads)
+			}
 		}
 		lastLoss = total / float64(len(samples))
 	}

@@ -17,6 +17,8 @@ package ml
 import (
 	"math"
 	"math/rand"
+
+	"clara/internal/ml/vek"
 )
 
 // Regressor predicts a scalar from a feature vector.
@@ -29,28 +31,16 @@ type Classifier interface {
 	PredictClass(x []float64) int
 }
 
-// Dot computes the inner product.
-func Dot(a, b []float64) float64 {
-	var s float64
-	for i := range a {
-		s += a[i] * b[i]
-	}
-	return s
-}
+// Dot computes the inner product. Thin wrapper over the shared vector
+// kernels in internal/ml/vek so every model picks up the same unrolled
+// (and therefore consistently associated) summation.
+func Dot(a, b []float64) float64 { return vek.Dot(a, b) }
 
 // Axpy computes y += alpha*x in place.
-func Axpy(alpha float64, x, y []float64) {
-	for i := range x {
-		y[i] += alpha * x[i]
-	}
-}
+func Axpy(alpha float64, x, y []float64) { vek.Axpy(alpha, x, y) }
 
 // Scale multiplies x by alpha in place.
-func Scale(alpha float64, x []float64) {
-	for i := range x {
-		x[i] *= alpha
-	}
-}
+func Scale(alpha float64, x []float64) { vek.Scale(alpha, x) }
 
 // randInit fills w with small uniform values in [-r, r].
 func randInit(rng *rand.Rand, w []float64, r float64) {

@@ -3,6 +3,11 @@ package ml
 import (
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"clara/internal/ml/vek"
 )
 
 // --- MLP (the "DNN" baseline of §5.2 and §5.4) ---
@@ -16,6 +21,11 @@ type MLPConfig struct {
 	// Classification switches the output to softmax + cross-entropy.
 	Classification bool
 	TargetScale    float64 // regression target scaling
+	// Batch/Workers mirror LSTMConfig: samples per optimizer step and
+	// goroutines per minibatch. 0/1 keeps per-sample updates; results are
+	// bit-identical for any worker count (fixed-order slot reduction).
+	Batch   int
+	Workers int
 }
 
 func (c MLPConfig) norm() MLPConfig {
@@ -27,6 +37,9 @@ func (c MLPConfig) norm() MLPConfig {
 	}
 	if c.TargetScale == 0 {
 		c.TargetScale = 1
+	}
+	if c.Batch == 0 {
+		c.Batch = 1
 	}
 	return c
 }
@@ -52,17 +65,32 @@ func NewMLP(cfg MLPConfig) *MLP {
 	return m
 }
 
-// forward returns all layer activations (acts[0] = input).
-func (m *MLP) forward(x []float64) [][]float64 {
-	acts := [][]float64{x}
+// mlpScratch holds forward activations and backward deltas for one pass.
+// Not goroutine-safe; Predict* borrow one from a pool, trainers keep one
+// per worker.
+type mlpScratch struct {
+	ar   vek.Arena
+	acts [][]float64
+}
+
+var mlpScratchPool = sync.Pool{New: func() any { return new(mlpScratch) }}
+
+// forwardScratch returns all layer activations (acts[0] = input, not
+// copied). The returned slices live in sc's arena until its next Reset.
+func (m *MLP) forwardScratch(sc *mlpScratch, x []float64) [][]float64 {
+	sc.ar.Reset()
+	if cap(sc.acts) < len(m.W)+1 {
+		sc.acts = make([][]float64, 0, len(m.W)+1)
+	}
+	acts := append(sc.acts[:0], x)
 	cur := x
 	for l, w := range m.W {
 		in := len(cur)
 		out := len(w) / (in + 1)
-		next := make([]float64, out)
+		next := sc.ar.Take(out)
 		for o := 0; o < out; o++ {
 			row := w[o*(in+1) : (o+1)*(in+1)]
-			next[o] = Dot(row[:in], cur) + row[in]
+			next[o] = vek.Dot(row[:in], cur) + row[in]
 			if l+1 < len(m.W) && next[o] < 0 {
 				next[o] = 0 // ReLU on hidden layers
 			}
@@ -70,13 +98,23 @@ func (m *MLP) forward(x []float64) [][]float64 {
 		acts = append(acts, next)
 		cur = next
 	}
+	sc.acts = acts
 	return acts
 }
 
+// forward keeps the historical signature; fresh scratch means the
+// returned activations stay valid.
+func (m *MLP) forward(x []float64) [][]float64 {
+	return m.forwardScratch(new(mlpScratch), x)
+}
+
 // PredictVec returns the raw output vector (rescaled for regression).
+// Safe for concurrent use.
 func (m *MLP) PredictVec(x []float64) []float64 {
-	out := m.forward(x)
+	sc := mlpScratchPool.Get().(*mlpScratch)
+	out := m.forwardScratch(sc, x)
 	last := append([]float64(nil), out[len(out)-1]...)
+	mlpScratchPool.Put(sc)
 	if !m.cfg.Classification {
 		for i := range last {
 			last[i] *= m.cfg.TargetScale
@@ -88,9 +126,10 @@ func (m *MLP) PredictVec(x []float64) []float64 {
 // Predict returns the first output (scalar regression).
 func (m *MLP) Predict(x []float64) float64 { return m.PredictVec(x)[0] }
 
-// PredictClass returns the argmax output.
+// PredictClass returns the argmax output. Safe for concurrent use.
 func (m *MLP) PredictClass(x []float64) int {
-	out := m.forward(x)
+	sc := mlpScratchPool.Get().(*mlpScratch)
+	out := m.forwardScratch(sc, x)
 	last := out[len(out)-1]
 	best, bestV := 0, math.Inf(-1)
 	for i, v := range last {
@@ -99,15 +138,17 @@ func (m *MLP) PredictClass(x []float64) int {
 			best = i
 		}
 	}
+	mlpScratchPool.Put(sc)
 	return best
 }
 
-// trainStep runs one SGD example; target semantics depend on the mode.
-func (m *MLP) trainStep(x, target []float64, grads [][]float64) float64 {
-	acts := m.forward(x)
+// trainStep runs one example's forward+backward on sc, accumulating into
+// grads; target semantics depend on the mode.
+func (m *MLP) trainStep(sc *mlpScratch, x, target []float64, grads [][]float64) float64 {
+	acts := m.forwardScratch(sc, x)
 	L := len(m.W)
 	out := acts[L]
-	delta := make([]float64, len(out))
+	delta := sc.ar.Take(len(out))
 	loss := 0.0
 	if m.cfg.Classification {
 		// softmax + CE; target is one-hot.
@@ -118,7 +159,7 @@ func (m *MLP) trainStep(x, target []float64, grads [][]float64) float64 {
 			}
 		}
 		var z float64
-		probs := make([]float64, len(out))
+		probs := sc.ar.Take(len(out))
 		for i, v := range out {
 			probs[i] = math.Exp(v - maxv)
 			z += probs[i]
@@ -142,14 +183,14 @@ func (m *MLP) trainStep(x, target []float64, grads [][]float64) float64 {
 		w := m.W[l]
 		g := grads[l]
 		nin := len(in)
-		prevDelta := make([]float64, nin)
+		prevDelta := sc.ar.Take(nin)
 		for o := 0; o < len(delta); o++ {
 			row := w[o*(nin+1) : (o+1)*(nin+1)]
 			grow := g[o*(nin+1) : (o+1)*(nin+1)]
 			d := delta[o]
-			Axpy(d, in, grow[:nin])
+			vek.Axpy(d, in, grow[:nin])
 			grow[nin] += d
-			Axpy(d, row[:nin], prevDelta)
+			vek.Axpy(d, row[:nin], prevDelta)
 		}
 		if l > 0 {
 			// ReLU derivative on the previous layer's activations.
@@ -165,39 +206,98 @@ func (m *MLP) trainStep(x, target []float64, grads [][]float64) float64 {
 }
 
 // TrainMLP trains on (X, targets); for classification, targets are one-hot
-// rows. Returns the final mean loss.
+// rows. Returns the final mean loss. With cfg.Batch > 1, minibatches are
+// sharded across cfg.Workers goroutines with the same deterministic
+// slot-ordered gradient reduction as TrainLSTMContext.
 func TrainMLP(X [][]float64, targets [][]float64, cfg MLPConfig) (*MLP, float64) {
 	m := NewMLP(cfg)
 	cfg = m.cfg
-	var flat []float64
+	nparams := 0
 	for _, w := range m.W {
-		flat = append(flat, w...)
+		nparams += len(w)
 	}
-	// Per-layer gradient views over one flat buffer for Adam.
-	gradsFlat := make([]float64, len(flat))
-	paramsFlat := make([]float64, len(flat))
-	copy(paramsFlat, flat)
-	views := make([][]float64, len(m.W))
-	gviews := make([][]float64, len(m.W))
-	off := 0
+	// Per-layer gradient views over one flat buffer for Adam; model
+	// weights likewise re-homed into one flat buffer.
+	paramsFlat := make([]float64, nparams)
+	layerViews := func(flat []float64) [][]float64 {
+		views := make([][]float64, len(m.W))
+		off := 0
+		for l, w := range m.W {
+			views[l] = flat[off : off+len(w)]
+			off += len(w)
+		}
+		return views
+	}
+	pviews := layerViews(paramsFlat)
 	for l, w := range m.W {
-		views[l] = paramsFlat[off : off+len(w)]
-		gviews[l] = gradsFlat[off : off+len(w)]
-		copy(views[l], w)
-		m.W[l] = views[l]
-		off += len(w)
+		copy(pviews[l], w)
+		m.W[l] = pviews[l]
 	}
-	opt := NewAdam(len(paramsFlat), cfg.LR, 5)
+	gradsFlat := make([]float64, nparams)
+
+	B := cfg.Batch
+	if B > len(X) && len(X) > 0 {
+		B = len(X)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > B {
+		workers = B
+	}
+	slots := make([][]float64, B)
+	slotViews := make([][][]float64, B)
+	slotLoss := make([]float64, B)
+	for b := range slots {
+		slots[b] = make([]float64, nparams)
+		slotViews[b] = layerViews(slots[b])
+	}
+	scratch := make([]*mlpScratch, workers)
+	for w := range scratch {
+		scratch[w] = new(mlpScratch)
+	}
+	runSlot := func(b, i int, sc *mlpScratch) {
+		vek.Zero(slots[b])
+		slotLoss[b] = m.trainStep(sc, X[i], targets[i], slotViews[b])
+	}
+
+	opt := NewAdam(nparams, cfg.LR, 5)
 	rng := rand.New(rand.NewSource(cfg.Seed + 302))
 	last := 0.0
 	for e := 0; e < cfg.Epochs; e++ {
 		perm := rng.Perm(len(X))
 		total := 0.0
-		for _, i := range perm {
-			for j := range gradsFlat {
-				gradsFlat[j] = 0
+		for start := 0; start < len(perm); start += B {
+			batch := perm[start:min(start+B, len(perm))]
+			nw := min(workers, len(batch))
+			if nw <= 1 {
+				for b, i := range batch {
+					runSlot(b, i, scratch[0])
+				}
+			} else {
+				var next atomic.Int64
+				var wg sync.WaitGroup
+				for w := 0; w < nw; w++ {
+					wg.Add(1)
+					go func(sc *mlpScratch) {
+						defer wg.Done()
+						for {
+							b := int(next.Add(1)) - 1
+							if b >= len(batch) {
+								return
+							}
+							runSlot(b, batch[b], sc)
+						}
+					}(scratch[w])
+				}
+				wg.Wait()
 			}
-			total += m.trainStep(X[i], targets[i], gviews)
+			vek.Zero(gradsFlat)
+			for b := range batch {
+				vek.Add(slots[b], gradsFlat)
+				total += slotLoss[b]
+			}
 			opt.Step(paramsFlat, gradsFlat)
 		}
 		last = total / float64(len(X))
@@ -280,12 +380,11 @@ func NewCNN(cfg CNNConfig) *CNN {
 	return m
 }
 
-// forward returns pooled activations, winning positions, and outputs.
-func (m *CNN) forward(tokens []int) (pooled []float64, argmax []int, y []float64) {
+// forwardInto fills caller-provided buffers with pooled activations,
+// winning positions, and outputs (len F, F, D respectively).
+func (m *CNN) forwardInto(tokens []int, pooled []float64, argmax []int, y []float64) {
 	F, W, V, D := m.cfg.Filters, m.cfg.Width, m.cfg.Vocab, m.cfg.Out
 	p := m.params
-	pooled = make([]float64, F)
-	argmax = make([]int, F)
 	for f := 0; f < F; f++ {
 		best := math.Inf(-1)
 		bi := 0
@@ -313,13 +412,20 @@ func (m *CNN) forward(tokens []int) (pooled []float64, argmax []int, y []float64
 		pooled[f] = best
 		argmax[f] = bi
 	}
-	y = make([]float64, D)
 	for d := 0; d < D; d++ {
 		y[d] = p[m.oBo+d]
 		for f := 0; f < F; f++ {
 			y[d] += p[m.oWo+f*D+d] * pooled[f]
 		}
 	}
+}
+
+// forward returns pooled activations, winning positions, and outputs.
+func (m *CNN) forward(tokens []int) (pooled []float64, argmax []int, y []float64) {
+	pooled = make([]float64, m.cfg.Filters)
+	argmax = make([]int, m.cfg.Filters)
+	y = make([]float64, m.cfg.Out)
+	m.forwardInto(tokens, pooled, argmax, y)
 	return pooled, argmax, y
 }
 
@@ -346,6 +452,9 @@ func TrainCNN(samples []SeqSample, cfg CNNConfig) (*CNN, float64) {
 	F, W, V, D := cfg.Filters, cfg.Width, cfg.Vocab, cfg.Out
 	opt := NewAdam(len(m.params), cfg.LR, 5)
 	grads := make([]float64, len(m.params))
+	pooled := make([]float64, F)
+	argmax := make([]int, F)
+	y := make([]float64, D)
 	rng := rand.New(rand.NewSource(cfg.Seed + 402))
 	last := math.Inf(1)
 	for e := 0; e < cfg.Epochs; e++ {
@@ -356,10 +465,8 @@ func TrainCNN(samples []SeqSample, cfg CNNConfig) (*CNN, float64) {
 			if len(s.Tokens) == 0 {
 				continue
 			}
-			pooled, argmax, y := m.forward(s.Tokens)
-			for i := range grads {
-				grads[i] = 0
-			}
+			m.forwardInto(s.Tokens, pooled, argmax, y)
+			vek.Zero(grads)
 			for d := 0; d < D; d++ {
 				diff := y[d] - s.Target[d]/cfg.TargetScale
 				total += 0.5 * diff * diff

@@ -1,0 +1,31 @@
+package niccc
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// LibraryFingerprint hashes the vendor library's cost profiles (including
+// software fallbacks) into a stable hex digest. The trained predictor's
+// targets embed these counts — reverse porting substitutes them for
+// learned prediction — so a persisted model bundle records the
+// fingerprint and is invalidated when the simulated toolchain's library
+// changes.
+func LibraryFingerprint() string {
+	var lines []string
+	add := func(prefix string, m map[string]LibProfile) {
+		for name, p := range m {
+			lines = append(lines, fmt.Sprintf("%s:%s:%d:%d:%d:%d:%d:%d",
+				prefix, name, p.Instrs, p.Cycles, p.PayloadReads,
+				p.PerProbeBytes, p.EngineCycles, int(p.Engine)))
+		}
+	}
+	add("lib", Library)
+	add("sw", SoftwareFallbacks)
+	sort.Strings(lines)
+	sum := sha256.Sum256([]byte(strings.Join(lines, "\n")))
+	return hex.EncodeToString(sum[:])
+}

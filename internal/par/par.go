@@ -1,0 +1,108 @@
+// Package par provides the small deterministic parallel-for used by the
+// training fast path. Work items are indexed; each worker claims the next
+// index from an atomic counter and writes results only into that index's
+// slot. Because item i's computation never depends on which worker ran it
+// (callers seed any randomness per index), output is bit-identical for
+// every worker count — parallelism changes wall-clock, never results.
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count knob: n <= 0 means GOMAXPROCS, and
+// the result is clamped to jobs (no idle goroutines).
+func Workers(n, jobs int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > jobs {
+		n = jobs
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// For runs fn(i) for every i in [0, n) on up to workers goroutines
+// (workers <= 0 means GOMAXPROCS). fn must confine its writes to
+// per-index state.
+func For(workers, n int, fn func(i int)) {
+	workers = Workers(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForErr is For with error propagation and cancellation: workers stop
+// claiming new indices once any fn fails or ctx is done. The returned
+// error is the lowest-index failure (deterministic, because indices are
+// claimed in order: every index below a failed one was already claimed
+// and allowed to finish), or ctx.Err() if the context fired first.
+func ForErr(ctx context.Context, workers, n int, fn func(i int) error) error {
+	workers = Workers(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var failed atomic.Bool
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if failed.Load() || ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
+}

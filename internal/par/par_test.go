@@ -1,0 +1,75 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersClamp(t *testing.T) {
+	if w := Workers(0, 100); w < 1 {
+		t.Fatalf("Workers(0,100) = %d", w)
+	}
+	if w := Workers(8, 3); w != 3 {
+		t.Fatalf("Workers(8,3) = %d, want 3", w)
+	}
+	if w := Workers(4, 0); w != 1 {
+		t.Fatalf("Workers(4,0) = %d, want 1", w)
+	}
+}
+
+func TestForCoversAllIndicesOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		n := 137
+		hits := make([]int32, n)
+		For(workers, n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForErrReturnsLowestIndexError(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for _, workers := range []int{1, 4} {
+		err := ForErr(context.Background(), workers, 64, func(i int) error {
+			switch i {
+			case 5:
+				return errLow
+			case 40:
+				return errHigh
+			}
+			return nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("workers=%d: got %v, want lowest-index error", workers, err)
+		}
+	}
+}
+
+func TestForErrCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := ForErr(ctx, 2, 1000, func(i int) error {
+		if ran.Add(1) == 3 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 1000 {
+		t.Fatalf("cancellation did not stop the loop (ran %d)", n)
+	}
+}
+
+func TestForErrNoError(t *testing.T) {
+	if err := ForErr(context.Background(), 4, 50, func(int) error { return nil }); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

@@ -66,9 +66,23 @@ type FleetStats struct {
 	AnalysisLatency HistogramJSON `json:"analysis_latency"`
 }
 
+// ModelStats is the /metrics rendering of the served model's
+// provenance: whether the server has a model at all (false while a
+// Train-configured server is still in its startup training run), where
+// it came from, and its bundle hash.
+type ModelStats struct {
+	Ready        bool    `json:"ready"`
+	WarmStart    bool    `json:"warm_start"`
+	Hash         string  `json:"model_hash,omitempty"`
+	TrainSeconds float64 `json:"train_seconds,omitempty"`
+	TrainError   string  `json:"train_error,omitempty"`
+}
+
 // MetricsSnapshot is the /metrics response schema.
 type MetricsSnapshot struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Model reports readiness and provenance of the served model.
+	Model ModelStats `json:"model"`
 	// Requests counts per-endpoint outcomes (analyze, lint, elements).
 	Requests map[string]RouteStats `json:"requests"`
 	// Queue reports admission occupancy: Depth slots of Capacity held.
@@ -165,6 +179,20 @@ func (m *metrics) snapshot(fs fleet.Stats, queueDepth, queueCap int) MetricsSnap
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	snap := s.met.snapshot(s.fl.Stats(), len(s.sem), cap(s.sem))
+	fl, info, trainErr := s.state()
+	var fs fleet.Stats
+	if fl != nil {
+		fs = fl.Stats()
+	}
+	snap := s.met.snapshot(fs, len(s.sem), cap(s.sem))
+	snap.Model = ModelStats{
+		Ready:        fl != nil,
+		WarmStart:    info.WarmStart,
+		Hash:         info.Hash,
+		TrainSeconds: info.TrainSeconds,
+	}
+	if trainErr != nil {
+		snap.Model.TrainError = trainErr.Error()
+	}
 	writeJSON(w, http.StatusOK, snap)
 }

@@ -17,7 +17,13 @@
 //     in-flight requests before returning;
 //   - observability: /metrics returns a JSON snapshot (request counts,
 //     queue depth, per-endpoint latency histograms, fleet cache/lint
-//     stats) and /debug/pprof exposes the runtime profiles.
+//     stats, model provenance) and /debug/pprof exposes the runtime
+//     profiles;
+//   - readiness: a server built with a Train function binds its port
+//     immediately and answers /healthz with 503 "training" until the
+//     model is ready, so orchestrators see liveness during the cold
+//     start; a warm-started server (pre-loaded model bundle) is ready
+//     before the first request.
 package server
 
 import (
@@ -27,7 +33,9 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"clara/internal/analysis"
@@ -38,10 +46,35 @@ import (
 	"clara/internal/traffic"
 )
 
+// ModelInfo describes the served model's provenance for /metrics and
+// /healthz: where it came from (warm start vs in-process training), its
+// bundle content hash, and how long training took.
+type ModelInfo struct {
+	// Hash is the model bundle's content hash ("" when the tool was
+	// trained in process and never bundled).
+	Hash string
+	// WarmStart is true when the tool was loaded from a persisted
+	// bundle instead of trained at startup.
+	WarmStart bool
+	// TrainSeconds is the training wall time (the original training run
+	// for a warm-started bundle, this process's for a cold start).
+	TrainSeconds float64
+}
+
 // Config sizes a Server.
 type Config struct {
-	// Tool is the trained analyzer; required.
+	// Tool is the trained analyzer. Exactly one of Tool and Train must
+	// be set: with Tool the server is ready immediately (warm start),
+	// with Train it trains in the background after Start and answers
+	// 503 on the analysis endpoints until training completes.
 	Tool *core.Clara
+	// Train builds the tool asynchronously at startup. It observes ctx
+	// (server shutdown cancels training) and returns the tool plus its
+	// provenance.
+	Train func(ctx context.Context) (*core.Clara, ModelInfo, error)
+	// Model is the provenance of a pre-built Tool; ignored when Train
+	// is used (Train returns its own ModelInfo).
+	Model ModelInfo
 	// Workers bounds the fleet's analysis pool; 0 = GOMAXPROCS.
 	Workers int
 	// QueueDepth bounds concurrently admitted /v1/analyze requests
@@ -60,37 +93,57 @@ type Config struct {
 }
 
 // Server is the HTTP analysis service. Create with New, expose via
-// Handler (for tests / custom listeners) or ListenAndServe.
+// Handler (for tests / custom listeners) or ListenAndServe. A server
+// built with Config.Train additionally needs Start (ListenAndServe
+// calls it) to kick off background training.
 type Server struct {
 	cfg     Config
-	fl      *fleet.Fleet
 	mux     *http.ServeMux
 	sem     chan struct{} // admission slots
 	met     *metrics
 	drain   drainGate
 	httpSrv *http.Server
+
+	// Model state, installed once (at New for a pre-built tool, from
+	// the training goroutine otherwise). ready is closed after install
+	// or terminal training failure; mu guards the fields themselves.
+	mu       sync.Mutex
+	fl       *fleet.Fleet
+	model    ModelInfo
+	trainErr error
+	ready    chan struct{}
+	started  atomic.Bool
 }
 
-// New builds a server around a trained tool.
+// New builds a server around a trained tool, or — when Config.Train is
+// set — around a tool that will be trained in the background.
 func New(cfg Config) (*Server, error) {
-	if cfg.Tool == nil {
-		return nil, errors.New("server: nil tool")
+	if cfg.Tool == nil && cfg.Train == nil {
+		return nil, errors.New("server: need a tool or a train function")
 	}
-	fl, err := fleet.New(cfg.Tool, fleet.Config{Workers: cfg.Workers, CacheSize: cfg.CacheSize})
-	if err != nil {
-		return nil, err
+	if cfg.Tool != nil && cfg.Train != nil {
+		return nil, errors.New("server: tool and train function are mutually exclusive")
 	}
 	if cfg.QueueDepth <= 0 {
-		cfg.QueueDepth = 4 * fl.Workers()
+		w := cfg.Workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		cfg.QueueDepth = 4 * w
 	}
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = 30 * time.Second
 	}
 	s := &Server{
-		cfg: cfg,
-		fl:  fl,
-		sem: make(chan struct{}, cfg.QueueDepth),
-		met: newMetrics(),
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.QueueDepth),
+		met:   newMetrics(),
+		ready: make(chan struct{}),
+	}
+	if cfg.Tool != nil {
+		if err := s.install(cfg.Tool, cfg.Model); err != nil {
+			return nil, err
+		}
 	}
 	s.drain.idle = make(chan struct{})
 	mux := http.NewServeMux()
@@ -108,17 +161,83 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// install builds the fleet around a trained tool and marks the server
+// ready. Called exactly once: from New (pre-built tool) or from the
+// training goroutine.
+func (s *Server) install(tool *core.Clara, info ModelInfo) error {
+	fl, err := fleet.New(tool, fleet.Config{Workers: s.cfg.Workers, CacheSize: s.cfg.CacheSize})
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.cfg.Tool = tool
+	s.fl = fl
+	s.model = info
+	s.mu.Unlock()
+	close(s.ready)
+	return nil
+}
+
+// Start launches background training when the server was built with a
+// Train function; it returns immediately and is idempotent. Shutdown of
+// ctx cancels an in-flight training run. ListenAndServe calls Start;
+// tests serving via Handler call it themselves.
+func (s *Server) Start(ctx context.Context) {
+	if s.cfg.Train == nil || !s.started.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		tool, info, err := s.cfg.Train(ctx)
+		if err == nil {
+			err = s.install(tool, info)
+			if err == nil {
+				return
+			}
+		}
+		s.mu.Lock()
+		s.trainErr = err
+		s.mu.Unlock()
+		close(s.ready)
+	}()
+}
+
+// Ready blocks until the model is installed or training failed
+// terminally; it reports whether the server can analyze.
+func (s *Server) Ready(ctx context.Context) error {
+	select {
+	case <-s.ready:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.trainErr
+}
+
+// state snapshots the model machinery for the handlers: the fleet (nil
+// until ready), the provenance, and a terminal training error.
+func (s *Server) state() (*fleet.Fleet, ModelInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fl, s.model, s.trainErr
+}
+
 // Handler returns the service's HTTP handler (for httptest or custom
 // servers).
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Fleet exposes the underlying fleet (its Stats feed /metrics).
-func (s *Server) Fleet() *fleet.Fleet { return s.fl }
+// Fleet exposes the underlying fleet (its Stats feed /metrics); nil
+// until a Train-configured server finishes training.
+func (s *Server) Fleet() *fleet.Fleet {
+	fl, _, _ := s.state()
+	return fl
+}
 
 // ListenAndServe serves on addr until ctx is canceled, then shuts down
 // gracefully, draining in-flight analyses (bounded by a 30s grace
 // period).
 func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	s.Start(ctx)
 	s.httpSrv = &http.Server{Addr: addr, Handler: s.mux}
 	errCh := make(chan error, 1)
 	go func() { errCh <- s.httpSrv.ListenAndServe() }()
@@ -223,6 +342,10 @@ type analyzeResponse struct {
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	const route = "analyze"
+	fl := s.gate(w, route)
+	if fl == nil {
+		return
+	}
 	var req analyzeRequest
 	if !s.decode(w, r, route, &req) {
 		return
@@ -260,7 +383,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	results, runErr := s.fl.RunContext(ctx, jobs)
+	results, runErr := fl.RunContext(ctx, jobs)
 	elapsed := time.Since(start)
 
 	if r.Context().Err() != nil {
@@ -375,6 +498,11 @@ type lintResponse struct {
 func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	const route = "lint"
+	// Lint is static, but its thresholds come from the trained tool's
+	// hardware model — it waits for readiness like analyze does.
+	if s.gate(w, route) == nil {
+		return
+	}
 	var req lintRequest
 	if !s.decode(w, r, route, &req) {
 		return
@@ -433,12 +561,44 @@ func (s *Server) handleElements(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// gate rejects analysis-bearing requests while no model is installed:
+// 503 with Retry-After during startup training, 500 once training has
+// failed terminally. It returns the fleet when the server is ready.
+func (s *Server) gate(w http.ResponseWriter, route string) *fleet.Fleet {
+	fl, _, trainErr := s.state()
+	if trainErr != nil {
+		s.writeError(w, route, http.StatusInternalServerError,
+			"model training failed: "+trainErr.Error())
+		return nil
+	}
+	if fl == nil {
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, route, http.StatusServiceUnavailable, "model training in progress")
+		return nil
+	}
+	return fl
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.drain.closing() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	fl, info, trainErr := s.state()
+	switch {
+	case trainErr != nil:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status": "failed", "error": trainErr.Error(),
+		})
+	case fl == nil:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "training"})
+	default:
+		out := map[string]string{"status": "ok"}
+		if info.Hash != "" {
+			out["model_hash"] = info.Hash
+		}
+		writeJSON(w, http.StatusOK, out)
+	}
 }
 
 func (d *drainGate) closing() bool {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -466,5 +467,174 @@ func TestConcurrentRequests(t *testing.T) {
 	// 3 distinct modules, so exactly 3 predictions are computed.
 	if fs := s.fl.Stats(); fs.JobsCompleted != 12 || fs.CacheMisses != 3 {
 		t.Errorf("fleet stats after hammer: %+v", fs)
+	}
+}
+
+func getPath(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func metricsSnap(t *testing.T, h http.Handler) MetricsSnapshot {
+	t.Helper()
+	rec := getPath(t, h, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", rec.Code)
+	}
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics not JSON: %v\n%s", err, rec.Body.String())
+	}
+	return snap
+}
+
+// TestTrainingGateThenReady builds the server with a Train function and
+// checks the startup contract: the port-facing handlers answer
+// immediately (healthz 503 "training", analyze 503 with Retry-After,
+// metrics model.ready=false) while training runs, and everything flips
+// to serving once the model installs.
+func TestTrainingGateThenReady(t *testing.T) {
+	tool := quickTool(t)
+	release := make(chan struct{})
+	s, err := New(Config{
+		Workers: 2,
+		Train: func(ctx context.Context) (*core.Clara, ModelInfo, error) {
+			select {
+			case <-release:
+				return tool, ModelInfo{Hash: "feedface", TrainSeconds: 1.5}, nil
+			case <-ctx.Done():
+				return nil, ModelInfo{}, ctx.Err()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start(context.Background())
+
+	if rec := getPath(t, s.Handler(), "/healthz"); rec.Code != http.StatusServiceUnavailable ||
+		!strings.Contains(rec.Body.String(), "training") {
+		t.Fatalf("healthz during training: %d %s", rec.Code, rec.Body.String())
+	}
+	rec := postJSON(t, s.Handler(), "/v1/analyze", analyzeRequest{NF: "tcpack"})
+	if rec.Code != http.StatusServiceUnavailable || rec.Header().Get("Retry-After") == "" {
+		t.Fatalf("analyze during training: %d (Retry-After %q)", rec.Code, rec.Header().Get("Retry-After"))
+	}
+	if rec := postJSON(t, s.Handler(), "/v1/lint", lintRequest{NF: "tcpack"}); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("lint during training: %d", rec.Code)
+	}
+	if snap := metricsSnap(t, s.Handler()); snap.Model.Ready || snap.Model.Hash != "" {
+		t.Fatalf("model stats during training: %+v", snap.Model)
+	}
+	// Elements is static metadata; it must not be gated on the model.
+	if rec := getPath(t, s.Handler(), "/v1/elements"); rec.Code != http.StatusOK {
+		t.Fatalf("elements during training: %d", rec.Code)
+	}
+
+	close(release)
+	if err := s.Ready(context.Background()); err != nil {
+		t.Fatalf("Ready: %v", err)
+	}
+	if rec := getPath(t, s.Handler(), "/healthz"); rec.Code != http.StatusOK ||
+		!strings.Contains(rec.Body.String(), "feedface") {
+		t.Fatalf("healthz after training: %d %s", rec.Code, rec.Body.String())
+	}
+	if rec := postJSON(t, s.Handler(), "/v1/analyze", analyzeRequest{NF: "tcpack"}); rec.Code != http.StatusOK {
+		t.Fatalf("analyze after training: %d %s", rec.Code, rec.Body.String())
+	}
+	snap := metricsSnap(t, s.Handler())
+	if !snap.Model.Ready || snap.Model.Hash != "feedface" ||
+		snap.Model.TrainSeconds != 1.5 || snap.Model.WarmStart {
+		t.Fatalf("model stats after training: %+v", snap.Model)
+	}
+}
+
+// TestWarmStartFromBundle is the end-to-end warm-start path: persist
+// the trained tool as a model bundle, reload it, and build a server
+// around the reloaded tool. The server must be ready in well under a
+// second (no training) and answer analyses immediately, with the
+// bundle's content hash surfaced in /metrics and /healthz.
+func TestWarmStartFromBundle(t *testing.T) {
+	tool := quickTool(t)
+	b, err := core.NewBundle(tool, core.BundleMeta{Quick: true, Seed: 7, TrainSeconds: 12.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := core.SaveBundle(path, b); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	loaded, err := core.LoadBundle(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmTool, err := loaded.Tool()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Tool:    warmTool,
+		Workers: 2,
+		Model:   ModelInfo{Hash: loaded.Hash, WarmStart: true, TrainSeconds: loaded.Meta.TrainSeconds},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("warm start took %s; want < 1s", elapsed)
+	}
+	if err := s.Ready(context.Background()); err != nil {
+		t.Fatalf("Ready: %v", err)
+	}
+	if rec := getPath(t, s.Handler(), "/healthz"); rec.Code != http.StatusOK ||
+		!strings.Contains(rec.Body.String(), loaded.Hash) {
+		t.Fatalf("healthz: %d %s", rec.Code, rec.Body.String())
+	}
+	rec := postJSON(t, s.Handler(), "/v1/analyze", analyzeRequest{NF: "tcpack"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("analyze on warm-started server: %d %s", rec.Code, rec.Body.String())
+	}
+	if resp := decodeAnalyze(t, rec); len(resp.Results) != 1 || resp.Results[0].Error != "" {
+		t.Fatalf("bad warm analysis: %+v", resp)
+	}
+	snap := metricsSnap(t, s.Handler())
+	if !snap.Model.Ready || !snap.Model.WarmStart || snap.Model.Hash != loaded.Hash ||
+		snap.Model.TrainSeconds != 12.5 {
+		t.Fatalf("model stats: %+v", snap.Model)
+	}
+}
+
+// TestTrainingFailureSurfaces: a terminal training error flips healthz
+// to "failed" and analysis requests to 500 — the server stays up and
+// reports why it cannot serve instead of crashing.
+func TestTrainingFailureSurfaces(t *testing.T) {
+	s, err := New(Config{
+		Workers: 2,
+		Train: func(ctx context.Context) (*core.Clara, ModelInfo, error) {
+			return nil, ModelInfo{}, fmt.Errorf("corpus synthesis exploded")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start(context.Background())
+	if err := s.Ready(context.Background()); err == nil ||
+		!strings.Contains(err.Error(), "exploded") {
+		t.Fatalf("Ready error: %v", err)
+	}
+	if rec := getPath(t, s.Handler(), "/healthz"); rec.Code != http.StatusServiceUnavailable ||
+		!strings.Contains(rec.Body.String(), "failed") {
+		t.Fatalf("healthz after failure: %d %s", rec.Code, rec.Body.String())
+	}
+	if rec := postJSON(t, s.Handler(), "/v1/analyze", analyzeRequest{NF: "tcpack"}); rec.Code != http.StatusInternalServerError {
+		t.Fatalf("analyze after failure: %d", rec.Code)
+	}
+	if snap := metricsSnap(t, s.Handler()); snap.Model.Ready || snap.Model.TrainError == "" {
+		t.Fatalf("model stats after failure: %+v", snap.Model)
 	}
 }

@@ -1,6 +1,11 @@
 package synth
 
-import "clara/internal/ir"
+import (
+	"context"
+
+	"clara/internal/ir"
+	"clara/internal/par"
+)
 
 // Calibrate closes the loop between the target corpus profile and what the
 // generator actually emits: it generates a probe corpus, measures its
@@ -15,16 +20,23 @@ func Calibrate(target Profile, probeSize int, seed int64,
 	compile func(name, src string) (*ir.Module, error)) (Profile, error) {
 	guide := clone(target)
 	for iter := 0; iter < 3; iter++ {
-		var mods []*ir.Module
-		for i := 0; i < probeSize; i++ {
+		// Probe programs are independent (per-index seeds), so each
+		// iteration's corpus generates in parallel; mods keeps index
+		// order, making the measured profile worker-count-invariant.
+		mods := make([]*ir.Module, probeSize)
+		err := par.ForErr(noCtx, 0, probeSize, func(i int) error {
 			m, _, err := GenerateModule(Config{
 				Profile: guide,
 				Seed:    seed + int64(iter)*100000 + int64(i),
 			}, compile)
 			if err != nil {
-				return Profile{}, err
+				return err
 			}
-			mods = append(mods, m)
+			mods[i] = m
+			return nil
+		})
+		if err != nil {
+			return Profile{}, err
 		}
 		got := ProfileFromModules(mods)
 		guide.BranchPerInstr = adjust(guide.BranchPerInstr, target.BranchPerInstr, got.BranchPerInstr)
@@ -48,6 +60,10 @@ func Calibrate(target Profile, probeSize int, seed int64,
 	}
 	return guide, nil
 }
+
+// noCtx: calibration has no cancellation path of its own (it runs inside
+// coarser per-step context checks in core).
+var noCtx = context.Background()
 
 func clone(p Profile) Profile {
 	ow := map[string]float64{}

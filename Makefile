@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check check serve-check fuzz bench bench-smoke bench-fleet update-golden
+.PHONY: build test race vet fmt-check check serve-check fuzz bench bench-smoke bench-compare bench-fleet update-golden
 
 build:
 	$(GO) build ./...
@@ -31,16 +31,27 @@ serve-check:
 # then the race passes, then a quick run of the benchmark harness.
 check: vet fmt-check build test race serve-check bench-smoke
 
-# bench regenerates the committed BENCH_PR5.json: cold-start vs
-# warm-start seconds, LSTM training samples/sec, predict µs/block, and
-# fleet jobs/sec.
+# bench regenerates the committed BENCH_PR6.json: cold-start vs
+# warm-start seconds, LSTM training samples/sec, predict µs/block
+# (per-module, batched, and int8), quantized WMAPE drift, and fleet
+# jobs/sec. BENCH_PR5.json is kept for cross-PR comparison.
 bench:
-	$(GO) run ./cmd/perfbench -out BENCH_PR5.json
+	$(GO) run ./cmd/perfbench -out BENCH_PR6.json
 
 # bench-smoke runs the same harness with shrunken workloads to verify
 # it end to end (CI); it does not overwrite the committed numbers.
 bench-smoke:
 	$(GO) run ./cmd/perfbench -quick -out /tmp/clara-bench-smoke.json
+
+# bench-compare diffs the two newest committed BENCH_PR*.json files
+# field by field. Fail-soft: numbers from different machines are not
+# comparable, so the diff informs rather than gates.
+bench-compare:
+	@files=$$(ls BENCH_PR*.json 2>/dev/null | sort -t_ -k2.3n | tail -2); \
+	set -- $$files; \
+	if [ $$# -lt 2 ]; then echo "bench-compare: need two BENCH_PR*.json files, have $$#"; exit 0; fi; \
+	echo "bench-compare: $$1 -> $$2"; \
+	$(GO) run ./cmd/perfbench/compare "$$1" "$$2" || true
 
 # Short smoke runs of every fuzz target (seed corpus always runs under
 # plain `go test`; this adds a bounded mutation pass).

@@ -47,6 +47,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "with -serve: per-request analysis deadline (0 = 30s)")
 		modelLoad = flag.String("model-load", "", "warm-start from a saved model bundle (falls back to training when missing or invalid)")
 		modelSave = flag.String("model-save", "", "after training, persist the model bundle to this path")
+		quantize  = flag.Bool("quantize", false, "serve predictions from the int8-quantized LSTM path")
 	)
 	flag.Parse()
 
@@ -54,7 +55,7 @@ func main() {
 		*serveAddr, *tracePath, *modelLoad, *modelSave, *workers, *queue, *timeout)
 
 	if *serveAddr != "" {
-		serve(*serveAddr, *workers, *queue, *timeout, *quick, *modelLoad, *modelSave)
+		serve(*serveAddr, *workers, *queue, *timeout, *quick, *quantize, *modelLoad, *modelSave)
 		return
 	}
 
@@ -67,7 +68,7 @@ func main() {
 	}
 
 	if *fleetMode {
-		analyzeFleet(*workers, *quick, *modelLoad, *modelSave)
+		analyzeFleet(*workers, *quick, *quantize, *modelLoad, *modelSave)
 		return
 	}
 
@@ -113,7 +114,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	tool, _ := obtainTool(context.Background(), *quick, *modelLoad, *modelSave)
+	tool, _ := obtainTool(context.Background(), *quick, *quantize, *modelLoad, *modelSave)
 
 	if *tracePath != "" {
 		// Workload comes from a recorded trace (the paper's pcap profile
@@ -218,8 +219,8 @@ func validateFlags(nf, src string, fleetMode, lintMode, list, jsonOut bool,
 // obtainTool resolves the trained tool for a training mode: warm-start
 // from -model-load when the bundle is valid for this build and config,
 // otherwise train from scratch (persisting to -model-save when set).
-func obtainTool(ctx context.Context, quick bool, loadPath, savePath string) (*clara.Tool, clara.ModelInfo) {
-	cfg := clara.TrainConfig{Quick: quick, Seed: 42}
+func obtainTool(ctx context.Context, quick, quantize bool, loadPath, savePath string) (*clara.Tool, clara.ModelInfo) {
+	cfg := clara.TrainConfig{Quick: quick, Seed: 42, Quantize: quantize}
 	if loadPath != "" {
 		tool, hash, err := clara.LoadTool(loadPath, cfg)
 		if err == nil {
@@ -251,11 +252,11 @@ func obtainTool(ctx context.Context, quick bool, loadPath, savePath string) (*cl
 // server warm-starts and is ready before the first request; otherwise it
 // binds immediately and trains in the background, answering /healthz 503
 // "training" until the model is ready.
-func serve(addr string, workers, queue int, timeout time.Duration, quick bool, loadPath, savePath string) {
+func serve(addr string, workers, queue int, timeout time.Duration, quick, quantize bool, loadPath, savePath string) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	cfg := clara.TrainConfig{Quick: quick, Seed: 42}
+	cfg := clara.TrainConfig{Quick: quick, Seed: 42, Quantize: quantize}
 	scfg := clara.ServerConfig{Workers: workers, QueueDepth: queue, RequestTimeout: timeout}
 	if loadPath != "" {
 		tool, hash, err := clara.LoadTool(loadPath, cfg)
@@ -349,8 +350,8 @@ func lint(name, src string, jsonOut bool) {
 // analyzeFleet runs the whole element library (Table 2 order) under the
 // three standard workloads on a bounded worker pool and prints the
 // summary table plus the fleet's cache/latency metrics.
-func analyzeFleet(workers int, quick bool, loadPath, savePath string) {
-	tool, _ := obtainTool(context.Background(), quick, loadPath, savePath)
+func analyzeFleet(workers int, quick, quantize bool, loadPath, savePath string) {
+	tool, _ := obtainTool(context.Background(), quick, quantize, loadPath, savePath)
 	jobs, err := clara.LibraryJobs()
 	if err != nil {
 		fatal(err)

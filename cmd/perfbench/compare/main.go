@@ -1,0 +1,81 @@
+// Command compare diffs two perfbench reports field by field:
+//
+//	compare OLD.json NEW.json
+//
+// Numeric fields print old, new, and the relative change; fields present
+// in only one report are listed as added/removed. It exits 0 regardless
+// of the deltas — benchmark numbers from different machines are not
+// comparable, so the diff informs rather than gates (the Makefile's
+// bench-compare target wraps it fail-soft).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: compare OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldRep, err := load(os.Args[1])
+	if err != nil {
+		fatal(err)
+	}
+	newRep, err := load(os.Args[2])
+	if err != nil {
+		fatal(err)
+	}
+
+	keys := make(map[string]bool)
+	for k := range oldRep {
+		keys[k] = true
+	}
+	for k := range newRep {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+
+	for _, k := range sorted {
+		ov, oldOK := oldRep[k]
+		nv, newOK := newRep[k]
+		switch {
+		case !oldOK:
+			fmt.Printf("  %-28s (new)        %v\n", k, nv)
+		case !newOK:
+			fmt.Printf("  %-28s (removed)    %v\n", k, ov)
+		default:
+			of, oNum := ov.(float64)
+			nf, nNum := nv.(float64)
+			if oNum && nNum && of != 0 {
+				fmt.Printf("  %-28s %12.4g -> %-12.4g (%+.1f%%)\n", k, of, nf, 100*(nf-of)/of)
+			} else if fmt.Sprint(ov) != fmt.Sprint(nv) {
+				fmt.Printf("  %-28s %v -> %v\n", k, ov, nv)
+			}
+		}
+	}
+}
+
+func load(path string) (map[string]any, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]any
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "compare:", err)
+	os.Exit(1)
+}

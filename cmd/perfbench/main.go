@@ -1,5 +1,5 @@
 // Command perfbench measures the training/serving fast path end to end
-// and writes the numbers as JSON (the committed BENCH_PR5.json):
+// and writes the numbers as JSON (the committed BENCH_PR6.json):
 //
 //   - cold-start: full quick-mode tool training (corpus synthesis +
 //     LSTM predictor + algorithm ID + scale-out model);
@@ -8,13 +8,17 @@
 //   - train throughput: LSTM minibatch training samples/sec at the
 //     bundle's batch size;
 //   - predict latency: µs per basic block across the whole element
-//     library;
+//     library, module by module;
+//   - batched predict latency: the same library predicted in one
+//     PredictModules sweep (f32 and int8-quantized paths);
+//   - quantized accuracy drift: worst per-element WMAPE delta between
+//     the int8 and f32 paths;
 //   - fleet throughput: library × workloads jobs/sec on the analysis
 //     pool (cold prediction cache).
 //
 // Usage:
 //
-//	perfbench [-quick] [-out BENCH_PR5.json]
+//	perfbench [-quick] [-out BENCH_PR6.json]
 //
 // -quick shrinks the measured workloads for CI smoke runs; the
 // committed numbers come from a run without it.
@@ -25,6 +29,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -36,7 +41,7 @@ import (
 	"clara/internal/niccc"
 )
 
-// report is the BENCH_PR5.json schema.
+// report is the BENCH_PR6.json schema.
 type report struct {
 	GeneratedUnix      int64   `json:"generated_unix"`
 	GoMaxProcs         int     `json:"gomaxprocs"`
@@ -47,12 +52,20 @@ type report struct {
 	ModelHash          string  `json:"model_hash"`
 	TrainSamplesPerSec float64 `json:"train_samples_per_sec"`
 	PredictUsPerBlock  float64 `json:"predict_us_per_block"`
-	FleetJobsPerSec    float64 `json:"fleet_jobs_per_sec"`
+	// PredictBatchUsPerBlock amortizes one PredictModules sweep over the
+	// whole element library; PredictInt8UsPerBlock is the same sweep on
+	// the int8-quantized path.
+	PredictBatchUsPerBlock float64 `json:"predict_batch_us_per_block"`
+	PredictInt8UsPerBlock  float64 `json:"predict_int8_us_per_block"`
+	// QuantizedWmapeDrift is the worst per-element |WMAPE(int8) -
+	// WMAPE(f32)| (the accuracy gate pins it below 0.005).
+	QuantizedWmapeDrift float64 `json:"quantized_wmape_drift"`
+	FleetJobsPerSec     float64 `json:"fleet_jobs_per_sec"`
 }
 
 func main() {
 	quick := flag.Bool("quick", false, "smaller measured workloads (CI smoke)")
-	out := flag.String("out", "BENCH_PR5.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR6.json", "output JSON path")
 	flag.Parse()
 
 	rep := report{
@@ -112,6 +125,22 @@ func main() {
 		fatal(err)
 	}
 	rep.PredictUsPerBlock = us
+
+	// Batched predict latency: the whole library in one sweep, f32 then
+	// int8; plus the quantization accuracy drift the gate test pins.
+	batchIters := 20
+	if *quick {
+		batchIters = 2
+	}
+	if rep.PredictBatchUsPerBlock, err = predictBatchLatency(warm, batchIters, false); err != nil {
+		fatal(err)
+	}
+	if rep.PredictInt8UsPerBlock, err = predictBatchLatency(warm, batchIters, true); err != nil {
+		fatal(err)
+	}
+	if rep.QuantizedWmapeDrift, err = quantizedDrift(warm); err != nil {
+		fatal(err)
+	}
 
 	// Fleet throughput: the full library × standard-workloads sweep on
 	// the analysis pool, cold prediction cache.
@@ -193,6 +222,67 @@ func predictLatency(tool *clara.Tool, iters int) (float64, error) {
 		return 0, fmt.Errorf("no blocks predicted")
 	}
 	return float64(total.Microseconds()) / float64(blocks), nil
+}
+
+// predictBatchLatency predicts every library element in one
+// PredictModules sweep per iteration and returns mean µs per basic
+// block, optionally on the int8-quantized path.
+func predictBatchLatency(tool *clara.Tool, iters int, quantize bool) (float64, error) {
+	var mods []*clara.Module
+	for _, e := range clara.Elements() {
+		mod, err := e.Module()
+		if err != nil {
+			return 0, err
+		}
+		mods = append(mods, mod)
+	}
+	tool.Predictor.SetQuantize(quantize)
+	defer tool.Predictor.SetQuantize(false)
+	var blocks int
+	var total time.Duration
+	for it := 0; it < iters; it++ {
+		t0 := time.Now()
+		preds, err := tool.Predictor.PredictModules(mods, niccc.AccelConfig{})
+		if err != nil {
+			return 0, err
+		}
+		total += time.Since(t0)
+		for _, p := range preds {
+			blocks += len(p.Blocks)
+		}
+	}
+	if blocks == 0 {
+		return 0, fmt.Errorf("no blocks predicted")
+	}
+	return float64(total.Nanoseconds()) / 1e3 / float64(blocks), nil
+}
+
+// quantizedDrift returns the worst per-element |WMAPE(int8) -
+// WMAPE(f32)| across the library.
+func quantizedDrift(tool *clara.Tool) (float64, error) {
+	p := tool.Predictor
+	defer p.SetQuantize(false)
+	var worst float64
+	for _, e := range clara.Elements() {
+		mod, err := e.Module()
+		if err != nil {
+			return 0, err
+		}
+		p.SetQuantize(false)
+		f32, err := p.Evaluate(mod)
+		if err != nil {
+			return 0, err
+		}
+		p.SetQuantize(true)
+		q, err := p.Evaluate(mod)
+		if err != nil {
+			return 0, err
+		}
+		if d := math.Abs(q.WMAPE - f32.WMAPE); d > worst {
+			worst = d
+		}
+	}
+	return worst, nil
 }
 
 func fatal(err error) {

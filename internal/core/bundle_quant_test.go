@@ -1,0 +1,108 @@
+package core
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"clara/internal/click"
+	"clara/internal/niccc"
+)
+
+// Quantized weights persisted in the bundle must predict bit-identically
+// to the quantized twins the original tool built in memory — and to the
+// twins a loader rebuilds on the fly — because quantization itself is
+// deterministic.
+func TestBundleQuantizedRoundTrip(t *testing.T) {
+	path, _, tool := saveTinyBundle(t)
+	loaded, err := LoadBundle(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Minor != BundleMinor {
+		t.Fatalf("Minor = %d, want %d", loaded.Minor, BundleMinor)
+	}
+	got, err := loaded.Tool()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool.Predictor.SetQuantize(true)
+	got.Predictor.SetQuantize(true)
+	defer tool.Predictor.SetQuantize(false)
+	for _, name := range []string{"tcpack", "mazunat", "iprewriter"} {
+		m := click.Get(name).MustModule()
+		want, err := tool.Predictor.PredictModule(m, niccc.AccelConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		have, err := got.Predictor.PredictModule(m, niccc.AccelConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Blocks {
+			if math.Float64bits(want.Blocks[i].Compute) != math.Float64bits(have.Blocks[i].Compute) {
+				t.Fatalf("%s block %d: quantized compute differs after reload", name, i)
+			}
+		}
+	}
+}
+
+// A pre-minor-1 bundle (no "minor" field, no persisted quantized state)
+// must still load, and its tool must quantize on the fly when asked.
+func TestBundleMinorZeroCompat(t *testing.T) {
+	path, _, _ := saveTinyBundle(t)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(blob, &raw); err != nil {
+		t.Fatal(err)
+	}
+	// Strip the minor-1 additions the way an old writer would have:
+	// neither field existed, and both are omitempty, so removing them
+	// recreates a minor-0 document. The content hash must be recomputed
+	// as an old writer's would be.
+	delete(raw, "minor")
+	var pred map[string]json.RawMessage
+	if err := json.Unmarshal(raw["predictor"], &pred); err != nil {
+		t.Fatal(err)
+	}
+	delete(pred, "quant")
+	pblob, err := json.Marshal(pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw["predictor"] = pblob
+	delete(raw, "hash")
+	unhashed, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Bundle
+	if err := json.Unmarshal(unhashed, &b); err != nil {
+		t.Fatal(err)
+	}
+	old := filepath.Join(t.TempDir(), "minor0.json")
+	if err := SaveBundle(old, &b); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBundle(old)
+	if err != nil {
+		t.Fatalf("minor-0 bundle rejected: %v", err)
+	}
+	tool, err := loaded.Tool()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool.Predictor.SetQuantize(true)
+	m := click.Get("tcpack").MustModule()
+	if _, err := tool.Predictor.PredictModule(m, niccc.AccelConfig{}); err != nil {
+		t.Fatalf("quantize-on-the-fly predict: %v", err)
+	}
+	if !tool.Predictor.Quantized() {
+		t.Fatal("predictor did not report quantized")
+	}
+}

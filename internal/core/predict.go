@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"clara/internal/ir"
 	"clara/internal/lang"
@@ -56,6 +57,13 @@ type PredictorConfig struct {
 	// Any value produces bit-identical models — it only trades wall
 	// clock, so it is *not* part of the bundle config hash.
 	Workers int
+	// Quantize routes inference through the int8-quantized LSTM twins
+	// (per-gate-row symmetric weights, int32 accumulate, table-driven
+	// nonlinearities). Pure runtime knob like Workers: it never changes
+	// the trained f32 weights, so it is cleared in bundles and omitted
+	// from the config hash (the json tag keeps pre-quantization bundle
+	// hashes valid).
+	Quantize bool `json:",omitempty"`
 }
 
 func (c PredictorConfig) norm() PredictorConfig {
@@ -177,9 +185,39 @@ type Predictor struct {
 	cfg    PredictorConfig
 	Vocab  *ir.Vocab
 	models []*ml.LSTM
+	// quants are the int8 inference twins, one per ensemble member.
+	// Built once (at train time, bundle load, or first quantized use) —
+	// quantization is deterministic, so every construction path yields
+	// the same twins.
+	quants    []*ml.QuantizedLSTM
+	quantOnce sync.Once
 	// TrainLoss is the final mean training loss (convergence telemetry).
 	TrainLoss float64
 }
+
+// ensureQuant builds the quantized twins unless a loader already
+// attached them (e.g. from persisted bundle state).
+func (p *Predictor) ensureQuant() {
+	p.quantOnce.Do(func() {
+		if p.quants == nil {
+			for _, m := range p.models {
+				p.quants = append(p.quants, m.Quantize())
+			}
+		}
+	})
+}
+
+// SetQuantize flips the int8 inference path at runtime (bundles clear
+// the knob, so serving re-applies it after a warm start).
+func (p *Predictor) SetQuantize(on bool) {
+	if on {
+		p.ensureQuant()
+	}
+	p.cfg.Quantize = on
+}
+
+// Quantized reports whether inference runs on the int8 path.
+func (p *Predictor) Quantized() bool { return p.cfg.Quantize }
 
 // TrainPredictor synthesizes a corpus, compiles it with the black-box
 // toolchain, and fits the LSTM+FC model.
@@ -252,6 +290,7 @@ func TrainPredictorContext(ctx context.Context, cfg PredictorConfig, corpusProfi
 		p.models = append(p.models, model)
 		p.TrainLoss += loss / float64(cfg.Ensemble)
 	}
+	p.ensureQuant()
 	return p, nil
 }
 
@@ -273,13 +312,85 @@ func (p *Predictor) PredictBlock(b *ir.Block) (compute float64, mem int) {
 	if len(words) > 0 {
 		var resid float64
 		toks := p.Vocab.Encode(words)
-		for _, m := range p.models {
-			resid += m.PredictRaw(toks)[0]
+		if p.cfg.Quantize {
+			p.ensureQuant()
+			for _, q := range p.quants {
+				resid += q.PredictRaw(toks)[0]
+			}
+		} else {
+			for _, m := range p.models {
+				resid += m.PredictRaw(toks)[0]
+			}
 		}
 		resid /= float64(len(p.models))
 		compute = float64(irCompute) + resid
 		if compute < 0 {
 			compute = 0
+		}
+	}
+	return compute, mem
+}
+
+// residualBatch predicts the compute residual for every encoded block
+// sequence in one batched sweep per ensemble member. Model order and the
+// final division match PredictBlock exactly, and the underlying batch
+// forward is bit-identical to the per-sequence one, so batched
+// predictions equal per-block predictions bit-for-bit.
+func (p *Predictor) residualBatch(seqs [][]int) []float64 {
+	resid := make([]float64, len(seqs))
+	if p.cfg.Quantize {
+		p.ensureQuant()
+		for _, q := range p.quants {
+			outs := q.PredictRawBatch(seqs)
+			for i := range resid {
+				resid[i] += outs[i][0]
+			}
+		}
+	} else {
+		for _, m := range p.models {
+			outs := m.PredictRawBatch(seqs)
+			for i := range resid {
+				resid[i] += outs[i][0]
+			}
+		}
+	}
+	for i := range resid {
+		resid[i] /= float64(len(p.models))
+	}
+	return resid
+}
+
+// predictBlocksBatch is the batched core of PredictModule/Evaluate: one
+// LSTM sweep over every block with a non-empty word sequence, direct IR
+// counting for the rest.
+func (p *Predictor) predictBlocksBatch(blocks []*ir.Block) (compute []float64, mem []int) {
+	compute = make([]float64, len(blocks))
+	mem = make([]int, len(blocks))
+	irCompute := make([]int, len(blocks))
+	seqs := make([][]int, 0, len(blocks))
+	seqBlock := make([]int, 0, len(blocks))
+	for i, b := range blocks {
+		for _, in := range b.Instrs {
+			if in.Op.IsStatefulMem() {
+				mem[i]++
+			}
+			if in.Op.IsCompute() || in.Op.IsTerminator() {
+				irCompute[i]++
+			}
+		}
+		if words := ir.BlockWords(b, p.cfg.CompactVocab); len(words) > 0 {
+			seqs = append(seqs, p.Vocab.Encode(words))
+			seqBlock = append(seqBlock, i)
+		}
+	}
+	if len(seqs) > 0 {
+		resid := p.residualBatch(seqs)
+		for k, i := range seqBlock {
+			c := float64(irCompute[i]) + resid[k]
+			if c < 0 {
+				c = 0
+			}
+			compute[i] = c
 		}
 	}
 	return compute, mem
@@ -305,31 +416,56 @@ type ModulePrediction struct {
 
 // PredictModule runs the full Figure 3 algorithm on an unported NF:
 // LSTM inference for core-logic blocks, direct IR counting for stateful
-// memory, and reverse-ported library costs for framework API calls.
+// memory, and reverse-ported library costs for framework API calls. All
+// blocks go through one batched LSTM sweep; results are bit-identical
+// to per-block PredictBlock calls.
 func (p *Predictor) PredictModule(m *ir.Module, accel niccc.AccelConfig) (*ModulePrediction, error) {
-	f := m.Handler()
-	if f == nil {
-		return nil, fmt.Errorf("core: module %s has no handler", m.Name)
+	outs, err := p.PredictModules([]*ir.Module{m}, accel)
+	if err != nil {
+		return nil, err
 	}
-	out := &ModulePrediction{Name: m.Name}
-	for bi, b := range f.Blocks {
-		compute, mem := p.PredictBlock(b)
-		api := 0
-		for _, in := range b.Instrs {
-			if in.Op == ir.OpCall {
-				n, ok := niccc.APIInstrCount(in.Callee, accel)
-				if !ok {
-					return nil, fmt.Errorf("core: API %q has no reverse port", in.Callee)
-				}
-				api += n
-			}
+	return outs[0], nil
+}
+
+// PredictModules predicts a whole batch of NFs in a single LSTM sweep —
+// the fleet/serving fast path. Cross-module batching compounds with
+// sequence deduplication: identical basic blocks appearing in different
+// modules are inferred once.
+func (p *Predictor) PredictModules(mods []*ir.Module, accel niccc.AccelConfig) ([]*ModulePrediction, error) {
+	var blocks []*ir.Block
+	starts := make([]int, len(mods)+1)
+	for i, m := range mods {
+		f := m.Handler()
+		if f == nil {
+			return nil, fmt.Errorf("core: module %s has no handler", m.Name)
 		}
-		out.Blocks = append(out.Blocks, BlockPrediction{Block: bi, Compute: compute, Mem: mem, API: api})
-		out.TotalCompute += compute
-		out.TotalMem += mem
-		out.TotalAPI += api
+		blocks = append(blocks, f.Blocks...)
+		starts[i+1] = len(blocks)
 	}
-	return out, nil
+	compute, mem := p.predictBlocksBatch(blocks)
+	outs := make([]*ModulePrediction, len(mods))
+	for i, m := range mods {
+		out := &ModulePrediction{Name: m.Name}
+		for bi, b := range m.Handler().Blocks {
+			gi := starts[i] + bi
+			api := 0
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpCall {
+					n, ok := niccc.APIInstrCount(in.Callee, accel)
+					if !ok {
+						return nil, fmt.Errorf("core: API %q has no reverse port", in.Callee)
+					}
+					api += n
+				}
+			}
+			out.Blocks = append(out.Blocks, BlockPrediction{Block: bi, Compute: compute[gi], Mem: mem[gi], API: api})
+			out.TotalCompute += compute[gi]
+			out.TotalMem += mem[gi]
+			out.TotalAPI += api
+		}
+		outs[i] = out
+	}
+	return outs, nil
 }
 
 // EvalResult reports prediction accuracy against the vendor toolchain's
@@ -352,8 +488,9 @@ func (p *Predictor) Evaluate(m *ir.Module) (EvalResult, error) {
 	f := m.Handler()
 	var truth, pred []float64
 	var memErr, memTruth float64
+	computes, mems := p.predictBlocksBatch(f.Blocks)
 	for bi, b := range f.Blocks {
-		compute, mem := p.PredictBlock(b)
+		compute, mem := computes[bi], mems[bi]
 		gt := prog.Blocks[bi].ComputeCount
 		if p.cfg.PredictAPI {
 			for _, in := range b.Instrs {

@@ -61,9 +61,12 @@ func ProfileOnHost(mod *ir.Module, ps ProfileSetup, wl traffic.Spec, n int) (*Ho
 
 // ProfileOnHostContext is ProfileOnHost with cancellation: the packet
 // loop observes ctx, so a canceled analysis request stops profiling
-// promptly instead of executing the full workload.
+// promptly instead of executing the full workload. The workload trace is
+// served from the shared replay cache — a fleet profiling many NFs under
+// the same spec generates the packet sequence once — and replaying it
+// yields exactly the packets a fresh generator would.
 func ProfileOnHostContext(ctx context.Context, mod *ir.Module, ps ProfileSetup, wl traffic.Spec, n int) (*HostProfile, error) {
-	gen, err := traffic.NewGenerator(wl)
+	gen, err := traffic.Replay(wl, n)
 	if err != nil {
 		return nil, err
 	}
@@ -90,31 +93,12 @@ func ProfileOnHostSourceContext(ctx context.Context, mod *ir.Module, ps ProfileS
 			return nil, err
 		}
 	}
-	nblocks := len(mod.Handler().Blocks)
-	hp := &HostProfile{
-		Packets:     n,
-		GlobalFreq:  map[string]float64{},
-		BlockAccess: map[string][]float64{},
-		BlockFreq:   make([]float64, nblocks),
-	}
-	touch := func(global string, block int, weight float64) {
-		hp.GlobalFreq[global] += weight
-		va := hp.BlockAccess[global]
-		if va == nil {
-			va = make([]float64, nblocks)
-			hp.BlockAccess[global] = va
-		}
-		va[block] += weight
-	}
-	m.SetHooks(interp.Hooks{
-		OnBlock: func(b int) { hp.BlockFreq[b]++ },
-		OnState: func(g string, store bool, _ uint64, b int) { touch(g, b, 1) },
-		OnAPI: func(name, g string, probes int, _ uint64, b int) {
-			if g != "" && probes > 0 {
-				touch(g, b, float64(probes))
-			}
-		},
-	})
+	// Profiling counts natively via interp.Counters — one slice increment
+	// per event on the packet hot path — and builds the string-keyed
+	// profile maps once afterwards. The counts are identical to what the
+	// OnBlock/OnState/OnAPI hooks would accumulate (integer weights summed
+	// in float64 are exact well past any realistic packet count).
+	ctr := m.EnableCounters()
 	for i := 0; i < n; i++ {
 		if i&63 == 0 {
 			if err := ctx.Err(); err != nil {
@@ -126,8 +110,31 @@ func ProfileOnHostSourceContext(ctx context.Context, mod *ir.Module, ps ProfileS
 			return nil, fmt.Errorf("core: profiling %s: %w", mod.Name, err)
 		}
 	}
-	for g := range hp.GlobalFreq {
-		hp.GlobalFreq[g] /= float64(n)
+	nblocks := ctr.NBlocks
+	hp := &HostProfile{
+		Packets:     n,
+		GlobalFreq:  map[string]float64{},
+		BlockAccess: map[string][]float64{},
+		BlockFreq:   make([]float64, nblocks),
+	}
+	for b := 0; b < nblocks; b++ {
+		hp.BlockFreq[b] = float64(ctr.Block[b])
+	}
+	for gi, g := range mod.Globals {
+		var total uint64
+		row := gi * nblocks
+		for b := 0; b < nblocks; b++ {
+			total += ctr.State[row+b] + ctr.API[row+b]
+		}
+		if total == 0 {
+			continue
+		}
+		va := make([]float64, nblocks)
+		for b := 0; b < nblocks; b++ {
+			va[b] = float64(ctr.State[row+b] + ctr.API[row+b])
+		}
+		hp.BlockAccess[g.Name] = va
+		hp.GlobalFreq[g.Name] = float64(total) / float64(n)
 	}
 	return hp, nil
 }

@@ -119,6 +119,46 @@ func (c *predCache) get(mod *ir.Module, accel niccc.AccelConfig, compute func() 
 	return e.mp, false, e.err
 }
 
+// claim inserts an in-flight entry for key k if none exists, returning
+// the entry and whether the caller became its leader (and so must fill
+// it). Non-leaders get the existing entry, completed or in flight. This
+// is the batch-prewarm half of the singleflight protocol: RunContext
+// claims every distinct key in a batch up front, predicts all claimed
+// modules in one sweep, and fills the entries before workers start.
+func (c *predCache) claim(k predKey) (*predEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[k]; ok {
+		c.lru.MoveToFront(el)
+		return el.Value.(*predEntry), false
+	}
+	e := &predEntry{key: k, ready: make(chan struct{})}
+	c.m[k] = c.lru.PushFront(e)
+	for c.lru.Len() > c.cap {
+		oldest := c.lru.Back()
+		old := oldest.Value.(*predEntry)
+		c.lru.Remove(oldest)
+		delete(c.m, old.key)
+	}
+	return e, true
+}
+
+// fill completes a claimed entry. Failed computations are dropped from
+// the map (same policy as get), so a transient failure is retried by the
+// next request; waiters still observe the error through the entry.
+func (c *predCache) fill(e *predEntry, mp *core.ModulePrediction, err error) {
+	e.mp, e.err = mp, err
+	if err != nil {
+		c.mu.Lock()
+		if el, ok := c.m[e.key]; ok && el.Value.(*predEntry) == e {
+			c.lru.Remove(el)
+			delete(c.m, e.key)
+		}
+		c.mu.Unlock()
+	}
+	close(e.ready)
+}
+
 // len reports the number of resident entries (completed or in flight).
 func (c *predCache) len() int {
 	c.mu.Lock()

@@ -143,6 +143,7 @@ func (f *Fleet) RunContext(ctx context.Context, jobs []Job) ([]Result, error) {
 		}
 	}
 	results := make([]Result, len(jobs))
+	f.prewarm(ctx, jobs)
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	workers := f.cfg.Workers
@@ -177,6 +178,81 @@ dispatch:
 	wg.Wait()
 	f.stats.addWall(time.Since(start))
 	return results, ctx.Err()
+}
+
+// prewarm claims every distinct (module, accel) key a batch needs that
+// is not already cached and predicts all claimed modules in one batched
+// LSTM sweep (core.Predictor.PredictModules) before workers start. With
+// the cache populated up front, per-job analysis skips straight to the
+// workload stages, and the predictor amortizes its Gemm calls — and
+// deduplicates identical basic blocks — across the whole batch instead
+// of per module. Workers that race with a long prewarm still block on
+// the singleflight entries, so semantics are unchanged.
+func (f *Fleet) prewarm(ctx context.Context, jobs []Job) {
+	if f.cfg.DisableCache || len(jobs) < 2 || ctx.Err() != nil {
+		return
+	}
+	// Group claimed keys by accelerator config (one PredictModules sweep
+	// per distinct accel — batches are nearly always homogeneous).
+	type group struct {
+		mods    []*ir.Module
+		entries []*predEntry
+	}
+	groups := make(map[niccc.AccelConfig]*group)
+	claimed := 0
+	for _, j := range jobs {
+		e, leader := f.cache.claim(keyFor(j.Mod, j.Accel))
+		if !leader {
+			continue
+		}
+		g := groups[j.Accel]
+		if g == nil {
+			g = &group{}
+			groups[j.Accel] = g
+		}
+		g.mods = append(g.mods, j.Mod)
+		g.entries = append(g.entries, e)
+		claimed++
+	}
+	if claimed == 0 {
+		return
+	}
+	defer f.stats.addPrewarmed(int64(claimed))
+	for accel, g := range groups {
+		f.prewarmGroup(accel, g.mods, g.entries)
+	}
+}
+
+// prewarmGroup predicts one accel-homogeneous module group and fills its
+// claimed cache entries. Every entry is completed no matter what —
+// leaked in-flight entries would block workers forever — so a panic in
+// the sweep fails the remaining entries instead of unwinding past them.
+func (f *Fleet) prewarmGroup(accel niccc.AccelConfig, mods []*ir.Module, entries []*predEntry) {
+	filled := 0
+	defer func() {
+		if r := recover(); r != nil {
+			err := fmt.Errorf("fleet: batch prediction panicked: %v\n%s", r, stackSnippet())
+			for _, e := range entries[filled:] {
+				f.cache.fill(e, nil, err)
+			}
+		}
+	}()
+	mps, err := f.tool.Predictor.PredictModules(mods, accel)
+	if err != nil {
+		// The batched sweep fails jointly (e.g. one module calls an API
+		// with no reverse port). Fall back to per-module calls so the
+		// error stays confined to the module that caused it.
+		for i, mod := range mods {
+			mp, merr := f.tool.Predictor.PredictModule(mod, accel)
+			f.cache.fill(entries[i], mp, merr)
+			filled++
+		}
+		return
+	}
+	for i := range mods {
+		f.cache.fill(entries[i], mps[i], nil)
+		filled++
+	}
 }
 
 // analyze runs one job: prediction via the cache, then the

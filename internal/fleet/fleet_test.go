@@ -106,8 +106,8 @@ func libraryJobs(t testing.TB) []Job {
 // TestFleetLibraryEightWorkers runs the whole library batch on 8 workers
 // (this is the test `go test -race` exercises for the concurrent path)
 // and checks job accounting and cache behaviour: every module appears
-// under 3 workloads, so exactly one prediction per module is computed
-// and the rest are hits.
+// under 3 workloads, so the batch prewarm computes exactly one
+// prediction per module up front and every job lookup is a hit.
 func TestFleetLibraryEightWorkers(t *testing.T) {
 	tool := quickTool(t)
 	jobs := libraryJobs(t)
@@ -141,10 +141,12 @@ func TestFleetLibraryEightWorkers(t *testing.T) {
 	if s.JobsCompleted != int64(len(jobs)) || s.JobsFailed != 0 {
 		t.Errorf("stats: %d completed, %d failed; want %d, 0", s.JobsCompleted, s.JobsFailed, len(jobs))
 	}
-	wantMisses := int64(17) // one per distinct module
-	if s.CacheMisses != wantMisses || s.CacheHits != int64(len(jobs))-wantMisses {
-		t.Errorf("cache: %d hits, %d misses; want %d, %d",
-			s.CacheHits, s.CacheMisses, int64(len(jobs))-wantMisses, wantMisses)
+	if s.CacheMisses != 0 || s.CacheHits != int64(len(jobs)) {
+		t.Errorf("cache: %d hits, %d misses; want %d, 0",
+			s.CacheHits, s.CacheMisses, int64(len(jobs)))
+	}
+	if s.Prewarmed != 17 { // one batched prediction per distinct module
+		t.Errorf("prewarmed %d predictions, want 17", s.Prewarmed)
 	}
 	if got := fl.cache.len(); got != 17 {
 		t.Errorf("cache holds %d entries, want 17", got)

@@ -77,6 +77,11 @@ type Stats struct {
 	JobsPanicked int64
 	CacheHits    int64
 	CacheMisses  int64
+	// Prewarmed counts predictions computed by batch prewarm sweeps
+	// (RunContext predicts a batch's distinct uncached modules in one
+	// LSTM pass before dispatching workers). Prewarmed entries surface
+	// as CacheHits to the jobs that consume them.
+	Prewarmed int64
 	// Lint findings across all completed jobs, by severity.
 	LintErrors   int64
 	LintWarnings int64
@@ -107,8 +112,12 @@ func (s Stats) String() string {
 		fmt.Fprintf(&b, ", %d panicked", s.JobsPanicked)
 	}
 	b.WriteString("\n")
-	fmt.Fprintf(&b, "prediction cache: %d hits, %d misses (%.0f%% hit rate)\n",
+	fmt.Fprintf(&b, "prediction cache: %d hits, %d misses (%.0f%% hit rate)",
 		s.CacheHits, s.CacheMisses, 100*s.HitRate())
+	if s.Prewarmed > 0 {
+		fmt.Fprintf(&b, ", %d prewarmed", s.Prewarmed)
+	}
+	b.WriteString("\n")
 	fmt.Fprintf(&b, "lint findings: %d errors, %d warnings, %d notes\n",
 		s.LintErrors, s.LintWarnings, s.LintInfos)
 	fmt.Fprintf(&b, "analysis time: %s\n", s.Analyses)
@@ -216,6 +225,12 @@ func bucket(d time.Duration) int {
 		}
 	}
 	return len(histBounds)
+}
+
+func (c *collector) addPrewarmed(n int64) {
+	c.mu.Lock()
+	c.s.Prewarmed += n
+	c.mu.Unlock()
 }
 
 func (c *collector) addWall(d time.Duration) {

@@ -43,7 +43,7 @@ func (m *Machine) call(in *cInstr, block int) error {
 	case apiUDPDport:
 		m.vals[in.id] = uint64(p.DstPort)
 	case apiPayload:
-		i := m.arg(in.args[0])
+		i := m.arg(in.a0)
 		if i < uint64(len(p.Payload)) {
 			m.vals[in.id] = uint64(p.Payload[i])
 		} else {
@@ -55,54 +55,54 @@ func (m *Machine) call(in *cInstr, block int) error {
 		m.vals[in.id] = p.Time
 
 	case apiSetIPSrc:
-		p.SrcIP = uint32(m.arg(in.args[0]))
+		p.SrcIP = uint32(m.arg(in.a0))
 	case apiSetIPDst:
-		p.DstIP = uint32(m.arg(in.args[0]))
+		p.DstIP = uint32(m.arg(in.a0))
 	case apiSetIPTTL:
-		p.TTL = uint8(m.arg(in.args[0]))
+		p.TTL = uint8(m.arg(in.a0))
 	case apiSetTCPSport, apiSetUDPSport:
-		p.SrcPort = uint16(m.arg(in.args[0]))
+		p.SrcPort = uint16(m.arg(in.a0))
 	case apiSetTCPDport, apiSetUDPDport:
-		p.DstPort = uint16(m.arg(in.args[0]))
+		p.DstPort = uint16(m.arg(in.a0))
 	case apiSetTCPSeq:
-		p.Seq = uint32(m.arg(in.args[0]))
+		p.Seq = uint32(m.arg(in.a0))
 	case apiSetTCPAck:
-		p.Ack = uint32(m.arg(in.args[0]))
+		p.Ack = uint32(m.arg(in.a0))
 	case apiSetTCPFlags:
-		p.TCPFlag = uint8(m.arg(in.args[0]))
+		p.TCPFlag = uint8(m.arg(in.a0))
 	case apiSetPayload:
-		i := m.arg(in.args[0])
+		i := m.arg(in.a0)
 		if i < uint64(len(p.Payload)) {
-			p.Payload[i] = byte(m.arg(in.args[1]))
+			p.Payload[i] = byte(m.arg(in.a1))
 		}
 
 	case apiCsumUpdate:
 		p.CsumUpdated = true
-		m.emitAPI(in.callee, in.global, int(p.IPLen), 0, block)
+		m.emitAPI(in, int(p.IPLen), 0, block)
 		return nil
 	case apiSend:
-		p.OutPort = int32(m.arg(in.args[0]))
+		p.OutPort = int32(m.arg(in.a0))
 	case apiDrop:
 		p.OutPort = -1
 
 	case apiHash32:
-		m.vals[in.id] = uint64(Hash32(m.arg(in.args[0])))
+		m.vals[in.id] = uint64(Hash32(m.arg(in.a0)))
 	case apiRand32:
 		m.rng = m.rng*6364136223846793005 + 1442695040888963407
 		m.vals[in.id] = (m.rng >> 32) & 0xffffffff
 	case apiEwmaRate:
 		// EWMA with alpha = 1/16, computed in double precision exactly as
 		// the host framework does (the divergence the linter warns about).
-		m.ewma += (float64(uint32(m.arg(in.args[0]))) - m.ewma) / 16
+		m.ewma += (float64(uint32(m.arg(in.a0))) - m.ewma) / 16
 		m.vals[in.id] = uint64(uint32(m.ewma))
 	case apiCRC32HW:
-		off := int(m.arg(in.args[0]))
-		n := int(m.arg(in.args[1]))
+		off := int(m.arg(in.a0))
+		n := int(m.arg(in.a1))
 		m.vals[in.id] = uint64(CRC32(p.Payload, off, n))
-		m.emitAPI(in.callee, in.global, clampLen(p.Payload, off, n), 0, block)
+		m.emitAPI(in, clampLen(p.Payload, off, n), 0, block)
 		return nil
 	case apiLPMHW:
-		m.vals[in.id] = uint64(m.lpmLookup(uint32(m.arg(in.args[0]))))
+		m.vals[in.id] = uint64(m.lpmLookup(uint32(m.arg(in.a0))))
 
 	case apiMapFind, apiMapContains, apiMapInsert, apiMapRemove, apiMapSize:
 		return m.mapOp(in, block)
@@ -111,10 +111,10 @@ func (m *Machine) call(in *cInstr, block int) error {
 		return m.vecOp(in, block)
 
 	default:
-		return fmt.Errorf("interp: unimplemented API %q", in.callee)
+		return fmt.Errorf("interp: unimplemented API %q", m.strs[in.sidx].callee)
 	}
 	if in.api < apiMapFind {
-		m.emitAPI(in.callee, in.global, 0, 0, block)
+		m.emitAPI(in, 0, 0, block)
 	}
 	return nil
 }
@@ -201,21 +201,21 @@ func (m *Machine) lpmLookup(addr uint32) uint32 {
 func (m *Machine) mapOp(in *cInstr, block int) error {
 	g := m.gl[in.gidx]
 	if g.g.Kind != ir.GMap {
-		return fmt.Errorf("interp: %s on non-map %q", in.callee, in.global)
+		return fmt.Errorf("interp: %s on non-map %q", m.strs[in.sidx].callee, m.strs[in.sidx].global)
 	}
 	probes := 0
 	var addr uint64
 	switch m.cfg.Mode {
 	case HostMap:
-		if len(in.args) > 0 {
-			addr = uint64(Hash32(m.arg(in.args[0])))
+		if in.nargs > 0 {
+			addr = uint64(Hash32(m.arg(in.a0)))
 		}
 		switch in.api {
 		case apiMapFind:
-			m.vals[in.id] = g.hmap[m.arg(in.args[0])]
+			m.vals[in.id] = g.hmap[m.arg(in.a0)]
 			probes = 1
 		case apiMapContains:
-			_, ok := g.hmap[m.arg(in.args[0])]
+			_, ok := g.hmap[m.arg(in.a0)]
 			if ok {
 				m.vals[in.id] = 1
 			} else {
@@ -224,17 +224,17 @@ func (m *Machine) mapOp(in *cInstr, block int) error {
 			probes = 1
 		case apiMapInsert:
 			// Click HashMaps grow elastically; capacity is a hint only.
-			g.hmap[m.arg(in.args[0])] = m.arg(in.args[1])
+			g.hmap[m.arg(in.a0)] = m.arg(in.a1)
 			probes = 1
 		case apiMapRemove:
-			delete(g.hmap, m.arg(in.args[0]))
+			delete(g.hmap, m.arg(in.a0))
 			probes = 1
 		case apiMapSize:
 			m.vals[in.id] = uint64(len(g.hmap))
 		}
 	case NICMap:
 		nm := g.nmap
-		key := m.arg(in.args[0])
+		key := m.arg(in.a0)
 		addr = uint64(nm.bucket(key))
 		switch in.api {
 		case apiMapFind, apiMapContains:
@@ -254,7 +254,7 @@ func (m *Machine) mapOp(in *cInstr, block int) error {
 				}
 			}
 		case apiMapInsert:
-			probes = nm.insert(key, m.arg(in.args[1]))
+			probes = nm.insert(key, m.arg(in.a1))
 		case apiMapRemove:
 			slot, n := nm.lookup(key)
 			probes = n
@@ -268,7 +268,7 @@ func (m *Machine) mapOp(in *cInstr, block int) error {
 			m.vals[in.id] = uint64(nm.size)
 		}
 	}
-	m.emitAPI(in.callee, in.global, probes, addr, block)
+	m.emitAPI(in, probes, addr, block)
 	return nil
 }
 
@@ -326,14 +326,14 @@ func (nm *nicMapState) insert(key, val uint64) int {
 func (m *Machine) vecOp(in *cInstr, block int) error {
 	g := m.gl[in.gidx]
 	if g.g.Kind != ir.GVec {
-		return fmt.Errorf("interp: %s on non-vector %q", in.callee, in.global)
+		return fmt.Errorf("interp: %s on non-vector %q", m.strs[in.sidx].callee, m.strs[in.sidx].global)
 	}
 	v := g.vec
 	probes := 0
 	var addr uint64
 	switch in.api {
 	case apiVecPush:
-		val := m.arg(in.args[0])
+		val := m.arg(in.a0)
 		if v.nic {
 			// First free (or tombstoned) slot; full vectors drop the push.
 			placed := false
@@ -362,7 +362,7 @@ func (m *Machine) vecOp(in *cInstr, block int) error {
 			m.vals[in.id] = 1
 		}
 	case apiVecGet:
-		i := m.arg(in.args[0])
+		i := m.arg(in.a0)
 		probes = 1
 		addr = i
 		m.vals[in.id] = 0
@@ -374,8 +374,8 @@ func (m *Machine) vecOp(in *cInstr, block int) error {
 			m.vals[in.id] = v.vals[i]
 		}
 	case apiVecSet:
-		i := m.arg(in.args[0])
-		val := m.arg(in.args[1])
+		i := m.arg(in.a0)
+		val := m.arg(in.a1)
 		probes = 1
 		addr = i
 		if v.nic {
@@ -390,7 +390,7 @@ func (m *Machine) vecOp(in *cInstr, block int) error {
 			v.vals[i] = val
 		}
 	case apiVecDelete:
-		i := m.arg(in.args[0])
+		i := m.arg(in.a0)
 		addr = i
 		if v.nic {
 			// NIC library: mark invalid, one slot touched.
@@ -413,7 +413,7 @@ func (m *Machine) vecOp(in *cInstr, block int) error {
 	case apiVecLen:
 		m.vals[in.id] = uint64(v.live)
 	}
-	m.emitAPI(in.callee, in.global, probes, addr, block)
+	m.emitAPI(in, probes, addr, block)
 	return nil
 }
 

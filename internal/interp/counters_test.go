@@ -1,0 +1,120 @@
+package interp
+
+import (
+	"testing"
+)
+
+// Native counters must agree exactly with what the closure hooks report:
+// the host profiler switched from hooks to counters, so any divergence
+// would silently change every access profile.
+func TestCountersMatchHooks(t *testing.T) {
+	src := `
+global u32 total;
+map<u64,u64> conns[1024];
+void handle() {
+	u64 k = pkt_ip_src();
+	u64 c = map_find(conns, k);
+	map_insert(conns, k, c + 1);
+	total += 1;
+	if (pkt_ip_ttl() <= 1) { pkt_drop(); return; }
+	pkt_send(1);
+}
+`
+	mod := compile(t, "ctrhooks", src)
+	run := func(m *Machine) {
+		for i := 0; i < 200; i++ {
+			p := tcpPacket(uint32(i%17), 2)
+			if err := m.RunPacket(&p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Reference run: accumulate the same shapes via hooks.
+	hm, err := New(mod, Config{Mode: NICMap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb := len(hm.blocks)
+	gidx := hm.gidx
+	refBlock := make([]uint64, nb)
+	refState := make([]uint64, len(mod.Globals)*nb)
+	refAPI := make([]uint64, len(mod.Globals)*nb)
+	hm.SetHooks(Hooks{
+		OnBlock: func(b int) { refBlock[b]++ },
+		OnState: func(g string, _ bool, _ uint64, b int) { refState[gidx[g]*nb+b]++ },
+		OnAPI: func(_, g string, probes int, _ uint64, b int) {
+			if g != "" && probes > 0 {
+				refAPI[gidx[g]*nb+b] += uint64(probes)
+			}
+		},
+	})
+	run(hm)
+
+	cm, err := New(mod, Config{Mode: NICMap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr := cm.EnableCounters()
+	run(cm)
+
+	if ctr.NBlocks != nb {
+		t.Fatalf("NBlocks = %d, want %d", ctr.NBlocks, nb)
+	}
+	for b, want := range refBlock {
+		if ctr.Block[b] != want {
+			t.Errorf("Block[%d] = %d, want %d", b, ctr.Block[b], want)
+		}
+	}
+	for i, want := range refState {
+		if ctr.State[i] != want {
+			t.Errorf("State[%d] = %d, want %d", i, ctr.State[i], want)
+		}
+	}
+	for i, want := range refAPI {
+		if ctr.API[i] != want {
+			t.Errorf("API[%d] = %d, want %d", i, ctr.API[i], want)
+		}
+	}
+}
+
+// Machines for the same module share one compiled program, and const
+// pooling must not let one machine's execution leak values into another:
+// the pool region is read-only at runtime and all mutable state is
+// per-machine.
+func TestSharedProgramIsolation(t *testing.T) {
+	src := `
+global u32 count;
+void handle() {
+	count += 1;
+	pkt_send(1);
+}
+`
+	mod := compile(t, "shared", src)
+	m1, err := New(mod, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := New(mod, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &m1.blocks[0] != &m2.blocks[0] {
+		t.Error("machines for the same module should share compiled blocks")
+	}
+	for i := 0; i < 5; i++ {
+		p := tcpPacket(1, 2)
+		if err := m1.RunPacket(&p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := tcpPacket(1, 2)
+	if err := m2.RunPacket(&p); err != nil {
+		t.Fatal(err)
+	}
+	v1, _ := m1.Scalar("count")
+	v2, _ := m2.Scalar("count")
+	if v1 != 5 || v2 != 1 {
+		t.Errorf("count: m1=%d m2=%d, want 5 and 1", v1, v2)
+	}
+}

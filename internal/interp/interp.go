@@ -13,11 +13,20 @@
 //     per-call probe counts so the simulator can charge memory traffic.
 //
 // The interpreter precompiles IR into a flat internal form so per-packet
-// execution involves no map lookups or allocation.
+// execution involves no map lookups or allocation. Compiled programs are
+// immutable and shared: a bounded cache keyed by module identity means a
+// fleet analyzing the same NF under many workloads (or a simulator
+// spinning up many machines) compiles it once. Constants are pooled into
+// the tail of the value array at compile time, so every operand read is
+// one unconditional slice index, and fuel/step accounting is charged per
+// basic block instead of per instruction (blocks always retire fully —
+// the terminator is the last instruction — so counts stay exact).
 package interp
 
 import (
+	"container/list"
 	"fmt"
+	"sync"
 
 	"clara/internal/ir"
 	"clara/internal/traffic"
@@ -154,35 +163,206 @@ var apiCodes = map[string]int{
 	"vec_delete": apiVecDelete, "vec_len": apiVecLen,
 }
 
-// argKind for compiled operands.
+// xop is the interpreter's internal opcode space. It refines ir.Op with
+// compile-time specializations the dispatch loop would otherwise branch
+// on per execution: global accesses split by kind (scalar vs array), and
+// an ICmp immediately consumed by a CondBr fuses into one compare-branch
+// instruction (the fused form still writes the comparison result to its
+// IR id, so downstream reads observe identical state).
+type xop uint8
+
 const (
-	argConst = iota
-	argVal
+	xAdd xop = iota
+	xSub
+	xMul
+	xUDiv
+	xURem
+	xAnd
+	xOr
+	xXor
+	xShl
+	xLShr
+	xNot
+	xMask // ZExt and Trunc: both reduce to masking under the result type
+	xICmp
+	xLLoad
+	xLStore
+	xGLoadS   // scalar global load
+	xGLoadA   // array global load
+	xGLoadAP  // array global load, power-of-two length (mask, no div)
+	xGStoreS  // scalar global store
+	xGStoreA  // array global store
+	xGStoreAP // array global store, power-of-two length
+	xCall
+	xCallPayload    // pkt_payload(i): hot per-byte read, inlined
+	xCallSetPayload // pkt_set_payload(i, v): hot per-byte write, inlined
+	xCallHash32     // hash32(k): pure mix, inlined
+	xBr
+	xCondBr
+	xRet
+	xCmpBr // fused ICmp+CondBr
 )
 
-type cArg struct {
-	kind uint8
-	idx  int
-	c    uint64
+// cstr is the hooks-only string metadata of an instruction (the global it
+// touches, the API it calls), held in a program side table so the hot
+// cInstr stays compact.
+type cstr struct {
+	global string
+	callee string
 }
 
+// cInstr is one compiled instruction. Operands are plain indices into
+// the machine's value array: instruction results live at their IR ids
+// (< NumVals) and constants are pooled at indices >= NumVals, preloaded
+// when the machine is built, so reading an operand never branches on its
+// kind. The struct is kept flat and narrow (no slices, no strings) so a
+// cache line holds more than one instruction.
 type cInstr struct {
-	op     ir.Op
-	pred   ir.Pred
 	mask   uint64
-	id     int
-	args   []cArg
-	slot   int
-	gidx   int // index into machine global tables
-	api    int
-	t, f   int
-	global string // retained for hooks
-	callee string
+	a0, a1 int32 // operand value indices (every op has arity <= 2)
+	id     int32
+	slot   int32
+	gidx   int32 // index into machine global tables
+	api    int32
+	t, f   int32
+	sidx   int32 // index into the program's cstr table (-1: none)
+	op     xop
+	pred   ir.Pred
+	nargs  uint8
 }
 
 type cBlock struct {
 	instrs   []cInstr
 	nCompute int
+	// size is the source IR instruction count; fuel, Steps and the
+	// compute hooks are charged by it, so fusion never changes the
+	// observable cost model.
+	size int
+}
+
+// program is a module's compiled, immutable form: every Machine built
+// for the same module shares one program (blocks, const pool, global
+// index) and only allocates its own mutable state. Compilation does not
+// depend on Config — map-mode and fuel only matter at runtime — so one
+// program serves host and NIC machines alike.
+type program struct {
+	blocks []cBlock
+	nvals  int      // f.NumVals; const pool occupies vals[nvals:]
+	pool   []uint64 // pooled constants, deduplicated by value
+	strs   []cstr   // hooks metadata, indexed by cInstr.sidx
+	nslots int
+	gidx   map[string]int
+}
+
+// progCacheCap bounds the compiled-program cache. Library modules are
+// singletons (a few dozen), so in steady state the fleet compiles each
+// NF once; freshly parsed modules (e.g. per-request submissions in
+// serving mode) each miss once and age out.
+const progCacheCap = 128
+
+var progCache = struct {
+	mu  sync.Mutex
+	m   map[*ir.Module]*list.Element // values are *progEntry
+	lru *list.List
+}{m: make(map[*ir.Module]*list.Element), lru: list.New()}
+
+type progEntry struct {
+	mod  *ir.Module
+	prog *program
+	err  error
+}
+
+// programFor returns mod's compiled program, compiling and caching it on
+// first use. Keying by module identity is sound because ir.Modules are
+// immutable once built.
+func programFor(mod *ir.Module) (*program, error) {
+	progCache.mu.Lock()
+	if el, ok := progCache.m[mod]; ok {
+		progCache.lru.MoveToFront(el)
+		e := el.Value.(*progEntry)
+		progCache.mu.Unlock()
+		return e.prog, e.err
+	}
+	progCache.mu.Unlock()
+
+	// Compile outside the lock; a racing duplicate compile is harmless
+	// (both results are equivalent and one wins the map).
+	prog, err := compileModule(mod)
+	progCache.mu.Lock()
+	if el, ok := progCache.m[mod]; ok {
+		progCache.lru.MoveToFront(el)
+		e := el.Value.(*progEntry)
+		progCache.mu.Unlock()
+		return e.prog, e.err
+	}
+	progCache.m[mod] = progCache.lru.PushFront(&progEntry{mod: mod, prog: prog, err: err})
+	for progCache.lru.Len() > progCacheCap {
+		oldest := progCache.lru.Back()
+		progCache.lru.Remove(oldest)
+		delete(progCache.m, oldest.Value.(*progEntry).mod)
+	}
+	progCache.mu.Unlock()
+	return prog, err
+}
+
+// compiler builds one program; pool deduplicates constants by (already
+// masked) value.
+type compiler struct {
+	p       *program
+	mod     *ir.Module
+	pool    map[uint64]int32
+	strPool map[cstr]int32
+}
+
+func compileModule(mod *ir.Module) (*program, error) {
+	f := mod.Handler()
+	if f == nil {
+		return nil, fmt.Errorf("interp: module %s has no handler", mod.Name)
+	}
+	c := &compiler{
+		p: &program{
+			nvals:  f.NumVals,
+			nslots: f.NSlots,
+			gidx:   make(map[string]int, len(mod.Globals)),
+		},
+		mod:     mod,
+		pool:    make(map[uint64]int32),
+		strPool: make(map[cstr]int32),
+	}
+	for i, g := range mod.Globals {
+		c.p.gidx[g.Name] = i
+	}
+	c.p.blocks = make([]cBlock, len(f.Blocks))
+	for bi, b := range f.Blocks {
+		cb := &c.p.blocks[bi]
+		cb.size = len(b.Instrs)
+		for k := 0; k < len(b.Instrs); k++ {
+			in := b.Instrs[k]
+			if in.Op.IsCompute() {
+				cb.nCompute++
+			}
+			ci, err := c.compileInstr(in)
+			if err != nil {
+				return nil, fmt.Errorf("interp: %s: %w", mod.Name, err)
+			}
+			// Fuse an ICmp directly consumed by the following CondBr into
+			// one compare-branch. The fused instruction still stores the
+			// comparison result, so any other use of the ICmp id (and any
+			// hook or counter) observes exactly the unfused state; only the
+			// dispatch count shrinks — cb.size keeps the cost model intact.
+			if in.Op == ir.OpICmp && k+1 < len(b.Instrs) {
+				nx := b.Instrs[k+1]
+				if nx.Op == ir.OpCondBr && len(nx.Args) == 1 &&
+					nx.Args[0].Kind == ir.VInstr && nx.Args[0].ID == in.ID {
+					ci.op = xCmpBr
+					ci.t, ci.f = int32(nx.True), int32(nx.False)
+					k++
+				}
+			}
+			cb.instrs = append(cb.instrs, ci)
+		}
+	}
+	return c.p, nil
 }
 
 // mslot is one NIC-map slot.
@@ -216,6 +396,8 @@ type vecState struct {
 
 type globalState struct {
 	g *ir.Global
+	// amask is len(array)-1 for power-of-two arrays (masked indexing).
+	amask uint64
 	// exactly one of these is active, by g.Kind
 	scalar uint64
 	array  []uint64
@@ -224,16 +406,38 @@ type globalState struct {
 	vec    *vecState
 }
 
+// Counters accumulate the host-profiling signals natively, replacing
+// closure hooks on the hot path: one slice increment per event instead
+// of a call through a function pointer into string-keyed maps. Weights
+// match the Hooks semantics exactly — Block counts block entries, State
+// counts GLoad/GStore accesses, and API accumulates per-call probe
+// counts — so a profile built from Counters is identical to one built
+// from OnBlock/OnState/OnAPI.
+type Counters struct {
+	// Block[b] counts executions of block b.
+	Block []uint64
+	// State[g*NBlocks+b] counts stateful accesses to global g from block
+	// b; API[g*NBlocks+b] sums API probe counts charged to global g from
+	// block b (calls with zero probes or no global are not recorded,
+	// mirroring the profiler's OnAPI filter).
+	State []uint64
+	API   []uint64
+	// NBlocks is the row stride of State and API.
+	NBlocks int
+}
+
 // Machine executes one module over packets.
 type Machine struct {
 	Mod    *ir.Module
 	cfg    Config
 	hooks  Hooks
-	blocks []cBlock
-	vals   []uint64
+	blocks []cBlock // shared with every Machine for this module; read-only
+	vals   []uint64 // [0:nvals) instruction results, [nvals:) const pool
 	slots  []uint64
 	gl     []*globalState
-	gidx   map[string]int
+	gidx   map[string]int // shared with the program; read-only
+	strs   []cstr         // shared with the program; read-only
+	ctr    *Counters
 	rng    uint64
 	pkt    *traffic.Packet
 	fuel   int
@@ -245,33 +449,40 @@ type Machine struct {
 	Steps uint64
 }
 
-// New compiles mod's handler for execution.
+// New builds a machine for mod, compiling its handler on first use (the
+// compiled program is cached and shared across machines).
 func New(mod *ir.Module, cfg Config) (*Machine, error) {
-	f := mod.Handler()
-	if f == nil {
-		return nil, fmt.Errorf("interp: module %s has no handler", mod.Name)
+	prog, err := programFor(mod)
+	if err != nil {
+		return nil, err
 	}
 	if cfg.Fuel == 0 {
 		cfg.Fuel = defaultFuel
 	}
-	m := &Machine{
-		Mod:  mod,
-		cfg:  cfg,
-		vals: make([]uint64, f.NumVals),
-		slots: make([]uint64, func() int {
-			if f.NSlots == 0 {
-				return 1
-			}
-			return f.NSlots
-		}()),
-		gidx: make(map[string]int, len(mod.Globals)),
-		rng:  cfg.Seed*2654435761 + 0x9E3779B97F4A7C15,
+	nslots := prog.nslots
+	if nslots == 0 {
+		nslots = 1
 	}
-	for i, g := range mod.Globals {
+	m := &Machine{
+		Mod:    mod,
+		cfg:    cfg,
+		blocks: prog.blocks,
+		vals:   make([]uint64, prog.nvals+len(prog.pool)),
+		slots:  make([]uint64, nslots),
+		gidx:   prog.gidx,
+		strs:   prog.strs,
+		rng:    cfg.Seed*2654435761 + 0x9E3779B97F4A7C15,
+	}
+	copy(m.vals[prog.nvals:], prog.pool)
+	m.gl = make([]*globalState, 0, len(mod.Globals))
+	for _, g := range mod.Globals {
 		st := &globalState{g: g}
 		switch g.Kind {
 		case ir.GArray:
 			st.array = make([]uint64, g.Len)
+			if g.Len > 0 && g.Len&(g.Len-1) == 0 {
+				st.amask = uint64(g.Len - 1)
+			}
 		case ir.GMap:
 			if cfg.Mode == HostMap {
 				st.hmap = make(map[uint64]uint64)
@@ -290,27 +501,26 @@ func New(mod *ir.Module, cfg Config) (*Machine, error) {
 			}
 		}
 		m.gl = append(m.gl, st)
-		m.gidx[g.Name] = i
-	}
-	m.blocks = make([]cBlock, len(f.Blocks))
-	for bi, b := range f.Blocks {
-		cb := &m.blocks[bi]
-		for _, in := range b.Instrs {
-			ci, err := m.compileInstr(in)
-			if err != nil {
-				return nil, fmt.Errorf("interp: %s: %w", mod.Name, err)
-			}
-			if in.Op.IsCompute() {
-				cb.nCompute++
-			}
-			cb.instrs = append(cb.instrs, ci)
-		}
 	}
 	return m, nil
 }
 
 // SetHooks installs execution hooks (may be called between packets).
 func (m *Machine) SetHooks(h Hooks) { m.hooks = h }
+
+// EnableCounters attaches (and returns) zeroed native profiling counters
+// sized for this machine's module. Counters and Hooks are independent;
+// either or both may be active.
+func (m *Machine) EnableCounters() *Counters {
+	nb := len(m.blocks)
+	m.ctr = &Counters{
+		Block:   make([]uint64, nb),
+		State:   make([]uint64, len(m.gl)*nb),
+		API:     make([]uint64, len(m.gl)*nb),
+		NBlocks: nb,
+	}
+	return m.ctr
+}
 
 func maskOf(ty ir.Type) uint64 {
 	switch ty {
@@ -327,52 +537,170 @@ func maskOf(ty ir.Type) uint64 {
 	}
 }
 
-func (m *Machine) compileArg(v ir.Value) (cArg, error) {
+// compileArg resolves an operand to a value-array index: instruction
+// results keep their IR id; constants are interned into the pool, whose
+// entries live at indices >= nvals.
+func (c *compiler) compileArg(v ir.Value) (int32, error) {
 	switch v.Kind {
 	case ir.VConst:
-		return cArg{kind: argConst, c: uint64(v.Const) & maskOf(v.Ty)}, nil
+		cv := uint64(v.Const) & maskOf(v.Ty)
+		if idx, ok := c.pool[cv]; ok {
+			return idx, nil
+		}
+		idx := int32(c.p.nvals + len(c.p.pool))
+		c.p.pool = append(c.p.pool, cv)
+		c.pool[cv] = idx
+		return idx, nil
 	case ir.VInstr:
-		return cArg{kind: argVal, idx: v.ID}, nil
+		return int32(v.ID), nil
 	default:
-		return cArg{}, fmt.Errorf("unsupported operand kind %d (params must be inlined)", v.Kind)
+		return 0, fmt.Errorf("unsupported operand kind %d (params must be inlined)", v.Kind)
 	}
 }
 
-func (m *Machine) compileInstr(in *ir.Instr) (cInstr, error) {
-	ci := cInstr{
-		op: in.Op, pred: in.Pred, mask: maskOf(in.Ty), id: in.ID,
-		slot: in.Slot, t: in.True, f: in.False,
-		global: in.Global, callee: in.Callee, gidx: -1, api: -1,
+// internStr interns hooks metadata into the program's cstr table.
+func (c *compiler) internStr(global, callee string) int32 {
+	s := cstr{global: global, callee: callee}
+	if idx, ok := c.strPool[s]; ok {
+		return idx
 	}
-	for _, a := range in.Args {
-		ca, err := m.compileArg(a)
+	idx := int32(len(c.p.strs))
+	c.p.strs = append(c.p.strs, s)
+	c.strPool[s] = idx
+	return idx
+}
+
+// xopOf maps an IR opcode to its internal dispatch code. Global accesses
+// are specialized by the accessed global's kind at compile time.
+func (c *compiler) xopOf(in *ir.Instr) (xop, error) {
+	switch in.Op {
+	case ir.OpAdd:
+		return xAdd, nil
+	case ir.OpSub:
+		return xSub, nil
+	case ir.OpMul:
+		return xMul, nil
+	case ir.OpUDiv:
+		return xUDiv, nil
+	case ir.OpURem:
+		return xURem, nil
+	case ir.OpAnd:
+		return xAnd, nil
+	case ir.OpOr:
+		return xOr, nil
+	case ir.OpXor:
+		return xXor, nil
+	case ir.OpShl:
+		return xShl, nil
+	case ir.OpLShr:
+		return xLShr, nil
+	case ir.OpNot:
+		return xNot, nil
+	case ir.OpZExt, ir.OpTrunc:
+		return xMask, nil
+	case ir.OpICmp:
+		return xICmp, nil
+	case ir.OpLLoad:
+		return xLLoad, nil
+	case ir.OpLStore:
+		return xLStore, nil
+	case ir.OpGLoad, ir.OpGStore:
+		gi, ok := c.p.gidx[in.Global]
+		if !ok {
+			return 0, fmt.Errorf("unknown global %q", in.Global)
+		}
+		g := c.mod.Globals[gi]
+		scalar := g.Kind == ir.GScalar
+		// Power-of-two arrays index with a mask instead of a modulo —
+		// identical result for unsigned indices, no hardware divide.
+		pow2 := g.Kind == ir.GArray && g.Len > 0 && g.Len&(g.Len-1) == 0
+		if in.Op == ir.OpGLoad {
+			switch {
+			case scalar:
+				return xGLoadS, nil
+			case pow2:
+				return xGLoadAP, nil
+			default:
+				return xGLoadA, nil
+			}
+		}
+		switch {
+		case scalar:
+			return xGStoreS, nil
+		case pow2:
+			return xGStoreAP, nil
+		default:
+			return xGStoreA, nil
+		}
+	case ir.OpCall:
+		return xCall, nil
+	case ir.OpBr:
+		return xBr, nil
+	case ir.OpCondBr:
+		return xCondBr, nil
+	case ir.OpRet:
+		return xRet, nil
+	default:
+		return 0, fmt.Errorf("unsupported opcode %s", in.Op)
+	}
+}
+
+func (c *compiler) compileInstr(in *ir.Instr) (cInstr, error) {
+	ci := cInstr{
+		pred: in.Pred, mask: maskOf(in.Ty), id: int32(in.ID),
+		slot: int32(in.Slot), t: int32(in.True), f: int32(in.False),
+		gidx: -1, api: -1, sidx: -1,
+	}
+	op, err := c.xopOf(in)
+	if err != nil {
+		return ci, err
+	}
+	ci.op = op
+	if len(in.Args) > 2 {
+		return ci, fmt.Errorf("instruction %s has %d operands (max 2)", in.Op, len(in.Args))
+	}
+	ci.nargs = uint8(len(in.Args))
+	for k, a := range in.Args {
+		idx, err := c.compileArg(a)
 		if err != nil {
 			return ci, err
 		}
-		ci.args = append(ci.args, ca)
+		if k == 0 {
+			ci.a0 = idx
+		} else {
+			ci.a1 = idx
+		}
 	}
 	if in.Op == ir.OpGLoad || in.Op == ir.OpGStore || (in.Op == ir.OpCall && in.Global != "") {
-		gi, ok := m.gidx[in.Global]
+		gi, ok := c.p.gidx[in.Global]
 		if !ok {
 			return ci, fmt.Errorf("unknown global %q", in.Global)
 		}
-		ci.gidx = gi
+		ci.gidx = int32(gi)
 	}
 	if in.Op == ir.OpCall {
 		code, ok := apiCodes[in.Callee]
 		if !ok {
 			return ci, fmt.Errorf("unknown framework API %q", in.Callee)
 		}
-		ci.api = code
+		ci.api = int32(code)
+		// The per-byte packet intrinsics and the hash mix dominate
+		// byte-granular elements (ciphers, sketches); dispatch them
+		// without the API-call detour. Their call() cases end in
+		// emitAPI(probes=0), which the inlined forms reproduce.
+		switch code {
+		case apiPayload:
+			ci.op = xCallPayload
+		case apiSetPayload:
+			ci.op = xCallSetPayload
+		case apiHash32:
+			ci.op = xCallHash32
+		}
+	}
+	if in.Op == ir.OpGLoad || in.Op == ir.OpGStore || in.Op == ir.OpCall {
+		ci.sidx = c.internStr(in.Global, in.Callee)
 	}
 	return ci, nil
-}
-
-func (m *Machine) arg(a cArg) uint64 {
-	if a.kind == argConst {
-		return a.c
-	}
-	return m.vals[a.idx]
 }
 
 // RunPacket executes the handler for one packet. The packet's disposition
@@ -382,7 +710,11 @@ func (m *Machine) RunPacket(p *traffic.Packet) error {
 	m.pkt = p
 	m.fuel = m.cfg.Fuel
 	bi := 0
+	vals := m.vals
 	for {
+		if m.ctr != nil {
+			m.ctr.Block[bi]++
+		}
 		if m.hooks.OnBlock != nil {
 			m.hooks.OnBlock(bi)
 		}
@@ -390,121 +722,174 @@ func (m *Machine) RunPacket(p *traffic.Packet) error {
 		if m.hooks.OnCompute != nil && cb.nCompute > 0 {
 			m.hooks.OnCompute(bi, cb.nCompute)
 		}
+		// Fuel and Steps are charged per block, by source IR instruction
+		// count (cb.size — fusion does not change the cost model). Blocks
+		// always retire in full — the terminator (Ret/Br/CondBr) is the
+		// last instruction — so successful runs count exactly the
+		// instructions executed; a run that would exhaust fuel mid-block
+		// aborts at block entry.
+		m.fuel -= cb.size
+		if m.fuel < 0 {
+			return ErrFuel
+		}
+		m.Steps += uint64(cb.size)
 		next := -1
 		for i := range cb.instrs {
 			in := &cb.instrs[i]
-			m.fuel--
-			if m.fuel < 0 {
-				return ErrFuel
-			}
-			m.Steps++
 			switch in.op {
-			case ir.OpAdd:
-				m.vals[in.id] = (m.arg(in.args[0]) + m.arg(in.args[1])) & in.mask
-			case ir.OpSub:
-				m.vals[in.id] = (m.arg(in.args[0]) - m.arg(in.args[1])) & in.mask
-			case ir.OpMul:
-				m.vals[in.id] = (m.arg(in.args[0]) * m.arg(in.args[1])) & in.mask
-			case ir.OpUDiv:
-				d := m.arg(in.args[1])
+			case xAdd:
+				vals[in.id] = (vals[in.a0] + vals[in.a1]) & in.mask
+			case xSub:
+				vals[in.id] = (vals[in.a0] - vals[in.a1]) & in.mask
+			case xMul:
+				vals[in.id] = (vals[in.a0] * vals[in.a1]) & in.mask
+			case xUDiv:
+				d := vals[in.a1]
 				if d == 0 {
-					m.vals[in.id] = in.mask // all-ones, like NIC firmware
+					vals[in.id] = in.mask // all-ones, like NIC firmware
 				} else {
-					m.vals[in.id] = (m.arg(in.args[0]) / d) & in.mask
+					vals[in.id] = (vals[in.a0] / d) & in.mask
 				}
-			case ir.OpURem:
-				d := m.arg(in.args[1])
+			case xURem:
+				d := vals[in.a1]
 				if d == 0 {
-					m.vals[in.id] = 0
+					vals[in.id] = 0
 				} else {
-					m.vals[in.id] = (m.arg(in.args[0]) % d) & in.mask
+					vals[in.id] = (vals[in.a0] % d) & in.mask
 				}
-			case ir.OpAnd:
-				m.vals[in.id] = m.arg(in.args[0]) & m.arg(in.args[1]) & in.mask
-			case ir.OpOr:
-				m.vals[in.id] = (m.arg(in.args[0]) | m.arg(in.args[1])) & in.mask
-			case ir.OpXor:
-				m.vals[in.id] = (m.arg(in.args[0]) ^ m.arg(in.args[1])) & in.mask
-			case ir.OpShl:
-				sh := m.arg(in.args[1]) & 63
-				m.vals[in.id] = (m.arg(in.args[0]) << sh) & in.mask
-			case ir.OpLShr:
-				sh := m.arg(in.args[1]) & 63
-				m.vals[in.id] = (m.arg(in.args[0]) >> sh) & in.mask
-			case ir.OpNot:
-				m.vals[in.id] = ^m.arg(in.args[0]) & in.mask
-			case ir.OpZExt, ir.OpTrunc:
-				m.vals[in.id] = m.arg(in.args[0]) & in.mask
-			case ir.OpICmp:
-				a, b := m.arg(in.args[0]), m.arg(in.args[1])
-				var r bool
-				switch in.pred {
-				case ir.PredEQ:
-					r = a == b
-				case ir.PredNE:
-					r = a != b
-				case ir.PredULT:
-					r = a < b
-				case ir.PredULE:
-					r = a <= b
-				case ir.PredUGT:
-					r = a > b
-				case ir.PredUGE:
-					r = a >= b
-				}
-				if r {
-					m.vals[in.id] = 1
+			case xAnd:
+				vals[in.id] = vals[in.a0] & vals[in.a1] & in.mask
+			case xOr:
+				vals[in.id] = (vals[in.a0] | vals[in.a1]) & in.mask
+			case xXor:
+				vals[in.id] = (vals[in.a0] ^ vals[in.a1]) & in.mask
+			case xShl:
+				sh := vals[in.a1] & 63
+				vals[in.id] = (vals[in.a0] << sh) & in.mask
+			case xLShr:
+				sh := vals[in.a1] & 63
+				vals[in.id] = (vals[in.a0] >> sh) & in.mask
+			case xNot:
+				vals[in.id] = ^vals[in.a0] & in.mask
+			case xMask:
+				vals[in.id] = vals[in.a0] & in.mask
+			case xICmp:
+				if cmpPred(in.pred, vals[in.a0], vals[in.a1]) {
+					vals[in.id] = 1
 				} else {
-					m.vals[in.id] = 0
+					vals[in.id] = 0
 				}
-			case ir.OpLLoad:
-				m.vals[in.id] = m.slots[in.slot]
+			case xCmpBr:
+				if cmpPred(in.pred, vals[in.a0], vals[in.a1]) {
+					vals[in.id] = 1
+					next = int(in.t)
+				} else {
+					vals[in.id] = 0
+					next = int(in.f)
+				}
+			case xLLoad:
+				vals[in.id] = m.slots[in.slot]
 				if m.hooks.OnLocal != nil {
 					m.hooks.OnLocal(false, bi)
 				}
-			case ir.OpLStore:
-				m.slots[in.slot] = m.arg(in.args[0]) & in.mask
+			case xLStore:
+				m.slots[in.slot] = vals[in.a0] & in.mask
 				if m.hooks.OnLocal != nil {
 					m.hooks.OnLocal(true, bi)
 				}
-			case ir.OpGLoad:
-				g := m.gl[in.gidx]
-				var idx uint64
-				if g.g.Kind == ir.GScalar {
-					m.vals[in.id] = g.scalar
-				} else {
-					idx = m.arg(in.args[0]) % uint64(len(g.array))
-					m.vals[in.id] = g.array[idx]
+			case xGLoadS:
+				vals[in.id] = m.gl[in.gidx].scalar
+				if m.ctr != nil {
+					m.ctr.State[int(in.gidx)*m.ctr.NBlocks+bi]++
 				}
 				if m.hooks.OnState != nil {
-					m.hooks.OnState(in.global, false, idx, bi)
+					m.hooks.OnState(m.strs[in.sidx].global, false, 0, bi)
 				}
-			case ir.OpGStore:
+			case xGLoadAP:
 				g := m.gl[in.gidx]
-				v := m.arg(in.args[0]) & in.mask
-				var idx uint64
-				if g.g.Kind == ir.GScalar {
-					g.scalar = v
-				} else {
-					idx = m.arg(in.args[1]) % uint64(len(g.array))
-					g.array[idx] = v
+				idx := vals[in.a0] & g.amask
+				vals[in.id] = g.array[idx]
+				if m.ctr != nil {
+					m.ctr.State[int(in.gidx)*m.ctr.NBlocks+bi]++
 				}
 				if m.hooks.OnState != nil {
-					m.hooks.OnState(in.global, true, idx, bi)
+					m.hooks.OnState(m.strs[in.sidx].global, false, idx, bi)
 				}
-			case ir.OpCall:
+			case xGLoadA:
+				g := m.gl[in.gidx]
+				idx := vals[in.a0] % uint64(len(g.array))
+				vals[in.id] = g.array[idx]
+				if m.ctr != nil {
+					m.ctr.State[int(in.gidx)*m.ctr.NBlocks+bi]++
+				}
+				if m.hooks.OnState != nil {
+					m.hooks.OnState(m.strs[in.sidx].global, false, idx, bi)
+				}
+			case xGStoreS:
+				m.gl[in.gidx].scalar = vals[in.a0] & in.mask
+				if m.ctr != nil {
+					m.ctr.State[int(in.gidx)*m.ctr.NBlocks+bi]++
+				}
+				if m.hooks.OnState != nil {
+					m.hooks.OnState(m.strs[in.sidx].global, true, 0, bi)
+				}
+			case xGStoreAP:
+				g := m.gl[in.gidx]
+				idx := vals[in.a1] & g.amask
+				g.array[idx] = vals[in.a0] & in.mask
+				if m.ctr != nil {
+					m.ctr.State[int(in.gidx)*m.ctr.NBlocks+bi]++
+				}
+				if m.hooks.OnState != nil {
+					m.hooks.OnState(m.strs[in.sidx].global, true, idx, bi)
+				}
+			case xGStoreA:
+				g := m.gl[in.gidx]
+				idx := vals[in.a1] % uint64(len(g.array))
+				g.array[idx] = vals[in.a0] & in.mask
+				if m.ctr != nil {
+					m.ctr.State[int(in.gidx)*m.ctr.NBlocks+bi]++
+				}
+				if m.hooks.OnState != nil {
+					m.hooks.OnState(m.strs[in.sidx].global, true, idx, bi)
+				}
+			case xCall:
 				if err := m.call(in, bi); err != nil {
 					return err
 				}
-			case ir.OpBr:
-				next = in.t
-			case ir.OpCondBr:
-				if m.arg(in.args[0]) != 0 {
-					next = in.t
+			case xCallPayload:
+				if i := vals[in.a0]; i < uint64(len(p.Payload)) {
+					vals[in.id] = uint64(p.Payload[i])
 				} else {
-					next = in.f
+					vals[in.id] = 0
 				}
-			case ir.OpRet:
+				if m.hooks.OnAPI != nil {
+					s := &m.strs[in.sidx]
+					m.hooks.OnAPI(s.callee, s.global, 0, 0, bi)
+				}
+			case xCallSetPayload:
+				if i := vals[in.a0]; i < uint64(len(p.Payload)) {
+					p.Payload[i] = byte(vals[in.a1])
+				}
+				if m.hooks.OnAPI != nil {
+					s := &m.strs[in.sidx]
+					m.hooks.OnAPI(s.callee, s.global, 0, 0, bi)
+				}
+			case xCallHash32:
+				vals[in.id] = uint64(Hash32(vals[in.a0]))
+				if m.hooks.OnAPI != nil {
+					s := &m.strs[in.sidx]
+					m.hooks.OnAPI(s.callee, s.global, 0, 0, bi)
+				}
+			case xBr:
+				next = int(in.t)
+			case xCondBr:
+				if vals[in.a0] != 0 {
+					next = int(in.t)
+				} else {
+					next = int(in.f)
+				}
+			case xRet:
 				return nil
 			}
 		}
@@ -515,8 +900,38 @@ func (m *Machine) RunPacket(p *traffic.Packet) error {
 	}
 }
 
-func (m *Machine) emitAPI(name, global string, probes int, addr uint64, block int) {
+// cmpPred evaluates an unsigned comparison predicate.
+func cmpPred(pred ir.Pred, a, b uint64) bool {
+	switch pred {
+	case ir.PredEQ:
+		return a == b
+	case ir.PredNE:
+		return a != b
+	case ir.PredULT:
+		return a < b
+	case ir.PredULE:
+		return a <= b
+	case ir.PredUGT:
+		return a > b
+	case ir.PredUGE:
+		return a >= b
+	}
+	return false
+}
+
+// arg reads one compiled operand; kept as a helper for the API
+// implementations (the core opcode loop indexes m.vals directly).
+func (m *Machine) arg(i int32) uint64 { return m.vals[i] }
+
+// emitAPI records one framework API call against counters and hooks.
+// Counters only accumulate calls that carry probe work against a global
+// (gidx >= 0), mirroring the host profiler's OnAPI filter.
+func (m *Machine) emitAPI(in *cInstr, probes int, addr uint64, block int) {
+	if m.ctr != nil && probes > 0 && in.gidx >= 0 {
+		m.ctr.API[int(in.gidx)*m.ctr.NBlocks+block] += uint64(probes)
+	}
 	if m.hooks.OnAPI != nil {
-		m.hooks.OnAPI(name, global, probes, addr, block)
+		s := &m.strs[in.sidx]
+		m.hooks.OnAPI(s.callee, s.global, probes, addr, block)
 	}
 }

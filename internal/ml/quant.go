@@ -1,0 +1,267 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+
+	"clara/internal/ml/vek"
+)
+
+// int8 quantized inference. The recurrent matmul dominates the forward
+// pass (H×4H multiply-adds per live sequence per timestep), so that is
+// the only place quantization is applied:
+//
+//   - Wh is quantized per *gate row*: gate g's column of Wh becomes an
+//     int8 row qWh[g] with symmetric scale s_g = max|Wh[·][g]| / 127,
+//     stored transposed (4H rows × H) so the int8 dot product streams
+//     contiguously.
+//   - The hidden state h ∈ (−1, 1) (it is o·tanh(c)) quantizes with the
+//     fixed scale 127: qh[j] = round(h[j]·127).
+//   - Accumulation is exact int32; the gate pre-activation dequantizes
+//     in one multiply: z_g += acc · s_g/127 ≡ acc · max|row| / 127².
+//
+// The input projection stays a float64 row lookup (one-hot input — there
+// is no matmul to quantize) and the D-wide read-out stays float64 (28
+// multiply-adds per sequence, not worth the extra error). Nonlinearities
+// use a linearly interpolated tanh table (max error ~2e-6, far below the
+// quantization noise).
+//
+// Quantization is a pure, deterministic function of the f32 weights, so
+// a QuantizedLSTM rebuilt on the fly from an old bundle is bit-identical
+// to one round-tripped through QuantizedLSTMState.
+
+const (
+	tanhTableBits = 11  // 2048 intervals
+	tanhTableMax  = 8.0 // tanh(8) ≈ 1 − 2.2e-7; saturate beyond
+)
+
+var tanhTable [1<<tanhTableBits + 2]float64
+
+func init() {
+	for i := range tanhTable {
+		tanhTable[i] = math.Tanh(float64(i) * tanhTableMax / (1 << tanhTableBits))
+	}
+}
+
+// fastTanh is a table lookup with linear interpolation. Odd symmetry is
+// applied explicitly; |x| ≥ 8 saturates to ±1.
+func fastTanh(x float64) float64 {
+	ax, sign := x, 1.0
+	if x < 0 {
+		ax, sign = -x, -1.0
+	}
+	if ax >= tanhTableMax {
+		return sign
+	}
+	f := ax * ((1 << tanhTableBits) / tanhTableMax)
+	i := int(f)
+	return sign * (tanhTable[i] + (tanhTable[i+1]-tanhTable[i])*(f-float64(i)))
+}
+
+// fastSigmoid uses σ(x) = ½ + ½·tanh(x/2).
+func fastSigmoid(x float64) float64 { return 0.5 + 0.5*fastTanh(0.5*x) }
+
+// QuantizedLSTM is the int8 inference twin of an LSTM. It shares the
+// float64 parameter vector of its source model (input rows, biases,
+// read-out) and owns the quantized recurrent weights. Immutable after
+// construction, safe for concurrent use.
+type QuantizedLSTM struct {
+	src *LSTM
+	// qWh is Wh transposed and quantized: row g (of 4H) holds gate g's
+	// H input weights. whFactor[g] = max|Wh[·][g]| / 127² folds both the
+	// weight and activation scales into the dequantize multiply.
+	qWh      []int8
+	whFactor []float64
+}
+
+// Quantize builds the int8 inference twin. Deterministic: depends only
+// on the model weights.
+func (m *LSTM) Quantize() *QuantizedLSTM {
+	H := m.cfg.Hidden
+	G := 4 * H
+	wh := m.params[m.oWh:m.oB] // H rows × 4H cols
+	q := &QuantizedLSTM{
+		src:      m,
+		qWh:      make([]int8, G*H),
+		whFactor: make([]float64, G),
+	}
+	for g := 0; g < G; g++ {
+		maxAbs := 0.0
+		for r := 0; r < H; r++ {
+			if a := math.Abs(wh[r*G+g]); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if maxAbs == 0 {
+			continue // row stays zero, factor stays zero
+		}
+		inv := 127 / maxAbs
+		for r := 0; r < H; r++ {
+			v := math.Round(wh[r*G+g] * inv)
+			if v > 127 {
+				v = 127
+			} else if v < -127 {
+				v = -127
+			}
+			q.qWh[g*H+r] = int8(v)
+		}
+		q.whFactor[g] = maxAbs / (127 * 127)
+	}
+	return q
+}
+
+// Config returns the source model's configuration.
+func (q *QuantizedLSTM) Config() LSTMConfig { return q.src.cfg }
+
+// PredictRawBatch is the quantized counterpart of LSTM.PredictRawBatch:
+// same wavefront batching and deduplication, int8 recurrent matmul,
+// table-driven nonlinearities.
+func (q *QuantizedLSTM) PredictRawBatch(seqs [][]int) [][]float64 {
+	m := q.src
+	H, D := m.cfg.Hidden, m.cfg.Out
+	G := 4 * H
+	out := make([][]float64, len(seqs))
+	sc := takeBatchScratch()
+	defer sc.release()
+
+	pl := planBatch(sc, seqs)
+	Bu := len(sc.uniq)
+	if Bu == 0 {
+		for i := range out {
+			out[i] = make([]float64, D)
+		}
+		return out
+	}
+
+	p := m.params
+	bias := p[m.oB : m.oB+G]
+	hs := sc.ar.Take(Bu * H)
+	cs := sc.ar.Take(Bu * H)
+	zs := sc.ar.Take(Bu * G)
+	qh := sc.ai8.Take(Bu * H)
+	acc := sc.ai32.Take(Bu * G)
+	act := Bu
+	for t := 0; t < pl.maxT; t++ {
+		for act > 0 && len(pl.row(seqs, act-1)) <= t {
+			act--
+		}
+		for b := 0; b < act; b++ {
+			tok := pl.row(seqs, b)[t]
+			z := zs[b*G : (b+1)*G]
+			copy(z, p[m.oWx+tok*G:m.oWx+(tok+1)*G])
+			vek.Add(bias, z)
+		}
+		if t > 0 {
+			for b := 0; b < act; b++ {
+				h := hs[b*H : (b+1)*H]
+				qhb := qh[b*H : (b+1)*H]
+				for j := 0; j < H; j++ {
+					qhb[j] = int8(math.Round(h[j] * 127))
+				}
+			}
+			a := acc[:act*G]
+			for i := range a {
+				a[i] = 0
+			}
+			vek.GemmNTI8(a, qh, q.qWh, act, G, H)
+			for b := 0; b < act; b++ {
+				z := zs[b*G : (b+1)*G]
+				ab := acc[b*G : (b+1)*G]
+				for g := 0; g < G; g++ {
+					z[g] += float64(ab[g]) * q.whFactor[g]
+				}
+			}
+		}
+		for b := 0; b < act; b++ {
+			z := zs[b*G : (b+1)*G]
+			h := hs[b*H : (b+1)*H]
+			c := cs[b*H : (b+1)*H]
+			for j := 0; j < H; j++ {
+				ij := fastSigmoid(z[j])
+				fj := fastSigmoid(z[H+j])
+				gj := fastTanh(z[2*H+j])
+				oj := fastSigmoid(z[3*H+j])
+				cj := fj*c[j] + ij*gj
+				c[j] = cj
+				h[j] = oj * fastTanh(cj)
+			}
+		}
+	}
+
+	ys := sc.ar.Take(Bu * D)
+	for b := 0; b < Bu; b++ {
+		copy(ys[b*D:(b+1)*D], p[m.oBo:m.oBo+D])
+	}
+	vek.Gemm(ys, hs, p[m.oWo:m.oBo], Bu, D, H)
+
+	for i := range seqs {
+		o := make([]float64, D)
+		if u := pl.assign[i]; u >= 0 {
+			row := ys[pl.rank[u]*D : (pl.rank[u]+1)*D]
+			for d := 0; d < D; d++ {
+				o[d] = row[d] * m.cfg.TargetScale
+			}
+		}
+		out[i] = o
+	}
+	return out
+}
+
+// PredictBatch is PredictRawBatch with the nonnegative clamp.
+func (q *QuantizedLSTM) PredictBatch(seqs [][]int) [][]float64 {
+	outs := q.PredictRawBatch(seqs)
+	for _, o := range outs {
+		for d := range o {
+			if o[d] < 0 {
+				o[d] = 0
+			}
+		}
+	}
+	return outs
+}
+
+// PredictRaw runs a single sequence through the quantized path.
+func (q *QuantizedLSTM) PredictRaw(tokens []int) []float64 {
+	return q.PredictRawBatch([][]int{tokens})[0]
+}
+
+// QuantizedLSTMState is the serializable form of the quantized recurrent
+// weights. The float64 parts (input rows, biases, read-out) live in the
+// companion LSTMState; this only persists what quantization produced, so
+// a bundle can warm-start the int8 path without requantizing.
+type QuantizedLSTMState struct {
+	QWh      []byte    `json:"qwh"` // int8 bytes, 4H rows × H, transposed
+	WhFactor []float64 `json:"whf"` // 4H dequantize factors
+}
+
+// Export returns the quantized state.
+func (q *QuantizedLSTM) Export() QuantizedLSTMState {
+	qwh := make([]byte, len(q.qWh))
+	for i, v := range q.qWh {
+		qwh[i] = byte(v)
+	}
+	return QuantizedLSTMState{
+		QWh:      qwh,
+		WhFactor: append([]float64(nil), q.whFactor...),
+	}
+}
+
+// NewQuantizedLSTMFromState attaches persisted quantized weights to
+// their source model, validating shapes against the model config.
+func NewQuantizedLSTMFromState(st QuantizedLSTMState, src *LSTM) (*QuantizedLSTM, error) {
+	H := src.cfg.Hidden
+	G := 4 * H
+	if len(st.QWh) != G*H || len(st.WhFactor) != G {
+		return nil, fmt.Errorf("ml: quantized LSTM state has %d weights / %d factors, config needs %d / %d",
+			len(st.QWh), len(st.WhFactor), G*H, G)
+	}
+	q := &QuantizedLSTM{
+		src:      src,
+		qWh:      make([]int8, len(st.QWh)),
+		whFactor: append([]float64(nil), st.WhFactor...),
+	}
+	for i, b := range st.QWh {
+		q.qWh[i] = int8(b)
+	}
+	return q, nil
+}

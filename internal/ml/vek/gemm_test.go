@@ -1,0 +1,190 @@
+package vek
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refGemm is the contract reference: per element, single accumulator,
+// k ascending. Gemm must match it bitwise for every shape.
+func refGemm(c, a, b []float64, m, n, k int) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			acc := c[i*n+j]
+			for p := 0; p < k; p++ {
+				acc += a[i*k+p] * b[p*n+j]
+			}
+			c[i*n+j] = acc
+		}
+	}
+}
+
+func randSlice(rng *rand.Rand, n int, avoidZero bool) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = rng.NormFloat64()
+		if avoidZero && s[i] == 0 {
+			s[i] = 1e-9
+		}
+	}
+	return s
+}
+
+func TestGemmMatchesReferenceBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shapes := []struct{ m, n, k int }{
+		{0, 5, 5}, {5, 0, 5}, {5, 5, 0}, // empty
+		{1, 1, 1}, {1, 17, 3}, {17, 1, 3}, // 1×N, N×1
+		{4, 8, 4}, {8, 8, 8}, // tile multiples
+		{5, 7, 3}, {6, 9, 11}, {13, 5, 28}, // non-multiples of the 4-row tile
+		{3, 112, 28}, {9, 112, 28}, // the LSTM wavefront shape
+	}
+	for _, sh := range shapes {
+		a := randSlice(rng, sh.m*sh.k, false)
+		b := randSlice(rng, sh.k*sh.n, false)
+		got := randSlice(rng, sh.m*sh.n, false)
+		want := append([]float64(nil), got...)
+		Gemm(got, a, b, sh.m, sh.n, sh.k)
+		refGemm(want, a, b, sh.m, sh.n, sh.k)
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("shape %dx%dx%d: C[%d] = %x, want %x",
+					sh.m, sh.n, sh.k, i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+			}
+		}
+	}
+}
+
+// The batched LSTM depends on Gemm reproducing a per-row GemvTAdd sweep
+// bit-for-bit when A has no exact zeros (GemvTAdd skips zero rows; with
+// none present the accumulation orders coincide).
+func TestGemmMatchesGemvTAddRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, sh := range []struct{ m, n, k int }{{1, 112, 28}, {5, 112, 28}, {12, 33, 7}} {
+		a := randSlice(rng, sh.m*sh.k, true)
+		b := randSlice(rng, sh.k*sh.n, false)
+		got := randSlice(rng, sh.m*sh.n, false)
+		want := append([]float64(nil), got...)
+		Gemm(got, a, b, sh.m, sh.n, sh.k)
+		for i := 0; i < sh.m; i++ {
+			// GemvTAdd(y, B, x): y += Bᵀ·x with B laid out k rows × n cols,
+			// i.e. one C row with A row i as x.
+			GemvTAdd(want[i*sh.n:(i+1)*sh.n], b, a[i*sh.k:(i+1)*sh.k], sh.k, sh.n)
+		}
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("shape %dx%dx%d: C[%d] = %v, want %v", sh.m, sh.n, sh.k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestGemmNTMatchesDotRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, sh := range []struct{ m, n, k int }{{0, 3, 3}, {1, 1, 5}, {3, 4, 28}, {7, 5, 13}} {
+		a := randSlice(rng, sh.m*sh.k, false)
+		b := randSlice(rng, sh.n*sh.k, false)
+		got := randSlice(rng, sh.m*sh.n, false)
+		want := append([]float64(nil), got...)
+		GemmNT(got, a, b, sh.m, sh.n, sh.k)
+		for i := 0; i < sh.m; i++ {
+			for j := 0; j < sh.n; j++ {
+				want[i*sh.n+j] += Dot(a[i*sh.k:(i+1)*sh.k], b[j*sh.k:(j+1)*sh.k])
+			}
+		}
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("shape %dx%dx%d: C[%d] = %v, want %v", sh.m, sh.n, sh.k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDotI8Exact(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, n := range []int{0, 1, 3, 4, 5, 28, 127} {
+		a := make([]int8, n)
+		b := make([]int8, n)
+		var want int32
+		for i := range a {
+			a[i] = int8(rng.Intn(256) - 128)
+			b[i] = int8(rng.Intn(256) - 128)
+			want += int32(a[i]) * int32(b[i])
+		}
+		if got := DotI8(a, b); got != want {
+			t.Fatalf("n=%d: DotI8 = %d, want %d", n, got, want)
+		}
+	}
+	// Worst case magnitude: all -128·-128 at the LSTM hidden size.
+	n := 28
+	a := make([]int8, n)
+	b := make([]int8, n)
+	for i := range a {
+		a[i], b[i] = -128, -128
+	}
+	if got, want := DotI8(a, b), int32(n*128*128); got != want {
+		t.Fatalf("saturated DotI8 = %d, want %d", got, want)
+	}
+}
+
+func TestGemmNTI8MatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, sh := range []struct{ m, n, k int }{{0, 4, 4}, {1, 1, 1}, {3, 112, 28}, {5, 7, 9}} {
+		a := make([]int8, sh.m*sh.k)
+		b := make([]int8, sh.n*sh.k)
+		for i := range a {
+			a[i] = int8(rng.Intn(256) - 128)
+		}
+		for i := range b {
+			b[i] = int8(rng.Intn(256) - 128)
+		}
+		got := make([]int32, sh.m*sh.n)
+		want := make([]int32, sh.m*sh.n)
+		for i := range got {
+			got[i] = int32(rng.Intn(100))
+			want[i] = got[i]
+		}
+		GemmNTI8(got, a, b, sh.m, sh.n, sh.k)
+		for i := 0; i < sh.m; i++ {
+			for j := 0; j < sh.n; j++ {
+				for p := 0; p < sh.k; p++ {
+					want[i*sh.n+j] += int32(a[i*sh.k+p]) * int32(b[j*sh.k+p])
+				}
+			}
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shape %dx%dx%d: C[%d] = %d, want %d", sh.m, sh.n, sh.k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTypedArenas(t *testing.T) {
+	var a8 ArenaI8
+	var a32 ArenaI32
+	for round := 0; round < 3; round++ {
+		s8 := a8.Take(37)
+		s32 := a32.Take(53)
+		for i := range s8 {
+			if s8[i] != 0 {
+				t.Fatalf("ArenaI8.Take not zeroed at %d (round %d)", i, round)
+			}
+			s8[i] = int8(i)
+		}
+		for i := range s32 {
+			if s32[i] != 0 {
+				t.Fatalf("ArenaI32.Take not zeroed at %d (round %d)", i, round)
+			}
+			s32[i] = int32(i)
+		}
+		// Second Take must not alias the first.
+		t8 := a8.Take(37)
+		if &t8[0] == &s8[0] {
+			t.Fatal("ArenaI8 second Take aliases first")
+		}
+		a8.Reset()
+		a32.Reset()
+	}
+}

@@ -1,7 +1,6 @@
 package nicsim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -39,19 +38,89 @@ type coreState struct {
 	start float64
 }
 
-// coreHeap is a min-heap over core next-action times.
+// coreHeap is a min-heap over core next-action times. The sift operations
+// are hand-rolled (same algorithm and tie behaviour as container/heap, so
+// schedules are unchanged) because the simulator re-sorts the root after
+// every event — an interface-dispatched Less/Swap pair per comparison
+// dominated simulation time.
 type coreHeap []*coreState
 
-func (h coreHeap) Len() int            { return len(h) }
-func (h coreHeap) Less(i, j int) bool  { return h[i].t < h[j].t }
-func (h coreHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *coreHeap) Push(x interface{}) { *h = append(*h, x.(*coreState)) }
-func (h *coreHeap) Pop() interface{} {
+func (h coreHeap) Len() int { return len(h) }
+
+// siftDown restores the heap property from the root, mirroring
+// container/heap's down(0): the smaller child wins ties exactly the same
+// way, so event order is identical to the container/heap implementation.
+func (h coreHeap) siftDown() {
+	n := len(h)
+	i := 0
+	root := h[0]
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && h[j2].t < h[j].t {
+			j = j2
+		}
+		if h[j].t >= root.t {
+			break
+		}
+		h[i] = h[j]
+		i = j
+	}
+	h[i] = root
+}
+
+// fixRoot re-sorts the root after its time advanced. The common case —
+// the root is still no later than both children — is a two-compare
+// no-op, skipping the full sift.
+func (h coreHeap) fixRoot() {
+	if len(h) > 1 {
+		j := 1
+		if len(h) > 2 && h[2].t < h[1].t {
+			j = 2
+		}
+		if h[j].t < h[0].t {
+			h.siftDown()
+		}
+	}
+}
+
+// popRoot removes the root (a drained part's core retiring).
+func (h *coreHeap) popRoot() {
 	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	if n > 0 {
+		(*h).siftDown()
+	}
+}
+
+// initHeap establishes the heap property (container/heap.Init order).
+func (h coreHeap) initHeap() {
+	n := len(h)
+	for i := n/2 - 1; i >= 0; i-- {
+		// Sift h[i] down within h[:n], same comparisons as siftDown but
+		// rooted at i.
+		root := h[i]
+		k := i
+		for {
+			j := 2*k + 1
+			if j >= n {
+				break
+			}
+			if j2 := j + 1; j2 < n && h[j2].t < h[j].t {
+				j = j2
+			}
+			if h[j].t >= root.t {
+				break
+			}
+			h[k] = h[j]
+			k = j
+		}
+		h[k] = root
+	}
 }
 
 // Part is one colocated NF's share of the NIC.
@@ -145,7 +214,7 @@ func SimulateColocation(params Params, parts []Part) ([]Result, error) {
 			}
 		}
 	}
-	heap.Init(&cores)
+	cores.initHeap()
 
 	var servers [numServers]float64
 	wire := float64(params.WireOverheadCycles)
@@ -157,7 +226,7 @@ func SimulateColocation(params Params, parts []Part) ([]Result, error) {
 		if c.pkt < 0 {
 			// Dispatch the part's next packet onto this idle core.
 			if st.next >= st.ts.Packets() {
-				heap.Pop(&cores) // part drained; retire the core
+				cores.popRoot() // part drained; retire the core
 				continue
 			}
 			arr := float64(st.next) * st.cpp
@@ -168,7 +237,7 @@ func SimulateColocation(params Params, parts []Part) ([]Result, error) {
 			c.ev = st.ts.Off[c.pkt]
 			c.start = c.t
 			st.next++
-			heap.Fix(&cores, 0)
+			cores.fixRoot()
 			continue
 		}
 
@@ -190,7 +259,7 @@ func SimulateColocation(params Params, parts []Part) ([]Result, error) {
 				}
 			}
 			c.pkt = -1
-			heap.Fix(&cores, 0)
+			cores.fixRoot()
 			continue
 		}
 
@@ -214,7 +283,7 @@ func SimulateColocation(params Params, parts []Part) ([]Result, error) {
 			*s = issue + float64(ev.Occupy)
 			c.t = issue + float64(ev.Cycles)
 		}
-		heap.Fix(&cores, 0)
+		cores.fixRoot()
 	}
 
 	out := make([]Result, len(parts))

@@ -262,7 +262,7 @@ func (tr *tracer) api(name, global string, probes int, addr uint64) {
 // GenTraces executes n packets of workload wl through the built NF and
 // returns the replayable trace set.
 func GenTraces(b *Built, wl traffic.Spec, n int, params Params) (*TraceSet, error) {
-	gen, err := traffic.NewGenerator(wl)
+	gen, err := traffic.Replay(wl, n)
 	if err != nil {
 		return nil, err
 	}

@@ -60,6 +60,7 @@ type FleetStats struct {
 	CacheHits       int64         `json:"cache_hits"`
 	CacheMisses     int64         `json:"cache_misses"`
 	CacheHitRate    float64       `json:"cache_hit_rate"`
+	Prewarmed       int64         `json:"prewarmed"`
 	LintErrors      int64         `json:"lint_errors"`
 	LintWarnings    int64         `json:"lint_warnings"`
 	LintInfos       int64         `json:"lint_infos"`
@@ -73,6 +74,7 @@ type FleetStats struct {
 type ModelStats struct {
 	Ready        bool    `json:"ready"`
 	WarmStart    bool    `json:"warm_start"`
+	Quantized    bool    `json:"quantized,omitempty"`
 	Hash         string  `json:"model_hash,omitempty"`
 	TrainSeconds float64 `json:"train_seconds,omitempty"`
 	TrainError   string  `json:"train_error,omitempty"`
@@ -170,6 +172,7 @@ func (m *metrics) snapshot(fs fleet.Stats, queueDepth, queueCap int) MetricsSnap
 		CacheHits:       fs.CacheHits,
 		CacheMisses:     fs.CacheMisses,
 		CacheHitRate:    fs.HitRate(),
+		Prewarmed:       fs.Prewarmed,
 		LintErrors:      fs.LintErrors,
 		LintWarnings:    fs.LintWarnings,
 		LintInfos:       fs.LintInfos,
@@ -190,6 +193,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		WarmStart:    info.WarmStart,
 		Hash:         info.Hash,
 		TrainSeconds: info.TrainSeconds,
+	}
+	if t := s.tool(); t != nil && t.Predictor != nil {
+		snap.Model.Quantized = t.Predictor.Quantized()
 	}
 	if trainErr != nil {
 		snap.Model.TrainError = trainErr.Error()

@@ -233,6 +233,13 @@ func (s *Server) Fleet() *fleet.Fleet {
 	return fl
 }
 
+// tool returns the installed tool (nil until training completes).
+func (s *Server) tool() *core.Clara {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cfg.Tool
+}
+
 // ListenAndServe serves on addr until ctx is canceled, then shuts down
 // gracefully, draining in-flight analyses (bounded by a 30s grace
 // period).

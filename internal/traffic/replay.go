@@ -1,0 +1,91 @@
+package traffic
+
+import (
+	"container/list"
+	"sync"
+)
+
+// This file provides a process-wide cache of generated traces. A fleet
+// run executes the same synthetic workload against every NF in a batch,
+// and each analysis previously paid to rebuild the generator (which
+// materializes every flow eagerly — 64k flows for the small-flows spec)
+// and re-derive the identical packet sequence. Replay generates each
+// (spec, length) trace once and replays the cached packets; a Replayer
+// yields the exact sequence a fresh Generator would, packet for packet.
+
+// replayCacheCap bounds the trace cache. The evaluation uses a handful
+// of standard specs; user-supplied specs (e.g. per-request workloads in
+// serving mode) age out LRU so the cache cannot grow with an unbounded
+// stream of distinct workloads.
+const replayCacheCap = 16
+
+// traceEntry caches one spec's generator together with the packets drawn
+// from it so far; requests longer than any previous one extend the trace
+// by drawing more packets from the retained generator.
+type traceEntry struct {
+	mu   sync.Mutex
+	gen  *Generator
+	pkts []Packet
+}
+
+var replayCache = struct {
+	mu  sync.Mutex
+	m   map[Spec]*list.Element // values are *replayItem
+	lru *list.List
+}{m: make(map[Spec]*list.Element), lru: list.New()}
+
+type replayItem struct {
+	spec  Spec
+	entry *traceEntry
+}
+
+// Replay returns a Replayer over the first n packets of spec's packet
+// sequence, generating (or extending) the cached trace on first use. The
+// replayed sequence is identical to what a fresh NewGenerator(spec)
+// would produce. Safe for concurrent use; each call returns an
+// independent cursor.
+func Replay(spec Spec, n int) (*Replayer, error) {
+	replayCache.mu.Lock()
+	var e *traceEntry
+	if el, ok := replayCache.m[spec]; ok {
+		replayCache.lru.MoveToFront(el)
+		e = el.Value.(*replayItem).entry
+		replayCache.mu.Unlock()
+	} else {
+		e = &traceEntry{}
+		replayCache.m[spec] = replayCache.lru.PushFront(&replayItem{spec: spec, entry: e})
+		for replayCache.lru.Len() > replayCacheCap {
+			oldest := replayCache.lru.Back()
+			replayCache.lru.Remove(oldest)
+			delete(replayCache.m, oldest.Value.(*replayItem).spec)
+		}
+		replayCache.mu.Unlock()
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.gen == nil {
+		gen, err := NewGenerator(spec)
+		if err != nil {
+			// Drop the poisoned entry so a corrected spec is not shadowed.
+			replayCache.mu.Lock()
+			if el, ok := replayCache.m[spec]; ok && el.Value.(*replayItem).entry == e {
+				replayCache.lru.Remove(el)
+				delete(replayCache.m, spec)
+			}
+			replayCache.mu.Unlock()
+			return nil, err
+		}
+		e.gen = gen
+	}
+	for len(e.pkts) < n {
+		e.pkts = append(e.pkts, e.gen.Next())
+	}
+	// The trace Replayer copies each packet and its payload on Next, so
+	// callers may mutate what they receive (NFs rewrite headers and
+	// payload bytes in place) without corrupting the shared trace.
+	return NewReplayer(e.pkts[:n:n])
+}
+
+// Len returns the trace length before wrap-around.
+func (r *Replayer) Len() int { return len(r.pkts) }

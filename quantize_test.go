@@ -1,0 +1,98 @@
+package clara
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"clara/internal/niccc"
+)
+
+// testToolOnce shares one quick-trained tool across the batch-identity
+// and quantization-gate tests (training dominates their runtime).
+var (
+	testToolOnce sync.Once
+	testTool     *Tool
+	testToolErr  error
+)
+
+func quantTestTool(t *testing.T) *Tool {
+	t.Helper()
+	testToolOnce.Do(func() {
+		testTool, testToolErr = Train(TrainConfig{Quick: true, Seed: 42})
+	})
+	if testToolErr != nil {
+		t.Fatal(testToolErr)
+	}
+	return testTool
+}
+
+// The batched inference path (PredictModules / PredictModule) must be
+// bit-identical to the legacy per-block path (PredictBlock) across the
+// whole element library: batching is a performance change, not a model
+// change.
+func TestPredictBatchBitIdenticalAcrossLibrary(t *testing.T) {
+	tool := quantTestTool(t)
+	var mods []*Module
+	for _, e := range Elements() {
+		mod, err := e.Module()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mods = append(mods, mod)
+	}
+	batch, err := tool.Predictor.PredictModules(mods, niccc.AccelConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mi, mod := range mods {
+		single, err := tool.Predictor.PredictModule(mod, niccc.AccelConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := mod.Handler()
+		for bi, b := range f.Blocks {
+			compute, mem := tool.Predictor.PredictBlock(b)
+			for _, bp := range [2]float64{batch[mi].Blocks[bi].Compute, single.Blocks[bi].Compute} {
+				if math.Float64bits(bp) != math.Float64bits(compute) {
+					t.Fatalf("%s block %d: batch compute %v != scalar %v",
+						mod.Name, bi, bp, compute)
+				}
+			}
+			if batch[mi].Blocks[bi].Mem != mem || single.Blocks[bi].Mem != mem {
+				t.Fatalf("%s block %d: mem mismatch", mod.Name, bi)
+			}
+		}
+	}
+}
+
+// Quantized inference must stay within the accuracy budget: per-element
+// WMAPE against the vendor toolchain's ground truth may drift at most
+// 0.5 percentage points from the f32 path (the int8 recurrence plus the
+// tanh LUT are the only divergence sources).
+func TestQuantizedAccuracyGate(t *testing.T) {
+	tool := quantTestTool(t)
+	p := tool.Predictor
+	defer p.SetQuantize(false)
+	const maxDrift = 0.005
+	for _, e := range Elements() {
+		mod, err := e.Module()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.SetQuantize(false)
+		f32, err := p.Evaluate(mod)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.SetQuantize(true)
+		q, err := p.Evaluate(mod)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if drift := math.Abs(q.WMAPE - f32.WMAPE); drift > maxDrift {
+			t.Errorf("%s: quantized WMAPE %.5f vs f32 %.5f (drift %.5f > %.3f)",
+				mod.Name, q.WMAPE, f32.WMAPE, drift, maxDrift)
+		}
+	}
+}

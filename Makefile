@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check check serve-check fuzz bench bench-smoke bench-compare bench-fleet update-golden
+.PHONY: build test race vet fmt-check check serve-check simulate-check fuzz bench bench-smoke bench-compare bench-fleet update-golden
 
 build:
 	$(GO) build ./...
@@ -27,16 +27,26 @@ fmt-check:
 serve-check:
 	$(GO) test -race ./internal/server/...
 
+# simulate-check exercises the offload controller under the race
+# detector — golden trajectories, invariants, bit-determinism across
+# GOMAXPROCS — and then runs `clara -simulate` end to end once per
+# policy (no training: the CLI's nominal-prediction path).
+simulate-check:
+	$(GO) test -race ./internal/offload/ ./cmd/clara/
+	$(GO) run ./cmd/clara -simulate -scenario synflood -policy insight -rounds 24 > /dev/null
+	$(GO) run ./cmd/clara -simulate -scenario zipf -policy dynamic -rounds 24 > /dev/null
+	$(GO) run ./cmd/clara -simulate -scenario elephantmice -policy static -rounds 24 > /dev/null
+
 # check is the PR gate: static gates first, then build, plain tests,
 # then the race passes, then a quick run of the benchmark harness.
-check: vet fmt-check build test race serve-check bench-smoke
+check: vet fmt-check build test race serve-check simulate-check bench-smoke
 
-# bench regenerates the committed BENCH_PR6.json: cold-start vs
-# warm-start seconds, LSTM training samples/sec, predict µs/block
-# (per-module, batched, and int8), quantized WMAPE drift, and fleet
-# jobs/sec. BENCH_PR5.json is kept for cross-PR comparison.
+# bench regenerates the committed BENCH_PR7.json: everything from the
+# PR6 report (cold/warm start, train throughput, predict latency,
+# quantized drift, fleet jobs/sec) plus the offload-controller
+# convergence grid. BENCH_PR6.json is kept for cross-PR comparison.
 bench:
-	$(GO) run ./cmd/perfbench -out BENCH_PR6.json
+	$(GO) run ./cmd/perfbench -out BENCH_PR7.json
 
 # bench-smoke runs the same harness with shrunken workloads to verify
 # it end to end (CI); it does not overwrite the committed numbers.
@@ -60,12 +70,14 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzCompile$$ -fuzztime=20s ./internal/lang/
 	$(GO) test -run=^$$ -fuzz=FuzzCompileNF -fuzztime=20s .
 	$(GO) test -run=^$$ -fuzz=FuzzLint -fuzztime=20s ./internal/analysis/
+	$(GO) test -run=^$$ -fuzz=FuzzSimulate -fuzztime=10s ./internal/offload/
 
 bench-fleet:
 	$(GO) test -run=^$$ -bench=BenchmarkFleetAnalyze -benchtime=5x .
 
-# Regenerate the Insights.Report and lint golden files after
-# intentional formatting changes.
+# Regenerate the Insights.Report, lint, and simulation-trajectory
+# golden files after intentional formatting/simulator changes.
 update-golden:
 	$(GO) test ./internal/core/ -run TestReportGolden -update
 	$(GO) test ./internal/analysis/ -run TestLintGolden -update
+	$(GO) test ./internal/offload/ -run TestSimulateGolden -update

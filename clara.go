@@ -31,6 +31,7 @@ import (
 	"clara/internal/lang"
 	"clara/internal/niccc"
 	"clara/internal/nicsim"
+	"clara/internal/offload"
 	"clara/internal/server"
 	"clara/internal/synth"
 	"clara/internal/traffic"
@@ -97,6 +98,21 @@ type (
 	// ModelInfo is the served model's provenance (bundle hash, warm
 	// start, training wall time) surfaced by /metrics and /healthz.
 	ModelInfo = server.ModelInfo
+	// Prediction is Clara's per-NF instruction/memory prediction (§3),
+	// as carried by Insights.Prediction.
+	Prediction = core.ModulePrediction
+	// OffloadScenario describes the flow stream offered to the online
+	// offload controller (clara -simulate).
+	OffloadScenario = offload.Scenario
+	// OffloadPolicy parameterizes a threshold policy (static, dynamic,
+	// or insight-seeded).
+	OffloadPolicy = offload.PolicyConfig
+	// OffloadCapacities are the controller's per-round NIC budgets.
+	OffloadCapacities = offload.Capacities
+	// OffloadConfig fully determines one controller simulation.
+	OffloadConfig = offload.Config
+	// OffloadTrajectory is a controller run: one record per round.
+	OffloadTrajectory = offload.Trajectory
 )
 
 // Diagnostic severities, most severe first.
@@ -303,6 +319,22 @@ func LibraryJobs(workloads ...Workload) ([]FleetJob, error) {
 		}
 	}
 	return jobs, nil
+}
+
+// OffloadScenarios returns the standard controller scenarios (zipf,
+// synflood, elephantmice) in CLI/benchmark order.
+func OffloadScenarios() []OffloadScenario { return offload.Scenarios() }
+
+// SimulateOffload runs the online offload controller and returns the
+// per-round trajectory; a config fully determines the result (see
+// internal/offload's determinism contract).
+func SimulateOffload(cfg OffloadConfig) (*OffloadTrajectory, error) { return offload.Simulate(cfg) }
+
+// SeedOffload derives the insight-seeded controller setup from a per-NF
+// prediction: the NIC capacities the NF leaves the controller, and the
+// policy whose initial threshold and step Clara's insight fixes.
+func SeedOffload(mp *Prediction, p Params, sc OffloadScenario) (OffloadCapacities, OffloadPolicy) {
+	return offload.SeedFromPrediction(mp, p, sc)
 }
 
 // Simulate runs a ported NF on the simulated SmartNIC and reports

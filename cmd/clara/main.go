@@ -12,6 +12,7 @@
 //	clara -serve :8080 [-workers 8] [-quick]  # HTTP analysis service
 //	clara -nf mazunat -model-save model.json      # persist the trained model
 //	clara -serve :8080 -model-load model.json     # warm start (ms, no training)
+//	clara -simulate [-scenario synflood] [-policy insight] [-rounds 96]
 //	clara -list
 package main
 
@@ -27,8 +28,39 @@ import (
 
 	"clara"
 	"clara/internal/core"
+	"clara/internal/offload"
 	"clara/internal/traffic"
 )
+
+// cliFlags carries every parsed flag through validation — a struct so
+// checkFlags is a plain testable function instead of a positional-arg
+// wall.
+type cliFlags struct {
+	nf, src   string
+	workload  string
+	trace     string
+	list      bool
+	fleetMode bool
+	lintMode  bool
+	jsonOut   bool
+	serveAddr string
+	workers   int
+	queue     int
+	timeout   time.Duration
+	modelLoad string
+	modelSave string
+
+	simulate bool
+	scenario string
+	policy   string
+	rounds   int
+	cps, pps int
+	simSeed  int64
+	// simFlagsSet lists which simulation-only flags the user set
+	// explicitly (via flag.Visit) so they can be rejected outside
+	// -simulate even at their default values.
+	simFlagsSet []string
+}
 
 func main() {
 	var (
@@ -48,14 +80,43 @@ func main() {
 		modelLoad = flag.String("model-load", "", "warm-start from a saved model bundle (falls back to training when missing or invalid)")
 		modelSave = flag.String("model-save", "", "after training, persist the model bundle to this path")
 		quantize  = flag.Bool("quantize", false, "serve predictions from the int8-quantized LSTM path")
+		simulate  = flag.Bool("simulate", false, "run the offload-controller simulation and emit the NDJSON trajectory")
+		scenario  = flag.String("scenario", "zipf", "with -simulate: traffic scenario (zipf | synflood | elephantmice)")
+		policy    = flag.String("policy", "insight", "with -simulate: threshold policy (static | dynamic | insight)")
+		rounds    = flag.Int("rounds", 96, "with -simulate: rounds to simulate")
+		cps       = flag.Int("cps", 0, "with -simulate: override new flows per round (0 = scenario default)")
+		pps       = flag.Int("pps", 0, "with -simulate: override offered packets per round (0 = scenario default)")
+		simSeed   = flag.Int64("sim-seed", 7, "with -simulate: trajectory PRNG seed")
 	)
 	flag.Parse()
 
-	validateFlags(*nfName, *srcPath, *fleetMode, *lintMode, *list, *jsonOut,
-		*serveAddr, *tracePath, *modelLoad, *modelSave, *workers, *queue, *timeout)
+	f := cliFlags{
+		nf: *nfName, src: *srcPath, workload: *workload, trace: *tracePath,
+		list: *list, fleetMode: *fleetMode, lintMode: *lintMode, jsonOut: *jsonOut,
+		serveAddr: *serveAddr, workers: *workers, queue: *queue, timeout: *timeout,
+		modelLoad: *modelLoad, modelSave: *modelSave,
+		simulate: *simulate, scenario: *scenario, policy: *policy,
+		rounds: *rounds, cps: *cps, pps: *pps, simSeed: *simSeed,
+	}
+	simOnly := map[string]bool{"scenario": true, "policy": true, "rounds": true, "cps": true, "pps": true, "sim-seed": true}
+	flag.Visit(func(fl *flag.Flag) {
+		if simOnly[fl.Name] {
+			f.simFlagsSet = append(f.simFlagsSet, "-"+fl.Name)
+		}
+	})
+	if err := checkFlags(f); err != nil {
+		fmt.Fprintf(os.Stderr, "clara: %v\n\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	if *serveAddr != "" {
 		serve(*serveAddr, *workers, *queue, *timeout, *quick, *quantize, *modelLoad, *modelSave)
+		return
+	}
+
+	if *simulate {
+		runSimulate(f, *quick, *quantize)
 		return
 	}
 
@@ -86,32 +147,13 @@ func main() {
 		fatal(err)
 	}
 
-	var mod *clara.Module
-	var ps clara.ProfileSetup
-	switch {
-	case *nfName != "":
-		e := clara.GetElement(*nfName)
-		if e == nil {
-			fatal(fmt.Errorf("unknown element %q (try -list)", *nfName))
-		}
-		m, err := e.Module()
-		if err != nil {
-			fatal(err)
-		}
-		mod = m
-		ps = clara.ProfileSetup{Setup: e.Setup, LPMTable: e.Routes}
-	case *srcPath != "":
-		src, err := os.ReadFile(*srcPath)
-		if err != nil {
-			fatal(err)
-		}
-		mod, err = clara.CompileNF(*srcPath, string(src))
-		if err != nil {
-			fatal(err)
-		}
-	default:
+	if *nfName == "" && *srcPath == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	mod, ps, err := resolveModule(*nfName, *srcPath)
+	if err != nil {
+		fatal(err)
 	}
 
 	tool, _ := obtainTool(context.Background(), *quick, *quantize, *modelLoad, *modelSave)
@@ -162,57 +204,171 @@ func main() {
 	fmt.Print(ins.Report())
 }
 
-// validateFlags rejects incoherent flag combinations up front (exit 2
-// with usage) instead of silently ignoring the extra flags.
-func validateFlags(nf, src string, fleetMode, lintMode, list, jsonOut bool,
-	serveAddr, tracePath, modelLoad, modelSave string, workers, queue int, timeout time.Duration) {
-	usageErr := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "clara: "+format+"\n\n", args...)
-		flag.Usage()
-		os.Exit(2)
+// checkFlags rejects incoherent flag combinations up front (main exits 2
+// with usage on error) instead of silently ignoring the extra flags.
+func checkFlags(f cliFlags) error {
+	if f.jsonOut && !f.lintMode {
+		return fmt.Errorf("-json only applies to -lint output")
 	}
-	if jsonOut && !lintMode {
-		usageErr("-json only applies to -lint output")
-	}
-	if (modelLoad != "" || modelSave != "") && (lintMode || list) {
-		usageErr("-model-load/-model-save only apply to modes that train a model (analyze, -fleet, -serve)")
+	if (f.modelLoad != "" || f.modelSave != "") && (f.lintMode || f.list) {
+		return fmt.Errorf("-model-load/-model-save only apply to modes that train a model (analyze, -fleet, -serve, -simulate)")
 	}
 	// -model-load and -model-save may name the same file: load-or-train-
 	// and-save is the natural caching pattern (save only runs after an
 	// actual training pass, never after a successful warm start).
-	if workers < 0 {
-		usageErr("-workers must be >= 0 (got %d)", workers)
+	if f.workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (got %d)", f.workers)
 	}
-	if fleetMode && (nf != "" || src != "") {
-		usageErr("-fleet analyzes the whole library; it cannot be combined with -nf or -src")
+	if f.fleetMode && (f.nf != "" || f.src != "") {
+		return fmt.Errorf("-fleet analyzes the whole library; it cannot be combined with -nf or -src")
 	}
-	if fleetMode && lintMode {
-		usageErr("-fleet and -lint are mutually exclusive modes")
+	if f.fleetMode && f.lintMode {
+		return fmt.Errorf("-fleet and -lint are mutually exclusive modes")
 	}
-	if nf != "" && src != "" {
-		usageErr("-nf and -src are mutually exclusive; pick one input")
+	if f.nf != "" && f.src != "" {
+		return fmt.Errorf("-nf and -src are mutually exclusive; pick one input")
 	}
-	if serveAddr != "" {
+	if f.serveAddr != "" {
 		incompatible := []struct {
 			name string
 			set  bool
 		}{
-			{"-fleet", fleetMode}, {"-lint", lintMode}, {"-list", list},
-			{"-nf", nf != ""}, {"-src", src != ""}, {"-trace", tracePath != ""},
+			{"-fleet", f.fleetMode}, {"-lint", f.lintMode}, {"-list", f.list},
+			{"-nf", f.nf != ""}, {"-src", f.src != ""}, {"-trace", f.trace != ""},
+			{"-simulate", f.simulate},
 		}
-		for _, f := range incompatible {
-			if f.set {
-				usageErr("-serve runs the HTTP service; it cannot be combined with %s", f.name)
+		for _, fl := range incompatible {
+			if fl.set {
+				return fmt.Errorf("-serve runs the HTTP service; it cannot be combined with %s", fl.name)
 			}
 		}
-	} else if queue != 0 || timeout != 0 {
-		usageErr("-queue and -timeout only apply to -serve")
+	} else if f.queue != 0 || f.timeout != 0 {
+		return fmt.Errorf("-queue and -timeout only apply to -serve")
 	}
-	if queue < 0 {
-		usageErr("-queue must be >= 0 (got %d)", queue)
+	if f.queue < 0 {
+		return fmt.Errorf("-queue must be >= 0 (got %d)", f.queue)
 	}
-	if timeout < 0 {
-		usageErr("-timeout must be >= 0 (got %s)", timeout)
+	if f.timeout < 0 {
+		return fmt.Errorf("-timeout must be >= 0 (got %s)", f.timeout)
+	}
+	if f.simulate {
+		incompatible := []struct {
+			name string
+			set  bool
+		}{
+			{"-fleet", f.fleetMode}, {"-lint", f.lintMode}, {"-list", f.list},
+			{"-trace", f.trace != ""},
+		}
+		for _, fl := range incompatible {
+			if fl.set {
+				return fmt.Errorf("-simulate runs the offload controller; it cannot be combined with %s", fl.name)
+			}
+		}
+		if f.rounds <= 0 {
+			return fmt.Errorf("-rounds must be positive (got %d)", f.rounds)
+		}
+		if f.cps < 0 {
+			return fmt.Errorf("-cps must be >= 0 (got %d)", f.cps)
+		}
+		if f.pps < 0 {
+			return fmt.Errorf("-pps must be >= 0 (got %d)", f.pps)
+		}
+		if _, err := offload.ScenarioByName(f.scenario); err != nil {
+			return fmt.Errorf("-scenario: %v", err)
+		}
+		if _, err := offload.PolicyByName(f.policy); err != nil {
+			return fmt.Errorf("-policy: %v", err)
+		}
+	} else if len(f.simFlagsSet) > 0 {
+		return fmt.Errorf("%s only applies to -simulate", f.simFlagsSet[0])
+	}
+	return nil
+}
+
+// runSimulate is the -simulate mode: build the scenario, derive the NIC
+// capacities from a per-NF prediction, seed or hand-set the threshold
+// policy, run the controller, and emit the NDJSON trajectory on stdout
+// (summary line on stderr).
+//
+// With -nf/-src the prediction comes from a trained predictor (honoring
+// -quick/-model-load/-model-save) for that NF — the full insight-seeding
+// path. Without them a nominal mid-weight prediction stands in, so the
+// baseline policies and CI smoke runs need no training at all.
+func runSimulate(f cliFlags, quick, quantize bool) {
+	sc, err := offload.ScenarioByName(f.scenario)
+	if err != nil {
+		fatal(err)
+	}
+	if f.cps > 0 {
+		sc.CPS = f.cps
+	}
+	if f.pps > 0 {
+		sc.PPS = f.pps
+	}
+	kind, err := offload.PolicyByName(f.policy)
+	if err != nil {
+		fatal(err)
+	}
+
+	params := clara.DefaultParams()
+	mp := offload.NominalPrediction()
+	if f.nf != "" || f.src != "" {
+		mod, _, err := resolveModule(f.nf, f.src)
+		if err != nil {
+			fatal(err)
+		}
+		tool, _ := obtainTool(context.Background(), quick, quantize, f.modelLoad, f.modelSave)
+		pred, err := tool.Predictor.PredictModule(mod, clara.AccelConfig{})
+		if err != nil {
+			fatal(err)
+		}
+		mp = pred
+		params = tool.Params
+	}
+
+	caps := offload.DeriveCapacities(params, mp)
+	var pol offload.PolicyConfig
+	if kind == offload.PolicyInsight {
+		pol = offload.SeedPolicy(sc, caps)
+	} else {
+		pol = offload.BaselinePolicy(kind, sc)
+	}
+	traj, err := offload.Simulate(offload.Config{
+		Scenario: sc, Capacity: caps, Policy: pol, Rounds: f.rounds, Seed: f.simSeed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(traj.NDJSON())
+	fmt.Fprintln(os.Stderr, "clara:", traj.String())
+}
+
+// resolveModule resolves -nf/-src to a compiled module plus its profile
+// setup (state seeding for library elements).
+func resolveModule(nfName, srcPath string) (*clara.Module, clara.ProfileSetup, error) {
+	switch {
+	case nfName != "":
+		e := clara.GetElement(nfName)
+		if e == nil {
+			return nil, clara.ProfileSetup{}, fmt.Errorf("unknown element %q (try -list)", nfName)
+		}
+		m, err := e.Module()
+		if err != nil {
+			return nil, clara.ProfileSetup{}, err
+		}
+		return m, clara.ProfileSetup{Setup: e.Setup, LPMTable: e.Routes}, nil
+	case srcPath != "":
+		src, err := os.ReadFile(srcPath)
+		if err != nil {
+			return nil, clara.ProfileSetup{}, err
+		}
+		m, err := clara.CompileNF(srcPath, string(src))
+		if err != nil {
+			return nil, clara.ProfileSetup{}, err
+		}
+		return m, clara.ProfileSetup{}, nil
+	default:
+		return nil, clara.ProfileSetup{}, fmt.Errorf("need -nf or -src")
 	}
 }
 

@@ -14,11 +14,15 @@
 //   - quantized accuracy drift: worst per-element WMAPE delta between
 //     the int8 and f32 paths;
 //   - fleet throughput: library × workloads jobs/sec on the analysis
-//     pool (cold prediction cache).
+//     pool (cold prediction cache);
+//   - offload convergence: rounds-to-steady-state of the online offload
+//     controller per threshold policy per traffic scenario, with the
+//     insight policy seeded from the trained predictor's prediction for
+//     a real library NF (the PR7 headline comparison).
 //
 // Usage:
 //
-//	perfbench [-quick] [-out BENCH_PR6.json]
+//	perfbench [-quick] [-out BENCH_PR7.json]
 //
 // -quick shrinks the measured workloads for CI smoke runs; the
 // committed numbers come from a run without it.
@@ -39,9 +43,10 @@ import (
 	"clara"
 	"clara/internal/ml"
 	"clara/internal/niccc"
+	"clara/internal/offload"
 )
 
-// report is the BENCH_PR6.json schema.
+// report is the BENCH_PR7.json schema.
 type report struct {
 	GeneratedUnix      int64   `json:"generated_unix"`
 	GoMaxProcs         int     `json:"gomaxprocs"`
@@ -61,11 +66,31 @@ type report struct {
 	// WMAPE(f32)| (the accuracy gate pins it below 0.005).
 	QuantizedWmapeDrift float64 `json:"quantized_wmape_drift"`
 	FleetJobsPerSec     float64 `json:"fleet_jobs_per_sec"`
+	// ConvergenceNF is the library element whose trained prediction
+	// derives the NIC capacities and seeds the insight policy; the
+	// Convergence rows compare rounds-to-steady-state (drop rate <= 1%)
+	// across the three threshold policies on each traffic scenario
+	// (convergence_round -1 = never converged within the run).
+	ConvergenceNF     string           `json:"convergence_nf"`
+	ConvergenceRounds int              `json:"convergence_rounds"`
+	Convergence       []convergenceRow `json:"convergence"`
+}
+
+// convergenceRow is one policy × scenario cell of the offload-controller
+// comparison.
+type convergenceRow struct {
+	Scenario         string  `json:"scenario"`
+	Policy           string  `json:"policy"`
+	InitialThreshold int     `json:"initial_threshold"`
+	FinalThreshold   int     `json:"final_threshold"`
+	ConvergenceRound int     `json:"convergence_round"`
+	FinalDropRate    float64 `json:"final_drop_rate"`
+	FinalOffloadRate float64 `json:"final_offload_rate"`
 }
 
 func main() {
 	quick := flag.Bool("quick", false, "smaller measured workloads (CI smoke)")
-	out := flag.String("out", "BENCH_PR6.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR7.json", "output JSON path")
 	flag.Parse()
 
 	rep := report{
@@ -163,6 +188,17 @@ func main() {
 		}
 	}
 	rep.FleetJobsPerSec = float64(len(results)) / time.Since(t0).Seconds()
+
+	// Offload-controller convergence: how many rounds each threshold
+	// policy needs to reach steady state, with the insight policy seeded
+	// from the warm-started predictor's prediction for a real NF.
+	fmt.Fprintln(os.Stderr, "perfbench: offload convergence benchmark...")
+	rep.ConvergenceNF = "ecmp"
+	rep.ConvergenceRounds = 96
+	rep.Convergence, err = convergenceBench(warm, rep.ConvergenceNF, rep.ConvergenceRounds)
+	if err != nil {
+		fatal(err)
+	}
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -283,6 +319,55 @@ func quantizedDrift(tool *clara.Tool) (float64, error) {
 		}
 	}
 	return worst, nil
+}
+
+// convergenceBench runs the policy × scenario grid of the offload
+// controller at a fixed seed: capacities derive from the trained
+// predictor's prediction for nfName, the baselines start from the
+// hand-set defaults, the insight policy from SeedFromPrediction.
+func convergenceBench(tool *clara.Tool, nfName string, rounds int) ([]convergenceRow, error) {
+	e := clara.GetElement(nfName)
+	if e == nil {
+		return nil, fmt.Errorf("unknown element %q", nfName)
+	}
+	mod, err := e.Module()
+	if err != nil {
+		return nil, err
+	}
+	mp, err := tool.Predictor.PredictModule(mod, niccc.AccelConfig{})
+	if err != nil {
+		return nil, err
+	}
+	caps := offload.DeriveCapacities(tool.Params, mp)
+	var rows []convergenceRow
+	for _, sc := range offload.Scenarios() {
+		for _, kind := range []offload.PolicyKind{offload.PolicyStatic, offload.PolicyDynamic, offload.PolicyInsight} {
+			var pol offload.PolicyConfig
+			if kind == offload.PolicyInsight {
+				pol = offload.SeedPolicy(sc, caps)
+			} else {
+				pol = offload.BaselinePolicy(kind, sc)
+			}
+			traj, err := offload.Simulate(offload.Config{
+				Scenario: sc, Capacity: caps, Policy: pol, Rounds: rounds, Seed: 7,
+			})
+			if err != nil {
+				return nil, err
+			}
+			last := traj.Rounds[len(traj.Rounds)-1]
+			rows = append(rows, convergenceRow{
+				Scenario:         sc.Name,
+				Policy:           kind.String(),
+				InitialThreshold: pol.Initial,
+				FinalThreshold:   last.Threshold,
+				ConvergenceRound: traj.ConvergenceRound(offload.DefaultConvergenceTarget),
+				FinalDropRate:    traj.FinalDropRate(),
+				FinalOffloadRate: traj.FinalOffloadRate(),
+			})
+			fmt.Fprintf(os.Stderr, "perfbench: %s\n", traj)
+		}
+	}
+	return rows, nil
 }
 
 func fatal(err error) {

@@ -136,6 +136,23 @@ func (p *Params) Validate() error {
 	return nil
 }
 
+// IngressPPS returns the packet IO ceiling in packets per second — the
+// budget the offload controller's fast path is bounded by.
+func (p Params) IngressPPS() float64 { return p.IngressMpps * 1e6 }
+
+// ExceptionPathCores returns the cores reserved for the slow (exception)
+// path: run-to-completion NICs dedicate almost all cores to the datapath
+// pipeline, leaving a small reservation (1/16 of the cores, minimum 2)
+// to run the full NF for flows that have no installed rule yet. The
+// offload controller derives its slow-path capacity from this.
+func (p Params) ExceptionPathCores() int {
+	n := p.NumCores / 16
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
 // serverOf maps a memory region to its contention server.
 func serverOf(r isa.Region) uint8 {
 	switch r {

@@ -1,0 +1,84 @@
+package offload
+
+import "testing"
+
+// FuzzSimulate throws arbitrary controller configurations at the
+// simulator: whatever Validate accepts must simulate without panicking
+// and uphold every per-round invariant (conservation, budget ceilings,
+// threshold clamps). Invalid configs must be rejected by Validate —
+// never reached by the simulation loop. Wired into `make fuzz`.
+func FuzzSimulate(f *testing.F) {
+	// Corpus: the three standard scenarios in compact form plus edge
+	// shapes (tiny capacities, threshold pinned at Min/Max).
+	f.Add(int64(7), 8, 200, 1<<14, uint8(1), 512, 8, 1, 1024, 1.2, 1, 1024, 5000, 1000, 256, 32, 0, 0)
+	f.Add(int64(1), 6, 100, 1<<12, uint8(2), 12, 1, 1, 512, 1.5, 1, 512, 4000, 800, 128, 16, 300, 2)
+	f.Add(int64(99), 4, 50, 1<<10, uint8(0), 64, 4, 2, 64, 2.0, 4, 64, 100, 50, 8, 2, 0, 0)
+	f.Add(int64(-3), 3, 10, 64, uint8(1), 1, 1, 1, 1, 1.1, 1, 2, 1, 1, 1, 1, 5, 1)
+
+	f.Fuzz(func(t *testing.T, seed int64, rounds, cps, pps int, kind uint8,
+		initial, step, min, max int, zipfS float64, sizeMin, sizeMax int,
+		fast, slow, table, perRound int, attackCPS, attackStart int) {
+		// Bound the work per input, not the validity: oversized knobs are
+		// clamped into ranges that keep one fuzz iteration cheap, then the
+		// config goes through the real Validate like any user input.
+		clamp := func(v, lo, hi int) int {
+			if v < lo {
+				return lo
+			}
+			if v > hi {
+				return hi
+			}
+			return v
+		}
+		cfg := Config{
+			Scenario: Scenario{
+				Name: "fuzz",
+				CPS:  clamp(cps, -10, 2000),
+				PPS:  clamp(pps, -10, 1<<16),
+				Sizes: SizeDist{
+					Kind: SizeZipf,
+					S:    zipfS,
+					Min:  clamp(sizeMin, -4, 64),
+					Max:  clamp(sizeMax, -4, 2048),
+				},
+				AttackCPS:   clamp(attackCPS, -10, 2000),
+				AttackStart: clamp(attackStart, -10, 32),
+			},
+			Capacity: Capacities{
+				FastPathPPS:     clamp(fast, -10, 1<<16),
+				SlowPathPPS:     clamp(slow, -10, 1<<16),
+				OffloadTable:    clamp(table, -10, 1<<12),
+				OffloadPerRound: clamp(perRound, -10, 1<<10),
+			},
+			Policy: PolicyConfig{
+				Kind:    PolicyKind(kind % 4), // includes one invalid kind
+				Initial: clamp(initial, -10, 4096),
+				Step:    clamp(step, -10, 512),
+				Min:     clamp(min, -10, 4096),
+				Max:     clamp(max, -10, 4096),
+			},
+			Rounds: clamp(rounds, -2, 24),
+			Seed:   seed,
+		}
+		if kind%4 == 2 {
+			// Exercise the bimodal family on a slice of the input space.
+			cfg.Scenario.Sizes = SizeDist{
+				Kind:         SizeBimodal,
+				ElephantSize: clamp(sizeMax, -4, 2048),
+				MouseMax:     clamp(sizeMin, -4, 64),
+				ElephantFrac: zipfS - float64(int(zipfS)),
+			}
+		}
+		traj, err := Simulate(cfg)
+		if err != nil {
+			if cfg.Validate() == nil {
+				t.Fatalf("Simulate rejected a config Validate accepts: %v", err)
+			}
+			return
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("Simulate accepted a config Validate rejects: %v", err)
+		}
+		checkInvariants(t, cfg, traj)
+	})
+}

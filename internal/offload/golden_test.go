@@ -1,0 +1,110 @@
+package offload
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"clara/internal/nicsim"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from current output")
+
+// goldenSeed and goldenRounds fix the golden trajectories. 96 rounds is
+// long enough that the convergence story is visible inside the goldens
+// themselves: insight converges in round 1 on every scenario, classic
+// dynamic needs ~64 rounds on zipf/synflood, static never converges
+// there.
+const (
+	goldenSeed   = 7
+	goldenRounds = 96
+)
+
+// goldenConfig builds the pinned configuration for one policy × scenario
+// cell: capacities derived from the default hardware model and the
+// nominal NF prediction, baseline policies from the hand-set defaults,
+// the insight policy from the full seeding path.
+func goldenConfig(sc Scenario, kind PolicyKind) Config {
+	p := nicsim.DefaultParams()
+	caps := DeriveCapacities(p, NominalPrediction())
+	var pol PolicyConfig
+	if kind == PolicyInsight {
+		_, pol = SeedFromPrediction(NominalPrediction(), p, sc)
+	} else {
+		pol = BaselinePolicy(kind, sc)
+	}
+	return Config{Scenario: sc, Capacity: caps, Policy: pol, Rounds: goldenRounds, Seed: goldenSeed}
+}
+
+// TestSimulateGolden pins the NDJSON trajectory of every policy ×
+// scenario cell byte-for-byte against testdata/*.golden. Run with
+// -update to regenerate after an intentional simulator change; the diff
+// of the goldens then documents exactly how trajectories moved.
+func TestSimulateGolden(t *testing.T) {
+	for _, sc := range Scenarios() {
+		for _, kind := range []PolicyKind{PolicyStatic, PolicyDynamic, PolicyInsight} {
+			sc, kind := sc, kind
+			name := fmt.Sprintf("sim_%s_%s", sc.Name, kind)
+			t.Run(name, func(t *testing.T) {
+				traj, err := Simulate(goldenConfig(sc, kind))
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := traj.NDJSON()
+				path := filepath.Join("testdata", name+".golden")
+				if *updateGolden {
+					if err := os.MkdirAll("testdata", 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden file (run with -update): %v", err)
+				}
+				if got != string(want) {
+					t.Errorf("trajectory drifted from %s (run with -update if intentional)", path)
+				}
+			})
+		}
+	}
+}
+
+// TestGoldenConvergenceOrdering pins the PR's headline claim directly:
+// the insight-seeded policy reaches steady state (drop rate <= 1%)
+// strictly earlier than both the static and the classic dynamic baseline
+// on the zipf and synflood scenarios, and no later than them on
+// elephant/mice. -1 (never converged) orders after every real round.
+func TestGoldenConvergenceOrdering(t *testing.T) {
+	conv := func(sc Scenario, kind PolicyKind) int {
+		traj, err := Simulate(goldenConfig(sc, kind))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := traj.ConvergenceRound(DefaultConvergenceTarget)
+		if c == -1 {
+			return goldenRounds + 1
+		}
+		return c
+	}
+	for _, sc := range Scenarios() {
+		ins := conv(sc, PolicyInsight)
+		dyn := conv(sc, PolicyDynamic)
+		sta := conv(sc, PolicyStatic)
+		t.Logf("%s: insight=%d dynamic=%d static=%d", sc.Name, ins, dyn, sta)
+		strict := sc.Name != "elephantmice"
+		if strict && (ins >= dyn || ins >= sta) {
+			t.Errorf("%s: insight (round %d) must converge strictly before dynamic (%d) and static (%d)",
+				sc.Name, ins, dyn, sta)
+		}
+		if !strict && (ins > dyn || ins > sta) {
+			t.Errorf("%s: insight (round %d) must converge no later than dynamic (%d) and static (%d)",
+				sc.Name, ins, dyn, sta)
+		}
+	}
+}

@@ -1,0 +1,364 @@
+package offload
+
+import (
+	"testing"
+
+	"clara/internal/nicsim"
+)
+
+// checkInvariants asserts every per-round invariant the simulator
+// guarantees for any valid config. Shared by the grid test and the
+// fuzzer.
+func checkInvariants(t *testing.T, cfg Config, traj *Trajectory) {
+	t.Helper()
+	n := cfg.norm()
+	caps := n.Capacity
+	if len(traj.Rounds) != cfg.Rounds {
+		t.Fatalf("got %d rounds, want %d", len(traj.Rounds), cfg.Rounds)
+	}
+	for i, r := range traj.Rounds {
+		if r.Round != i+1 {
+			t.Fatalf("round %d numbered %d", i, r.Round)
+		}
+		// Packet conservation: every generated packet is forwarded fast,
+		// forwarded slow, or dropped — exactly once.
+		if r.Generated != r.FastPath+r.SlowPath+r.Dropped {
+			t.Fatalf("round %d: conservation broken: gen=%d fast=%d slow=%d drop=%d",
+				r.Round, r.Generated, r.FastPath, r.SlowPath, r.Dropped)
+		}
+		if r.Generated < 0 || r.FastPath < 0 || r.SlowPath < 0 || r.Dropped < 0 ||
+			r.Offloads < 0 || r.OverOffloads < 0 || r.Flows < 0 {
+			t.Fatalf("round %d: negative counter: %+v", r.Round, r)
+		}
+		// Budget ceilings.
+		if r.Generated > n.Scenario.PPS {
+			t.Fatalf("round %d: generated %d exceeds PPS cap %d", r.Round, r.Generated, n.Scenario.PPS)
+		}
+		if r.FastPath > caps.FastPathPPS {
+			t.Fatalf("round %d: fast path %d exceeds capacity %d", r.Round, r.FastPath, caps.FastPathPPS)
+		}
+		if r.SlowPath > caps.SlowPathPPS {
+			t.Fatalf("round %d: slow path %d exceeds capacity %d", r.Round, r.SlowPath, caps.SlowPathPPS)
+		}
+		if r.Offloads > caps.OffloadPerRound {
+			t.Fatalf("round %d: %d rule inserts exceed budget %d", r.Round, r.Offloads, caps.OffloadPerRound)
+		}
+		if r.TableUsed < 0 || r.TableUsed > caps.OffloadTable {
+			t.Fatalf("round %d: table occupancy %d outside [0,%d]", r.Round, r.TableUsed, caps.OffloadTable)
+		}
+		// The threshold never leaves the policy's clamp range.
+		if r.Threshold < n.Policy.Min || r.Threshold > n.Policy.Max {
+			t.Fatalf("round %d: threshold %d outside [%d,%d]", r.Round, r.Threshold, n.Policy.Min, n.Policy.Max)
+		}
+		// The static policy never moves at all.
+		if n.Policy.Kind == PolicyStatic && r.Threshold != n.Policy.Initial {
+			t.Fatalf("round %d: static threshold moved to %d (initial %d)", r.Round, r.Threshold, n.Policy.Initial)
+		}
+		// Rates are exactly the rounded counter ratios.
+		if r.Generated > 0 {
+			if want := round6(float64(r.FastPath) / float64(r.Generated)); r.OffloadRate != want {
+				t.Fatalf("round %d: offload rate %v, want %v", r.Round, r.OffloadRate, want)
+			}
+			if want := round6(float64(r.Dropped) / float64(r.Generated)); r.DropRate != want {
+				t.Fatalf("round %d: drop rate %v, want %v", r.Round, r.DropRate, want)
+			}
+		}
+		// A quiet round (no drops, no over-offloads) is the adjustment
+		// rule's fixed point: the next round must run with the same
+		// threshold.
+		if i+1 < len(traj.Rounds) && r.Dropped == 0 && r.OverOffloads == 0 {
+			if next := traj.Rounds[i+1].Threshold; next != r.Threshold {
+				t.Fatalf("round %d was quiet but threshold moved %d -> %d", r.Round, r.Threshold, next)
+			}
+		}
+	}
+}
+
+// TestSimulateInvariants runs the invariant suite over the full policy ×
+// scenario grid under several seeds.
+func TestSimulateInvariants(t *testing.T) {
+	p := nicsim.DefaultParams()
+	caps := DeriveCapacities(p, NominalPrediction())
+	for _, sc := range Scenarios() {
+		for _, kind := range []PolicyKind{PolicyStatic, PolicyDynamic, PolicyInsight} {
+			for _, seed := range []int64{1, 7, 99} {
+				var pol PolicyConfig
+				if kind == PolicyInsight {
+					_, pol = SeedFromPrediction(NominalPrediction(), p, sc)
+				} else {
+					pol = BaselinePolicy(kind, sc)
+				}
+				cfg := Config{Scenario: sc, Capacity: caps, Policy: pol, Rounds: 64, Seed: seed}
+				traj, err := Simulate(cfg)
+				if err != nil {
+					t.Fatalf("%s/%s seed %d: %v", sc.Name, kind, seed, err)
+				}
+				checkInvariants(t, cfg, traj)
+			}
+		}
+	}
+}
+
+// TestSteadyStateDrops pins the steady-state behaviour of the adaptive
+// policies: both converge on every scenario at the golden seed, and once
+// steady they hold drops at zero — the strongest form of "dropCount
+// monotone non-increasing at steady state" (the tail is identically 0).
+func TestSteadyStateDrops(t *testing.T) {
+	for _, sc := range Scenarios() {
+		for _, kind := range []PolicyKind{PolicyDynamic, PolicyInsight} {
+			traj, err := Simulate(goldenConfig(sc, kind))
+			if err != nil {
+				t.Fatal(err)
+			}
+			conv := traj.ConvergenceRound(DefaultConvergenceTarget)
+			if conv == -1 {
+				t.Errorf("%s/%s never converged", sc.Name, kind)
+				continue
+			}
+			for _, r := range traj.Rounds[conv-1:] {
+				if r.DropRate > DefaultConvergenceTarget {
+					t.Fatalf("%s/%s: round %d drop rate %v above target after convergence@%d",
+						sc.Name, kind, r.Round, r.DropRate, conv)
+				}
+			}
+			tail := traj.Rounds[len(traj.Rounds)-16:]
+			for _, r := range tail {
+				if r.Dropped != 0 {
+					t.Errorf("%s/%s: round %d still drops %d packets at steady state",
+						sc.Name, kind, r.Round, r.Dropped)
+				}
+			}
+		}
+	}
+}
+
+// TestConvergenceRound exercises the metric on synthetic trajectories.
+func TestConvergenceRound(t *testing.T) {
+	mk := func(drops ...float64) *Trajectory {
+		tr := &Trajectory{}
+		for i, d := range drops {
+			tr.Rounds = append(tr.Rounds, Record{Round: i + 1, DropRate: d})
+		}
+		return tr
+	}
+	cases := []struct {
+		name string
+		traj *Trajectory
+		want int
+	}{
+		{"empty", mk(), -1},
+		{"always clean", mk(0, 0, 0.005, 0), 1},
+		{"never clean", mk(0.5, 0.5, 0.5), -1},
+		{"last round dirty", mk(0, 0, 0.5), -1},
+		{"settles mid-run", mk(0.5, 0.2, 0.009, 0, 0), 3},
+		{"relapse restarts the clock", mk(0.5, 0, 0, 0.2, 0, 0), 5},
+	}
+	for _, c := range cases {
+		if got := c.traj.ConvergenceRound(DefaultConvergenceTarget); got != c.want {
+			t.Errorf("%s: ConvergenceRound = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// TestPolicyAdjust pins the threshold rule itself: over-offloads raise,
+// drops lower, over-offloads win when both fire, quiet rounds hold, the
+// clamp range binds, and the static policy never moves.
+func TestPolicyAdjust(t *testing.T) {
+	cfg := PolicyConfig{Kind: PolicyDynamic, Initial: 100, Step: 10, Min: 50, Max: 120}
+	p := newPolicy(cfg)
+	p.adjust(0, 5, 0) // over-offloads: raise
+	if p.threshold != 110 {
+		t.Fatalf("after over-offloads: %d, want 110", p.threshold)
+	}
+	p.adjust(0, 1, 100) // both fire: over-offloads win
+	if p.threshold != 120 {
+		t.Fatalf("after both: %d, want 120", p.threshold)
+	}
+	p.adjust(0, 9, 0) // clamp at Max
+	if p.threshold != 120 {
+		t.Fatalf("Max clamp: %d, want 120", p.threshold)
+	}
+	for i := 0; i < 10; i++ {
+		p.adjust(0, 0, 1) // drops: lower, clamped at Min
+	}
+	if p.threshold != 50 {
+		t.Fatalf("Min clamp: %d, want 50", p.threshold)
+	}
+	p.adjust(3, 0, 0) // quiet round: hold
+	if p.threshold != 50 {
+		t.Fatalf("quiet round moved threshold: %d", p.threshold)
+	}
+
+	st := newPolicy(PolicyConfig{Kind: PolicyStatic, Initial: 77, Step: 10, Min: 1, Max: 100})
+	st.adjust(0, 100, 100)
+	if st.threshold != 77 {
+		t.Fatalf("static policy moved: %d", st.threshold)
+	}
+}
+
+// TestSeedPolicySustainable checks the insight seeding contract: for
+// every standard scenario the seeded threshold's candidate stream fits
+// inside the rule-insertion budget (with the 20% headroom) and the
+// offload table, per the same empirical flow-size view seeding uses, and
+// the threshold below it does not (it is the smallest sustainable one).
+func TestSeedPolicySustainable(t *testing.T) {
+	p := nicsim.DefaultParams()
+	caps := DeriveCapacities(p, NominalPrediction())
+	for _, sc := range Scenarios() {
+		pol := SeedPolicy(sc, caps)
+		if pol.Kind != PolicyInsight {
+			t.Fatalf("%s: seeded kind %v", sc.Name, pol.Kind)
+		}
+		if pol.Initial < 1 || pol.Initial > sc.Sizes.maxSize() {
+			t.Fatalf("%s: seeded threshold %d outside [1,%d]", sc.Name, pol.Initial, sc.Sizes.maxSize())
+		}
+		if pol.Step < 1 {
+			t.Fatalf("%s: seeded step %d < 1", sc.Name, pol.Step)
+		}
+		samples := sc.Sizes.Samples(seedSamples, seedSampleSeed)
+		candidates := func(thr int) float64 {
+			var c float64
+			for _, s := range samples {
+				if s > thr {
+					c++
+				}
+			}
+			return c * float64(sc.CPS) / float64(len(samples))
+		}
+		budget := 0.8 * float64(caps.OffloadPerRound)
+		if got := candidates(pol.Initial); got > budget {
+			t.Errorf("%s: seeded threshold %d admits %.0f candidates/round, budget %.0f",
+				sc.Name, pol.Initial, got, budget)
+		}
+		if pol.Initial > 1 {
+			if got := candidates(pol.Initial - 1); got <= budget {
+				// The lower threshold also fits the insertion budget, so
+				// minimality must come from the table constraint.
+				var occ float64
+				fr := sc.flowRounds()
+				thr := pol.Initial - 1
+				for _, s := range samples {
+					if s > thr {
+						occ += float64(fr) * float64(s-thr) / float64(s)
+					}
+				}
+				occ *= float64(sc.CPS) / float64(len(samples))
+				if occ <= float64(caps.OffloadTable) {
+					t.Errorf("%s: threshold %d is also sustainable; seeding did not pick the smallest",
+						sc.Name, thr)
+				}
+			}
+		}
+	}
+}
+
+// TestOffloadedShareMonotone: the fast-path share estimate shrinks as
+// the threshold grows — the property the seeding search relies on.
+func TestOffloadedShareMonotone(t *testing.T) {
+	samples := ZipfScenario().Sizes.Samples(4096, 1)
+	prev := 1.1
+	for thr := 1; thr <= 1024; thr *= 2 {
+		s := OffloadedShare(samples, thr)
+		if s < 0 || s > 1 {
+			t.Fatalf("share(%d) = %v outside [0,1]", thr, s)
+		}
+		if s > prev {
+			t.Fatalf("share(%d) = %v rose above previous %v", thr, s, prev)
+		}
+		prev = s
+	}
+	if OffloadedShare(nil, 1) != 0 {
+		t.Error("empty samples must give share 0")
+	}
+}
+
+// TestConfigValidate walks the rejection paths.
+func TestConfigValidate(t *testing.T) {
+	caps := Capacities{FastPathPPS: 1000, SlowPathPPS: 100, OffloadTable: 64, OffloadPerRound: 8}
+	good := Config{Scenario: ZipfScenario(), Capacity: caps, Rounds: 4, Seed: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero rounds", func(c *Config) { c.Rounds = 0 }},
+		{"negative rounds", func(c *Config) { c.Rounds = -3 }},
+		{"zero CPS", func(c *Config) { c.Scenario.CPS = 0 }},
+		{"negative CPS", func(c *Config) { c.Scenario.CPS = -1 }},
+		{"negative PPS", func(c *Config) { c.Scenario.PPS = -1 }},
+		{"negative flow rounds", func(c *Config) { c.Scenario.FlowRounds = -1 }},
+		{"negative attack", func(c *Config) { c.Scenario.AttackCPS = -1 }},
+		{"zipf skew too small", func(c *Config) { c.Scenario.Sizes.S = 1.0 }},
+		{"zipf empty range", func(c *Config) { c.Scenario.Sizes.Max = 0 }},
+		{"bimodal bad frac", func(c *Config) {
+			c.Scenario.Sizes = SizeDist{Kind: SizeBimodal, ElephantSize: 100, MouseMax: 4, ElephantFrac: 1.5}
+		}},
+		{"unknown dist", func(c *Config) { c.Scenario.Sizes.Kind = SizeDistKind(9) }},
+		{"zero slow path", func(c *Config) { c.Capacity.SlowPathPPS = 0 }},
+		{"zero table", func(c *Config) { c.Capacity.OffloadTable = 0 }},
+		{"zero insert budget", func(c *Config) { c.Capacity.OffloadPerRound = 0 }},
+		{"unknown policy", func(c *Config) { c.Policy.Kind = PolicyKind(7) }},
+		{"min above max", func(c *Config) { c.Policy.Min = 10; c.Policy.Max = 5 }},
+		{"initial below min", func(c *Config) { c.Policy.Min = 10; c.Policy.Initial = 5 }},
+		{"initial above max", func(c *Config) { c.Policy.Max = 10; c.Policy.Initial = 50 }},
+	}
+	for _, b := range bad {
+		c := good
+		b.mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: config accepted", b.name)
+		}
+		if _, err := Simulate(c); err == nil {
+			t.Errorf("%s: Simulate accepted invalid config", b.name)
+		}
+	}
+}
+
+// TestNameLookups covers the CLI name parsers.
+func TestNameLookups(t *testing.T) {
+	for _, name := range []string{"zipf", "synflood", "elephantmice"} {
+		sc, err := ScenarioByName(name)
+		if err != nil || sc.Name != name {
+			t.Errorf("ScenarioByName(%q) = %+v, %v", name, sc, err)
+		}
+	}
+	if _, err := ScenarioByName("nope"); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	for _, name := range []string{"static", "dynamic", "insight"} {
+		k, err := PolicyByName(name)
+		if err != nil || k.String() != name {
+			t.Errorf("PolicyByName(%q) = %v, %v", name, k, err)
+		}
+	}
+	if _, err := PolicyByName("nope"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if got := PolicyKind(42).String(); got != "policy(42)" {
+		t.Errorf("unknown kind String() = %q", got)
+	}
+}
+
+// TestDeriveCapacities sanity-checks the hardware mapping: a heavier NF
+// prediction must shrink the slow path and leave every other budget
+// unchanged, and all budgets are positive.
+func TestDeriveCapacities(t *testing.T) {
+	p := nicsim.DefaultParams()
+	light := DeriveCapacities(p, NominalPrediction())
+	if err := light.Validate(); err != nil {
+		t.Fatalf("derived capacities invalid: %v", err)
+	}
+	heavy := *NominalPrediction()
+	heavy.TotalCompute *= 4
+	heavy.TotalMem *= 4
+	hc := DeriveCapacities(p, &heavy)
+	if hc.SlowPathPPS >= light.SlowPathPPS {
+		t.Errorf("heavier NF did not shrink the slow path: %d vs %d", hc.SlowPathPPS, light.SlowPathPPS)
+	}
+	if hc.FastPathPPS != light.FastPathPPS || hc.OffloadTable != light.OffloadTable ||
+		hc.OffloadPerRound != light.OffloadPerRound {
+		t.Errorf("prediction leaked into non-slow-path budgets: %+v vs %+v", hc, light)
+	}
+}

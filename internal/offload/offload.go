@@ -1,0 +1,201 @@
+// Package offload closes the loop from Clara's one-shot insights to live
+// per-flow offload decisions: a round-based simulation of a SmartNIC's
+// fast-path/slow-path split driven by a continuous flow stream, with an
+// adaptive offload threshold.
+//
+// The control loop mirrors the threshold-adjustment simulator the
+// SmartNICSimulator README describes (SNIPPETS.md §1): each round (one
+// simulated second) the traffic source creates CPS new flows, active flows
+// emit packets up to the PPS offered-load cap, and every packet lands on
+// the fast path (its flow holds an offload rule) or the slow path (the
+// full NF runs on the NIC cores). Slow-path packets beyond the slow-path
+// capacity are dropped. A flow whose slow-path packet count crosses the
+// offload threshold is marked for offload if this round's rule-insertion
+// budget and the offload table have room; otherwise the over-offload
+// counter records the missed opportunity. At the end of the round the
+// threshold policy adjusts the threshold from the round's offloadCount /
+// overOffloadCount / dropCount.
+//
+// Three policies are compared: a static hand-set threshold, the classic
+// dynamic adjustment, and an insight-seeded policy whose initial threshold
+// and adjustment step are derived from Clara's per-NF prediction (see
+// seed.go) — the same adjustment rule as the dynamic policy, so any
+// convergence advantage comes purely from where Clara starts it.
+//
+// Determinism contract: a Config fully determines the trajectory. The
+// simulator never reads the wall clock or global PRNG state; each round
+// draws from a fresh PRNG derived from the config seed and the round
+// number (splitmix64), flows live in slices (no map iteration), and the
+// whole simulation is single-goroutine. Same seed ⇒ bit-identical
+// trajectories for any GOMAXPROCS, which is what lets the golden tests
+// pin per-round JSON byte-for-byte.
+package offload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// PolicyKind selects the threshold policy.
+type PolicyKind int
+
+const (
+	// PolicyStatic never moves the threshold.
+	PolicyStatic PolicyKind = iota
+	// PolicyDynamic is the classic adjustment: lower on drops, raise on
+	// over-offloads, from a hand-set starting point.
+	PolicyDynamic
+	// PolicyInsight uses the same adjustment rule as PolicyDynamic but
+	// starts from a threshold and step derived from Clara's per-NF
+	// prediction (SeedFromPrediction).
+	PolicyInsight
+)
+
+// String returns the CLI/JSON name of the policy.
+func (k PolicyKind) String() string {
+	switch k {
+	case PolicyStatic:
+		return "static"
+	case PolicyDynamic:
+		return "dynamic"
+	case PolicyInsight:
+		return "insight"
+	default:
+		return fmt.Sprintf("policy(%d)", int(k))
+	}
+}
+
+// PolicyByName parses a CLI policy name.
+func PolicyByName(name string) (PolicyKind, error) {
+	switch name {
+	case "static":
+		return PolicyStatic, nil
+	case "dynamic":
+		return PolicyDynamic, nil
+	case "insight":
+		return PolicyInsight, nil
+	default:
+		return 0, fmt.Errorf("offload: unknown policy %q (static|dynamic|insight)", name)
+	}
+}
+
+// PolicyConfig parameterizes a threshold policy.
+type PolicyConfig struct {
+	Kind PolicyKind
+	// Initial is the starting threshold (slow-path packets a flow must
+	// accumulate before it becomes an offload candidate).
+	Initial int
+	// Step is the additive adjustment applied per round by the dynamic
+	// rule; ignored by PolicyStatic.
+	Step int
+	// Min and Max clamp the threshold. Zero values default to 1 and the
+	// scenario's maximum flow size.
+	Min, Max int
+}
+
+// Capacities are the per-round capacity knobs of the simulated NIC,
+// normally derived from a nicsim hardware model plus a per-NF prediction
+// (DeriveCapacities).
+type Capacities struct {
+	// FastPathPPS bounds packets/round served by installed offload rules
+	// (ingress ceiling or the NIC cores running the NF, whichever is
+	// smaller). Fast-path packets beyond it are dropped.
+	FastPathPPS int
+	// SlowPathPPS bounds packets/round the slow path absorbs; the
+	// excess is dropped (MAX_SLOW_PATH_SPEED in SNIPPETS §1).
+	SlowPathPPS int
+	// OffloadTable bounds concurrently offloaded flows (the flow cache).
+	OffloadTable int
+	// OffloadPerRound bounds rule insertions per round — rule
+	// installation is slow, which is the whole reason a threshold
+	// exists (MAX_OFFLOAD_SPEED in SNIPPETS §1).
+	OffloadPerRound int
+}
+
+// Validate rejects non-positive capacities.
+func (c Capacities) Validate() error {
+	if c.FastPathPPS <= 0 || c.SlowPathPPS <= 0 {
+		return fmt.Errorf("offload: fast/slow path capacities must be positive (got %d/%d)", c.FastPathPPS, c.SlowPathPPS)
+	}
+	if c.OffloadTable <= 0 || c.OffloadPerRound <= 0 {
+		return fmt.Errorf("offload: offload table/rate must be positive (got %d/%d)", c.OffloadTable, c.OffloadPerRound)
+	}
+	return nil
+}
+
+// Config fully determines one simulation run.
+type Config struct {
+	Scenario Scenario
+	Capacity Capacities
+	Policy   PolicyConfig
+	// Rounds is the number of simulated seconds.
+	Rounds int
+	// Seed is the only entropy source; every per-round PRNG derives
+	// from it.
+	Seed int64
+}
+
+// norm fills policy defaults that depend on the scenario.
+func (c Config) norm() Config {
+	if c.Policy.Min <= 0 {
+		c.Policy.Min = 1
+	}
+	if c.Policy.Max <= 0 {
+		c.Policy.Max = c.Scenario.Sizes.maxSize()
+	}
+	if c.Policy.Initial <= 0 {
+		c.Policy.Initial = DefaultStaticThreshold
+	}
+	if c.Policy.Step <= 0 {
+		c.Policy.Step = DefaultDynamicStep
+	}
+	return c
+}
+
+// Validate checks the whole configuration; Simulate rejects configs it
+// fails on.
+func (c Config) Validate() error {
+	if c.Rounds <= 0 {
+		return fmt.Errorf("offload: Rounds must be positive (got %d)", c.Rounds)
+	}
+	if err := c.Scenario.Validate(); err != nil {
+		return err
+	}
+	if err := c.Capacity.Validate(); err != nil {
+		return err
+	}
+	p := c.norm().Policy
+	if p.Kind != PolicyStatic && p.Kind != PolicyDynamic && p.Kind != PolicyInsight {
+		return fmt.Errorf("offload: unknown policy kind %d", int(p.Kind))
+	}
+	if p.Min > p.Max {
+		return fmt.Errorf("offload: policy Min %d > Max %d", p.Min, p.Max)
+	}
+	if p.Initial < p.Min || p.Initial > p.Max {
+		return fmt.Errorf("offload: policy Initial %d outside [%d,%d]", p.Initial, p.Min, p.Max)
+	}
+	return nil
+}
+
+// Hand-set defaults for the baseline policies: the "big flows only"
+// threshold an operator might configure without Clara, and the classic
+// fixed adjustment step.
+const (
+	DefaultStaticThreshold = 512
+	DefaultDynamicStep     = 8
+)
+
+// roundSeed derives the round-r PRNG seed from the config seed via
+// splitmix64 — adjacent rounds get decorrelated streams, and the mapping
+// is pure, which is the determinism contract's foundation.
+func roundSeed(seed int64, round int) int64 {
+	z := uint64(seed) + uint64(round+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+func roundRNG(seed int64, round int) *rand.Rand {
+	return rand.New(rand.NewSource(roundSeed(seed, round)))
+}

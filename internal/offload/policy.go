@@ -1,0 +1,45 @@
+package offload
+
+// policy is the runtime threshold controller. All three kinds share the
+// state; the kind selects the adjustment rule.
+type policy struct {
+	cfg       PolicyConfig
+	threshold int
+}
+
+func newPolicy(cfg PolicyConfig) *policy {
+	return &policy{cfg: cfg, threshold: cfg.Initial}
+}
+
+// adjust applies the end-of-round rule from the three counters the
+// SNIPPETS §1 simulator adjusts on. The classic rule — shared verbatim by
+// the insight-seeded policy, so seeding is the only difference between
+// them:
+//
+//   - any over-offloads mean the threshold admits more candidates than
+//     the rule-insertion budget or table can take: raise it;
+//   - otherwise drops mean the slow path is overloaded and more flows
+//     should be offloaded: lower it.
+//
+// Over-offloads take priority: lowering the threshold while insertions
+// are already saturated only lengthens the candidate queue (and wastes
+// slots on ever-smaller flows) without moving a single extra packet to
+// the fast path. The threshold always stays inside [Min,Max], and the
+// fixed point — no over-offloads, no drops — leaves it untouched.
+func (p *policy) adjust(offloads, overOffloads, drops int) {
+	if p.cfg.Kind == PolicyStatic {
+		return
+	}
+	switch {
+	case overOffloads > 0:
+		p.threshold += p.cfg.Step
+	case drops > 0:
+		p.threshold -= p.cfg.Step
+	}
+	if p.threshold < p.cfg.Min {
+		p.threshold = p.cfg.Min
+	}
+	if p.threshold > p.cfg.Max {
+		p.threshold = p.cfg.Max
+	}
+}

@@ -1,0 +1,152 @@
+package offload
+
+import (
+	"clara/internal/core"
+	"clara/internal/isa"
+	"clara/internal/nicsim"
+)
+
+// RoundScale is the time compression of the simulation: one round models
+// 1/64 of a second, so every per-second hardware rate divides by
+// RoundScale to become a per-round budget. Scaling time instead of the
+// hardware keeps all derived budgets mutually consistent while keeping a
+// 96-round trajectory cheap enough for tests and CI.
+const RoundScale = 64
+
+// seedSamples is the empirical sample size the seeding math draws from a
+// scenario's flow-size distribution, and seedSampleSeed its fixed PRNG
+// seed — both constants so seeding is deterministic.
+const (
+	seedSamples    = 8192
+	seedSampleSeed = 0x5eed5a17
+)
+
+// CyclesPerPacket converts Clara's per-NF prediction into the NIC-core
+// cycle cost of one slow-path packet: predicted core-logic instructions
+// plus exact reverse-ported API instructions (≈1 cycle each on the wimpy
+// in-order cores), plus each stateful access's EMEM latency divided by
+// the hardware threads that hide it.
+func CyclesPerPacket(mp *core.ModulePrediction, p nicsim.Params) float64 {
+	memLat := float64(p.Regions[isa.EMEM].Latency) / float64(p.ThreadsPerCore)
+	return mp.TotalCompute + float64(mp.TotalAPI) + float64(mp.TotalMem)*memLat
+}
+
+// DeriveCapacities maps the nicsim hardware model plus a per-NF
+// prediction to the controller's per-round budgets:
+//
+//   - fast path: offloaded flows hit the ingress flow cache — bounded by
+//     the packet IO ceiling or the cores replaying the cached action,
+//     whichever is smaller;
+//   - slow path: un-offloaded packets run the full NF on the exception
+//     path's reserved cores at the predicted per-packet cycle cost —
+//     this is where the prediction sets the pressure the controller
+//     must relieve;
+//   - offload table: the EMEM-backed exact-match rule table, modeled at
+//     16× the ingress cache (the cache holds the hot subset);
+//   - insertions/round: rule installation through the management path is
+//     slow (~30 µs/rule), the premise of having a threshold at all.
+func DeriveCapacities(p nicsim.Params, mp *core.ModulePrediction) Capacities {
+	coreHz := float64(p.NumCores) * p.CoreGHz * 1e9
+	fast := p.IngressPPS()
+	if p.FlowCacheHitCycles > 0 {
+		if byCores := coreHz / float64(p.FlowCacheHitCycles); byCores < fast {
+			fast = byCores
+		}
+	}
+	cyc := CyclesPerPacket(mp, p)
+	if cyc < 1 {
+		cyc = 1
+	}
+	slow := float64(p.ExceptionPathCores()) * p.CoreGHz * 1e9 / cyc
+	return Capacities{
+		FastPathPPS:     int(fast) / RoundScale,
+		SlowPathPPS:     int(slow) / RoundScale,
+		OffloadTable:    p.FlowCacheEntries * 16,
+		OffloadPerRound: 65536 / RoundScale, // ~15 µs per rule install
+	}
+}
+
+// SeedPolicy derives the insight-seeded policy for a scenario under the
+// given capacities. The seeded threshold is the smallest one whose
+// offload-candidate stream fits the rule-insertion budget (with 20%
+// headroom) and the offload table — the lowest threshold the NIC can
+// actually sustain. Lower is better because share of traffic moved to
+// the fast path shrinks monotonically as the threshold grows; the
+// binding constraints are the insertion rate and table size, both known
+// from the capacities, while the slow-path need (derived from the
+// prediction via SlowPathPPS) tells the caller whether even the best
+// threshold suffices. The adjustment step scales with the threshold so
+// residual corrections converge in a few rounds.
+func SeedPolicy(sc Scenario, caps Capacities) PolicyConfig {
+	samples := sc.Sizes.Samples(seedSamples, seedSampleSeed)
+	maxT := sc.Sizes.maxSize()
+	flowRounds := sc.flowRounds()
+	insertBudget := float64(caps.OffloadPerRound) * 0.8
+
+	fits := func(t int) bool {
+		// Candidate arrival rate: new flows/round whose size crosses t.
+		var over, occupancy float64
+		for _, s := range samples {
+			if s > t {
+				over++
+				// Rounds the flow holds a table entry: its remaining
+				// lifetime after crossing the threshold.
+				occupancy += float64(flowRounds) * float64(s-t) / float64(s)
+			}
+		}
+		perFlow := float64(sc.CPS) / float64(len(samples))
+		return over*perFlow <= insertBudget && occupancy*perFlow <= float64(caps.OffloadTable)
+	}
+
+	// Binary search the smallest sustainable threshold; fits is monotone
+	// non-decreasing in t.
+	lo, hi := 1, maxT
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if fits(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	step := lo / 8
+	if step < 1 {
+		step = 1
+	}
+	return PolicyConfig{Kind: PolicyInsight, Initial: lo, Step: step, Min: 1, Max: maxT}
+}
+
+// SeedFromPrediction is the full insight-seeding path: Clara's per-NF
+// prediction fixes the capacities (most importantly the slow-path
+// throughput this NF leaves the exception path), and the capacities plus
+// the scenario's flow-size mix fix the starting threshold and step.
+func SeedFromPrediction(mp *core.ModulePrediction, p nicsim.Params, sc Scenario) (Capacities, PolicyConfig) {
+	caps := DeriveCapacities(p, mp)
+	return caps, SeedPolicy(sc, caps)
+}
+
+// NominalPrediction is a mid-weight stand-in NF prediction (roughly the
+// element library's median predicted cost) used to derive capacities
+// when no trained predictor is in play — the static/dynamic CLI paths,
+// which must run without training.
+func NominalPrediction() *core.ModulePrediction {
+	return &core.ModulePrediction{
+		Name:         "nominal",
+		TotalCompute: 420,
+		TotalAPI:     200,
+		TotalMem:     7,
+	}
+}
+
+// BaselinePolicy returns the non-seeded policy configs the benchmarks
+// compare against: the operator's hand-set static threshold, or the
+// classic dynamic adjustment starting from the same hand-set value.
+func BaselinePolicy(kind PolicyKind, sc Scenario) PolicyConfig {
+	return PolicyConfig{
+		Kind:    kind,
+		Initial: DefaultStaticThreshold,
+		Step:    DefaultDynamicStep,
+		Min:     1,
+		Max:     sc.Sizes.maxSize(),
+	}
+}

@@ -105,6 +105,15 @@ var (
 	MediumMix  = Spec{Name: "medium-mix", NumFlows: 4096, PktSize: 256, ZipfS: 0.9, SYNRatio: 0.05, UDPRatio: 0.3, PayloadB: 128, Seed: 17}
 )
 
+// Adversarial / skewed workloads added for the offload-controller
+// scenarios (internal/offload): a SYN flood of tiny single-packet
+// connections, and a bimodal elephant/mice mix whose handful of heavy
+// hitters carry nearly all bytes.
+var (
+	SYNFlood     = Spec{Name: "syn-flood", NumFlows: 131072, PktSize: 64, ZipfS: 0.0, SYNRatio: 0.95, UDPRatio: 0.0, PayloadB: 0, Seed: 19}
+	ElephantMice = Spec{Name: "elephant-mice", NumFlows: 2048, PktSize: 512, ZipfS: 1.6, SYNRatio: 0.02, UDPRatio: 0.1, PayloadB: 384, Seed: 23}
+)
+
 // flow is one generated flow's immutable identity plus its progression
 // state.
 type flow struct {

@@ -13,8 +13,12 @@ test:
 race:
 	$(GO) test -race ./...
 
+# vet runs go vet plus claravet, the project's determinism analyzer
+# (time.Now / global rand / map-range / stray float reductions in the
+# packages that promise bit-identical output; see cmd/claravet).
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/claravet
 
 # fmt-check fails listing any file gofmt would rewrite.
 fmt-check:
@@ -70,14 +74,17 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzCompile$$ -fuzztime=20s ./internal/lang/
 	$(GO) test -run=^$$ -fuzz=FuzzCompileNF -fuzztime=20s .
 	$(GO) test -run=^$$ -fuzz=FuzzLint -fuzztime=20s ./internal/analysis/
+	$(GO) test -run=^$$ -fuzz=FuzzTaint -fuzztime=20s ./internal/analysis/
 	$(GO) test -run=^$$ -fuzz=FuzzSimulate -fuzztime=10s ./internal/offload/
 
 bench-fleet:
 	$(GO) test -run=^$$ -bench=BenchmarkFleetAnalyze -benchtime=5x .
 
-# Regenerate the Insights.Report, lint, and simulation-trajectory
-# golden files after intentional formatting/simulator changes.
+# Regenerate the Insights.Report, lint, simulation-trajectory, and
+# taint/frequency state-profile golden files after intentional
+# formatting/simulator/analysis changes.
 update-golden:
 	$(GO) test ./internal/core/ -run TestReportGolden -update
 	$(GO) test ./internal/analysis/ -run TestLintGolden -update
 	$(GO) test ./internal/offload/ -run TestSimulateGolden -update
+	$(GO) test ./internal/analysis/ -run TestStateProfileGoldens -update

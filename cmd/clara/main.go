@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"clara"
+	"clara/internal/analysis"
 	"clara/internal/core"
 	"clara/internal/offload"
 	"clara/internal/traffic"
@@ -87,8 +88,14 @@ func main() {
 		cps       = flag.Int("cps", 0, "with -simulate: override new flows per round (0 = scenario default)")
 		pps       = flag.Int("pps", 0, "with -simulate: override offered packets per round (0 = scenario default)")
 		simSeed   = flag.Int64("sim-seed", 7, "with -simulate: trajectory PRNG seed")
+		whyRule   = flag.String("why", "", "explain a lint rule (e.g. -why loop-varbound); 'list' enumerates all rules")
 	)
 	flag.Parse()
+
+	if *whyRule != "" {
+		explainRule(*whyRule)
+		return
+	}
 
 	f := cliFlags{
 		nf: *nfName, src: *srcPath, workload: *workload, trace: *tracePath,
@@ -312,6 +319,7 @@ func runSimulate(f cliFlags, quick, quantize bool) {
 
 	params := clara.DefaultParams()
 	mp := offload.NominalPrediction()
+	var sp *analysis.StateProfile
 	if f.nf != "" || f.src != "" {
 		mod, _, err := resolveModule(f.nf, f.src)
 		if err != nil {
@@ -324,9 +332,12 @@ func runSimulate(f cliFlags, quick, quantize bool) {
 		}
 		mp = pred
 		params = tool.Params
+		// The static state profile refines the fast/slow split: only
+		// header-keyed state is fast-path eligible.
+		sp = analysis.ComputeStateProfile(mod)
 	}
 
-	caps := offload.DeriveCapacities(params, mp)
+	caps := offload.DeriveCapacitiesProfile(params, mp, sp)
 	var pol offload.PolicyConfig
 	if kind == offload.PolicyInsight {
 		pol = offload.SeedPolicy(sc, caps)
@@ -456,6 +467,27 @@ func serve(addr string, workers, queue int, timeout time.Duration, quick, quanti
 		fatal(err)
 	}
 	fmt.Fprintln(os.Stderr, "clara: shut down cleanly")
+}
+
+// explainRule is the -why mode: print the catalog entry for one lint
+// rule (what it means, why it matters on a SmartNIC, what to do), or the
+// whole catalog for "list". Unknown rules exit 2 with the valid names.
+func explainRule(rule string) {
+	if rule == "list" {
+		for _, d := range analysis.RuleDocs {
+			fmt.Printf("%-18s %-8s %s\n", d.Rule, d.Severity, d.Summary)
+		}
+		return
+	}
+	d, ok := analysis.DocFor(rule)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "clara: unknown lint rule %q; known rules:\n", rule)
+		for _, d := range analysis.RuleDocs {
+			fmt.Fprintf(os.Stderr, "  %s\n", d.Rule)
+		}
+		os.Exit(2)
+	}
+	fmt.Printf("%s (%s)\n\n%s\n\n%s\n", d.Rule, d.Severity, d.Summary, d.Detail)
 }
 
 // pickSource resolves -nf/-src to a (name, NFC source) pair.

@@ -67,6 +67,10 @@ type Diagnostic struct {
 	Msg string `json:"msg"`
 	// Hint suggests a fix or porting strategy, when one is known.
 	Hint string `json:"hint,omitempty"`
+	// Cause explains *why* the finding holds, when a deeper analysis knows
+	// (e.g. a loop bound classified payload-dependent by taint tracking,
+	// naming the source API).
+	Cause string `json:"cause,omitempty"`
 }
 
 // String renders the diagnostic in the conventional
@@ -81,14 +85,12 @@ func (d Diagnostic) String() string {
 	return b.String()
 }
 
-// SortDiagnostics orders findings by severity, then position, then rule —
-// a stable order for golden files and reports.
+// SortDiagnostics orders findings by source position, then rule — the
+// stable source-order reading a reviewer expects, independent of which
+// pass produced each finding.
 func SortDiagnostics(ds []Diagnostic) {
 	sort.SliceStable(ds, func(i, j int) bool {
 		a, b := ds[i], ds[j]
-		if a.Severity != b.Severity {
-			return a.Severity < b.Severity
-		}
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
@@ -98,8 +100,40 @@ func SortDiagnostics(ds []Diagnostic) {
 		if a.Rule != b.Rule {
 			return a.Rule < b.Rule
 		}
+		if a.Severity != b.Severity {
+			return a.Severity < b.Severity
+		}
+		if a.Fn != b.Fn {
+			return a.Fn < b.Fn
+		}
 		return a.Msg < b.Msg
 	})
+}
+
+// NormalizeDiagnostics sorts findings into position-then-rule order and
+// removes duplicates: the same rule at the same position with the same
+// message, whichever passes emitted it, appears once. The richer copy
+// wins — a duplicate carrying a Cause or Hint fills in a bare one.
+func NormalizeDiagnostics(ds []Diagnostic) []Diagnostic {
+	SortDiagnostics(ds)
+	out := ds[:0]
+	for _, d := range ds {
+		if n := len(out); n > 0 {
+			p := &out[n-1]
+			if p.Rule == d.Rule && p.Fn == d.Fn && p.Line == d.Line &&
+				p.Col == d.Col && p.Msg == d.Msg {
+				if p.Cause == "" {
+					p.Cause = d.Cause
+				}
+				if p.Hint == "" {
+					p.Hint = d.Hint
+				}
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	return out
 }
 
 // Summary counts diagnostics by severity.
@@ -139,6 +173,9 @@ func Render(ds []Diagnostic) string {
 	for _, d := range ds {
 		b.WriteString(d.String())
 		b.WriteByte('\n')
+		if d.Cause != "" {
+			fmt.Fprintf(&b, "\tcause: %s\n", d.Cause)
+		}
 		if d.Hint != "" {
 			fmt.Fprintf(&b, "\thint: %s\n", d.Hint)
 		}

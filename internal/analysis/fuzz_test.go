@@ -40,8 +40,15 @@ func FuzzLint(f *testing.F) {
 			if d.Severity != analysis.SevError && d.Severity != analysis.SevWarning && d.Severity != analysis.SevInfo {
 				t.Errorf("diagnostic %d has bad severity: %+v", i, d)
 			}
-			if i > 0 && ds[i-1].Severity > d.Severity {
-				t.Errorf("diagnostics not sorted by severity at %d: %v", i, ds)
+			if i > 0 {
+				p := ds[i-1]
+				if p.Line > d.Line || (p.Line == d.Line && p.Col > d.Col) {
+					t.Errorf("diagnostics not sorted by position at %d: %v", i, ds)
+				}
+				if p.Line == d.Line && p.Col == d.Col && p.Rule == d.Rule &&
+					p.Fn == d.Fn && p.Msg == d.Msg {
+					t.Errorf("duplicate diagnostic survived dedup at %d: %v", i, ds)
+				}
 			}
 		}
 		blob, err := json.Marshal(ds)

@@ -44,7 +44,59 @@ const (
 	// RuleAPIUnknown: a call to an API outside the framework registry;
 	// nothing is known about its NIC cost or semantics.
 	RuleAPIUnknown = "api-unknown"
+	// RuleConstBranch: a two-way branch whose condition is compile-time
+	// constant — the untaken side is pure instruction-store waste on the
+	// NIC, and usually a porting leftover.
+	RuleConstBranch = "const-branch"
+	// RuleDeadCode: a block no feasible path executes (behind an
+	// always-false branch) that still occupies NIC instruction store.
+	RuleDeadCode = "dead-code"
 )
+
+// RuleDoc documents one rule for the `clara -why <rule>` explainer.
+type RuleDoc struct {
+	Rule     string
+	Severity Severity
+	Summary  string
+	Detail   string
+}
+
+// RuleDocs is the rule catalog in stable order: what each rule means, why
+// it matters on a SmartNIC, and what analysis produces it.
+var RuleDocs = []RuleDoc{
+	{RuleLoopUnbounded, SevError, "a loop with no feasible exit",
+		"Range propagation found no exit edge that can be taken. Run-to-completion NIC cores have no preemption: a per-packet loop that never exits stalls the core and a share of the NIC's throughput with it. The taint engine attaches a cause classifying the loop's condition as header-only or payload-dependent."},
+	{RuleLoopVarBound, SevWarning, "a loop whose trip count cannot be bounded, or exceeds the per-packet budget",
+		"Trip-count inference (induction slot + range analysis) could not bound the iterations, or the bound exceeds the configured budget. Per-packet latency becomes input-dependent. The attached cause states whether the bound derives from packet headers (fast-path computable) or payload bytes (slow-path only), naming the source API."},
+	{RuleFloatOp, SevError, "a framework call computing in floating point",
+		"NIC cores have no FPU; soft-float emulation costs ~100x. Rewrite with fixed-point integer arithmetic."},
+	{RuleStateOversize, SevError, "a stateful structure exceeding a memory-tier budget",
+		"Errors mean the structure does not fit the largest tier (EMEM) at all; warnings mean it spills past on-chip SRAM into DRAM-backed EMEM, adding latency to every access."},
+	{RuleRecursion, SevError, "recursive functions",
+		"NIC cores have no call stack; Micro-C forbids recursion. Detected on the AST before lowering (the frontend refuses to inline cycles)."},
+	{RuleDeadStore, SevWarning, "a computed value stored to a local that is never read",
+		"Wasted cycles on a wimpy core, often a porting bug. Constant stores are exempt (declaration defaults cost nothing after register allocation)."},
+	{RuleUninitRead, SevWarning, "a local read that may observe its uninitialized entry value",
+		"Reaching-definitions found a path on which the slot is read before any store. Frontend-lowered code zero-initializes declarations, so this fires on hand-built IR."},
+	{RuleReversePort, SevInfo, "a stateful framework API with divergent host/NIC implementations",
+		"The call must be reverse ported (paper §3.3): the NIC side has fixed capacity and no growth, unlike the host's elastic structures."},
+	{RuleAPIUnknown, SevWarning, "a call to an API outside the framework registry",
+		"Nothing is known about the callee's NIC cost or semantics; the predictor cannot price it and the linter cannot check it."},
+	{RuleConstBranch, SevWarning, "a two-way branch whose condition is compile-time constant",
+		"Interprocedural sparse conditional constant propagation folded the condition. The untaken side is dead weight in the NIC instruction store; SimplifyModule straightens such branches before prediction."},
+	{RuleDeadCode, SevWarning, "a block no feasible path executes",
+		"The block is reachable in the CFG but constant propagation proves every path into it takes another branch side. It still occupies instruction store and skews naive per-block predictions; SimplifyModule removes it."},
+}
+
+// DocFor returns the documentation entry for a rule ID.
+func DocFor(rule string) (RuleDoc, bool) {
+	for _, d := range RuleDocs {
+		if d.Rule == rule {
+			return d, true
+		}
+	}
+	return RuleDoc{}, false
+}
 
 // Config parameterizes the linter's budgets. The defaults mirror the
 // reference NIC model (internal/nicsim.DefaultParams).
@@ -79,11 +131,17 @@ func LintModule(m *ir.Module, cfg Config) []Diagnostic {
 func lintModule(m *ir.Module, cfg Config, gpos map[string]ir.Pos) []Diagnostic {
 	var ds []Diagnostic
 	ds = append(ds, lintGlobals(m, cfg, gpos)...)
-	for _, f := range m.Funcs {
-		ds = append(ds, lintFunc(m, f, cfg)...)
+	// The interprocedural engine runs once per module; its facts (taint
+	// causes, constant branches, dead blocks) thread through the
+	// per-function rules.
+	cg := BuildCallGraph(m)
+	ti := ComputeTaint(cg)
+	si := ComputeSCCP(cg)
+	for node, f := range cg.Funcs {
+		ds = append(ds, lintFunc(m, f, cg.CFGs[node], ti, cfg)...)
 	}
-	SortDiagnostics(ds)
-	return ds
+	ds = append(ds, lintConstFacts(m, si)...)
+	return NormalizeDiagnostics(ds)
 }
 
 // LintSource parses, checks, lowers, and lints NFC source. Findings that
@@ -271,14 +329,48 @@ func lintGlobals(m *ir.Module, cfg Config, gpos map[string]ir.Pos) []Diagnostic 
 }
 
 // lintFunc runs the CFG/dataflow rules over one function.
-func lintFunc(m *ir.Module, f *ir.Func, cfg Config) []Diagnostic {
+func lintFunc(m *ir.Module, f *ir.Func, c *CFG, ti *TaintInfo, cfg Config) []Diagnostic {
 	var ds []Diagnostic
-	c := BuildCFG(f)
 	ri := ComputeRanges(c)
-	ds = append(ds, lintLoops(m, f, c, ri, cfg)...)
+	ds = append(ds, lintLoops(m, f, c, ri, ti, cfg)...)
 	ds = append(ds, lintCalls(m, f, c)...)
 	ds = append(ds, lintDeadStores(m, f, c)...)
 	ds = append(ds, lintUninitReads(m, f, c)...)
+	return ds
+}
+
+// lintConstFacts surfaces the constant-propagation findings: branches
+// that always go one way, and blocks nothing executes.
+func lintConstFacts(m *ir.Module, si *SCCPInfo) []Diagnostic {
+	var ds []Diagnostic
+	for _, cb := range si.ConstBranches() {
+		truth := "true"
+		if cb.Cond == 0 {
+			truth = "false"
+		}
+		ds = append(ds, Diagnostic{
+			Rule:     RuleConstBranch,
+			Severity: SevWarning,
+			Elem:     m.Name,
+			Fn:       cb.Fn,
+			Line:     cb.Pos.Line,
+			Col:      cb.Pos.Col,
+			Msg:      fmt.Sprintf("branch condition is always %s; the untaken side is dead weight in the NIC instruction store", truth),
+			Hint:     "delete the dead side, or make the condition depend on runtime input",
+		})
+	}
+	for _, db := range si.DeadBlocks() {
+		ds = append(ds, Diagnostic{
+			Rule:     RuleDeadCode,
+			Severity: SevWarning,
+			Elem:     m.Name,
+			Fn:       db.Fn,
+			Line:     db.Pos.Line,
+			Col:      db.Pos.Col,
+			Msg:      fmt.Sprintf("block b%d is unreachable under propagated constants; it still occupies NIC instruction store", db.Block),
+			Hint:     "remove the dead code, or run the simplify pass before porting",
+		})
+	}
 	return ds
 }
 
@@ -300,8 +392,11 @@ func loopPos(c *CFG, l *Loop) ir.Pos {
 	return ir.Pos{}
 }
 
-// lintLoops applies the trip-count rules to every natural loop.
-func lintLoops(m *ir.Module, f *ir.Func, c *CFG, ri *RangeInfo, cfg Config) []Diagnostic {
+// lintLoops applies the trip-count rules to every natural loop. The taint
+// engine supplies the cause: whether the loop's bound derives from packet
+// headers (a fast path could still compute it) or payload bytes (slow
+// path only).
+func lintLoops(m *ir.Module, f *ir.Func, c *CFG, ri *RangeInfo, ti *TaintInfo, cfg Config) []Diagnostic {
 	var ds []Diagnostic
 	for _, l := range c.NaturalLoops() {
 		if !ri.BlockReachable(l.Head) {
@@ -309,6 +404,10 @@ func lintLoops(m *ir.Module, f *ir.Func, c *CFG, ri *RangeInfo, cfg Config) []Di
 		}
 		tc := ri.InferTripCount(c, l)
 		pos := loopPos(c, l)
+		cause := ""
+		if lt, ok := ti.LoopClass(f.Name, l.Head); ok {
+			cause = lt.Cause()
+		}
 		switch {
 		case !tc.HasFeasibleExit:
 			ds = append(ds, Diagnostic{
@@ -331,6 +430,7 @@ func lintLoops(m *ir.Module, f *ir.Func, c *CFG, ri *RangeInfo, cfg Config) []Di
 				Col:      pos.Col,
 				Msg:      "cannot bound the loop's iteration count; per-packet latency becomes input-dependent",
 				Hint:     "cap the controlling variable with a constant (e.g. clamp it before the loop)",
+				Cause:    cause,
 			})
 		case tc.Max > cfg.TripBudget:
 			ds = append(ds, Diagnostic{
@@ -342,7 +442,8 @@ func lintLoops(m *ir.Module, f *ir.Func, c *CFG, ri *RangeInfo, cfg Config) []Di
 				Col:      pos.Col,
 				Msg: fmt.Sprintf("loop may run %d iterations per packet, beyond the %d budget",
 					tc.Max, cfg.TripBudget),
-				Hint: "tighten the loop bound or move the work off the per-packet path",
+				Hint:  "tighten the loop bound or move the work off the per-packet path",
+				Cause: cause,
 			})
 		}
 	}

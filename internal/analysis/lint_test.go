@@ -384,20 +384,37 @@ func TestLintGolden(t *testing.T) {
 	}
 }
 
-// TestDiagnosticOrdering: errors sort before warnings before infos, and
-// within a severity diagnostics order by position.
+// TestDiagnosticOrdering: diagnostics order by source position first
+// (line, col), then rule, regardless of severity or emitting pass.
 func TestDiagnosticOrdering(t *testing.T) {
 	ds := []analysis.Diagnostic{
 		{Rule: "b", Severity: analysis.SevInfo, Line: 1},
 		{Rule: "a", Severity: analysis.SevError, Line: 9},
 		{Rule: "c", Severity: analysis.SevWarning, Line: 2},
-		{Rule: "d", Severity: analysis.SevError, Line: 3},
+		{Rule: "d", Severity: analysis.SevError, Line: 2},
 	}
 	analysis.SortDiagnostics(ds)
-	want := []string{"d", "a", "c", "b"}
+	want := []string{"b", "c", "d", "a"}
 	for i, r := range want {
 		if ds[i].Rule != r {
 			t.Fatalf("order %v, want %v", ds, want)
 		}
+	}
+}
+
+// TestDiagnosticDedup: the same rule+position+message emitted by two
+// passes collapses to one finding, and the richer copy's cause survives.
+func TestDiagnosticDedup(t *testing.T) {
+	ds := []analysis.Diagnostic{
+		{Rule: "r", Fn: "handle", Line: 3, Col: 1, Msg: "m"},
+		{Rule: "r", Fn: "handle", Line: 3, Col: 1, Msg: "m", Cause: "payload-dependent: derives from pkt_payload"},
+		{Rule: "r", Fn: "handle", Line: 4, Col: 1, Msg: "m"},
+	}
+	out := analysis.NormalizeDiagnostics(ds)
+	if len(out) != 2 {
+		t.Fatalf("dedup kept %d diagnostics, want 2: %v", len(out), out)
+	}
+	if out[0].Cause == "" {
+		t.Fatalf("dedup dropped the richer duplicate's cause: %+v", out[0])
 	}
 }

@@ -1,0 +1,680 @@
+package analysis
+
+import (
+	"clara/internal/ir"
+)
+
+// Sparse conditional constant propagation (interprocedural) and the IR
+// simplification pass built on it. The lattice per value/slot is the
+// classic three-point chain top (unvisited) > const c > bottom (varying);
+// edge feasibility is tracked exactly as in range propagation, so a
+// branch whose condition folds to a constant executes only one side and
+// code behind the dead side stays top. Interprocedurally, parameter cells
+// join over in-module call sites and return cells summarize callees,
+// iterated to a fixpoint over call-graph SCCs.
+//
+// Two lint rules read the result: const-branch (a two-way branch whose
+// condition is compile-time constant — on a run-to-completion NIC core
+// the dead side is pure I-store waste) and dead-code (a block no feasible
+// path reaches). SimplifyModule applies the same facts as a rewrite:
+// operand folding, constant-branch straightening, unreachable-block
+// removal, and dead pure-value elimination — the optional pre-prediction
+// cleanup pass, so predictions reflect the code a NIC compiler would
+// actually emit.
+
+// cell kinds: the three-point constant lattice.
+const (
+	cellTop    uint8 = iota // no evidence yet (unvisited/optimistic)
+	cellConst               // exactly one runtime value
+	cellBottom              // varying
+)
+
+// constCell is one lattice element.
+type constCell struct {
+	kind uint8
+	val  uint64
+}
+
+var bottomCell = constCell{kind: cellBottom}
+
+// Const reports the cell's value if it is a single constant.
+func (c constCell) Const() (uint64, bool) { return c.val, c.kind == cellConst }
+
+func joinCell(a, b constCell) constCell {
+	switch {
+	case a.kind == cellTop:
+		return b
+	case b.kind == cellTop:
+		return a
+	case a.kind == cellConst && b.kind == cellConst && a.val == b.val:
+		return a
+	default:
+		return bottomCell
+	}
+}
+
+// foldOp folds one compute instruction over constant operands, mirroring
+// the interpreter's exact semantics (width masking, shift-amount &63,
+// division by zero yielding all-ones like the NIC firmware).
+func foldOp(in *ir.Instr, a, b uint64) uint64 {
+	mask := typeMax(in.Ty)
+	switch in.Op {
+	case ir.OpAdd:
+		return (a + b) & mask
+	case ir.OpSub:
+		return (a - b) & mask
+	case ir.OpMul:
+		return (a * b) & mask
+	case ir.OpUDiv:
+		if b == 0 {
+			return mask
+		}
+		return (a / b) & mask
+	case ir.OpURem:
+		if b == 0 {
+			return 0
+		}
+		return (a % b) & mask
+	case ir.OpAnd:
+		return a & b & mask
+	case ir.OpOr:
+		return (a | b) & mask
+	case ir.OpXor:
+		return (a ^ b) & mask
+	case ir.OpShl:
+		return (a << (b & 63)) & mask
+	case ir.OpLShr:
+		return (a >> (b & 63)) & mask
+	case ir.OpNot:
+		return ^a & mask
+	case ir.OpZExt, ir.OpTrunc:
+		return a & mask
+	case ir.OpICmp:
+		if cmpPred(in.Pred, a, b) {
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// cmpPred evaluates an unsigned comparison (the interpreter's cmpPred).
+func cmpPred(p ir.Pred, a, b uint64) bool {
+	switch p {
+	case ir.PredEQ:
+		return a == b
+	case ir.PredNE:
+		return a != b
+	case ir.PredULT:
+		return a < b
+	case ir.PredULE:
+		return a <= b
+	case ir.PredUGT:
+		return a > b
+	case ir.PredUGE:
+		return a >= b
+	}
+	return false
+}
+
+// SCCPInfo is the module-level constant-propagation fixpoint.
+type SCCPInfo struct {
+	CG  *CallGraph
+	fns []*fnConst
+}
+
+type fnConst struct {
+	vals   []constCell
+	params []constCell
+	ret    constCell
+	sol    *Solution[sccpState]
+}
+
+// sccpState is the per-point lattice value: reachability plus a cell per
+// slot.
+type sccpState struct {
+	reachable bool
+	slots     []constCell
+}
+
+func (s sccpState) clone() sccpState {
+	return sccpState{reachable: s.reachable, slots: append([]constCell(nil), s.slots...)}
+}
+
+type sccpProblem struct {
+	si      *SCCPInfo
+	node    int
+	changed bool
+}
+
+func (p *sccpProblem) fn() *fnConst { return p.si.fns[p.node] }
+
+func (p *sccpProblem) Boundary() sccpState {
+	f := p.si.CG.Funcs[p.node]
+	s := sccpState{reachable: true, slots: make([]constCell, f.NSlots)}
+	for i := range s.slots {
+		// Slot entry values are unknown in hand-built IR; lowering
+		// zero-initializes declarations, but a store is always emitted for
+		// those, so bottom here costs nothing on frontend output.
+		s.slots[i] = bottomCell
+	}
+	return s
+}
+
+func (p *sccpProblem) Bottom() sccpState { return sccpState{} }
+
+func (p *sccpProblem) Meet(a, b sccpState) sccpState {
+	if !b.reachable {
+		return a
+	}
+	if !a.reachable {
+		return b.clone()
+	}
+	for i := range a.slots {
+		a.slots[i] = joinCell(a.slots[i], b.slots[i])
+	}
+	return a
+}
+
+func (p *sccpProblem) Equal(a, b sccpState) bool {
+	if a.reachable != b.reachable {
+		return false
+	}
+	for i := range a.slots {
+		if a.slots[i] != b.slots[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// operandCell resolves an operand under the current slot state using the
+// accumulated value cells.
+func (p *sccpProblem) operandCell(v ir.Value) constCell {
+	ft := p.fn()
+	switch v.Kind {
+	case ir.VConst:
+		return constCell{kind: cellConst, val: uint64(v.Const) & typeMax(v.Ty)}
+	case ir.VParam:
+		if v.ID >= 0 && v.ID < len(ft.params) {
+			return ft.params[v.ID]
+		}
+		return bottomCell
+	case ir.VInstr:
+		if v.ID >= 0 && v.ID < len(ft.vals) {
+			return ft.vals[v.ID]
+		}
+	}
+	return bottomCell
+}
+
+// eval computes the cell of one instruction's result.
+func (p *sccpProblem) eval(in *ir.Instr, slots []constCell) constCell {
+	switch {
+	case in.Op == ir.OpLLoad:
+		if in.Slot >= 0 && in.Slot < len(slots) {
+			return slots[in.Slot]
+		}
+		return bottomCell
+	case in.Op == ir.OpGLoad:
+		return bottomCell // runtime NF state
+	case in.Op == ir.OpCall:
+		if node := p.si.CG.CalleeNode(in); node >= 0 {
+			callee := p.si.fns[node]
+			for i, a := range in.Args {
+				if i >= len(callee.params) {
+					break
+				}
+				j := joinCell(callee.params[i], p.operandCell(a))
+				if j != callee.params[i] {
+					callee.params[i] = j
+					p.changed = true
+				}
+			}
+			return callee.ret
+		}
+		return bottomCell // intrinsics read packets/state
+	case in.Op.IsCompute():
+		var args [2]constCell
+		for i, a := range in.Args {
+			if i >= 2 {
+				break
+			}
+			args[i] = p.operandCell(a)
+		}
+		// Optimistic: any top operand keeps the result top; any bottom
+		// makes it bottom; all-const folds.
+		for i := range in.Args {
+			if i >= 2 {
+				break
+			}
+			if args[i].kind == cellBottom {
+				return bottomCell
+			}
+		}
+		for i := range in.Args {
+			if i >= 2 {
+				break
+			}
+			if args[i].kind == cellTop {
+				return constCell{}
+			}
+		}
+		return constCell{kind: cellConst, val: foldOp(in, args[0].val, args[1].val)}
+	}
+	return bottomCell
+}
+
+func (p *sccpProblem) Transfer(b *ir.Block, in sccpState) sccpState {
+	if !in.reachable {
+		return sccpState{}
+	}
+	out := in.clone()
+	ft := p.fn()
+	for _, instr := range b.Instrs {
+		cc := p.eval(instr, out.slots)
+		if instr.ID >= 0 && instr.ID < len(ft.vals) {
+			j := joinCell(ft.vals[instr.ID], cc)
+			if j != ft.vals[instr.ID] {
+				ft.vals[instr.ID] = j
+				p.changed = true
+			}
+		}
+		switch instr.Op {
+		case ir.OpLStore:
+			if instr.Slot >= 0 && instr.Slot < len(out.slots) {
+				out.slots[instr.Slot] = p.operandCell(instr.Args[0])
+			}
+		case ir.OpRet:
+			if len(instr.Args) > 0 {
+				j := joinCell(ft.ret, p.operandCell(instr.Args[0]))
+				if j != ft.ret {
+					ft.ret = j
+					p.changed = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TransferEdge kills the infeasible side of a branch whose condition is
+// constant. Like range propagation, the decision must be derivable from
+// the end-of-block slot state alone (same-block definition chains), so a
+// killed edge is re-examined whenever the out-state changes.
+func (p *sccpProblem) TransferEdge(from, to int, out sccpState) sccpState {
+	if !out.reachable {
+		return out
+	}
+	term := p.si.CG.CFGs[p.node].F.Blocks[from].Terminator()
+	if term == nil || term.Op != ir.OpCondBr || term.True == term.False {
+		return out
+	}
+	if cc, exact := p.evalAt(from, term.Args[0], out.slots); exact {
+		if c, ok := cc.Const(); ok && (c != 0) != (to == term.True) {
+			return sccpState{}
+		}
+	}
+	return out
+}
+
+// evalAt re-evaluates v against the end-of-block slot state, walking
+// same-block definition chains. exact=false means the value cannot be
+// soundly reconstructed there.
+func (p *sccpProblem) evalAt(block int, v ir.Value, slots []constCell) (constCell, bool) {
+	switch v.Kind {
+	case ir.VConst, ir.VParam:
+		return p.operandCell(v), true
+	case ir.VInstr:
+		ri := p.si.CG.CFGs[p.node]
+		def, bi, idx := findDef(ri.F, v.ID)
+		if def == nil || bi != block {
+			return bottomCell, false
+		}
+		switch {
+		case def.Op == ir.OpLLoad:
+			if storedAfter(ri.F, block, idx, def.Slot) {
+				return bottomCell, false
+			}
+			return slots[def.Slot], true
+		case def.Op == ir.OpGLoad || def.Op == ir.OpCall:
+			return bottomCell, true
+		case def.Op.IsCompute():
+			exact := true
+			var args [2]constCell
+			for i, a := range def.Args {
+				if i >= 2 {
+					break
+				}
+				cc, ok := p.evalAt(block, a, slots)
+				if !ok {
+					exact = false
+				}
+				args[i] = cc
+			}
+			if !exact {
+				return bottomCell, false
+			}
+			for i := range def.Args {
+				if i >= 2 {
+					break
+				}
+				if args[i].kind != cellConst {
+					return args[i], true
+				}
+			}
+			return constCell{kind: cellConst, val: foldOp(def, args[0].val, args[1].val)}, true
+		}
+	}
+	return bottomCell, false
+}
+
+// findDef locates the defining instruction of SSA value id.
+func findDef(f *ir.Func, id int) (*ir.Instr, int, int) {
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			if in.ID == id {
+				return in, b.Index, i
+			}
+		}
+	}
+	return nil, -1, -1
+}
+
+// storedAfter reports whether slot is stored after instruction index idx
+// in block.
+func storedAfter(f *ir.Func, block, idx, slot int) bool {
+	instrs := f.Blocks[block].Instrs
+	for i := idx + 1; i < len(instrs); i++ {
+		if instrs[i].Op == ir.OpLStore && instrs[i].Slot == slot {
+			return true
+		}
+	}
+	return false
+}
+
+// ComputeSCCP runs interprocedural sparse conditional constant
+// propagation over a call graph.
+func ComputeSCCP(cg *CallGraph) *SCCPInfo {
+	si := &SCCPInfo{CG: cg}
+	si.fns = make([]*fnConst, len(cg.Funcs))
+	for i, f := range cg.Funcs {
+		fc := &fnConst{
+			vals:   make([]constCell, f.NumVals),
+			params: make([]constCell, len(f.Params)),
+		}
+		// Root functions (no in-module callers: the packet handler, or any
+		// externally invoked entry) take arbitrary runtime arguments.
+		if len(cg.Callers[i]) == 0 {
+			for pi := range fc.params {
+				fc.params[pi] = bottomCell
+			}
+		}
+		si.fns[i] = fc
+	}
+	cg.FixpointSCC(func(node int) bool {
+		p := &sccpProblem{si: si, node: node}
+		si.fns[node].sol = Solve[sccpState](cg.CFGs[node], Forward, p)
+		return p.changed
+	})
+	return si
+}
+
+// Executable reports whether any feasible path reaches block b of node.
+func (si *SCCPInfo) Executable(node, b int) bool {
+	sol := si.fns[node].sol
+	return b == 0 || sol.Out[b].reachable || sol.In[b].reachable
+}
+
+// ValCell returns (value, isConst) for SSA value id of the named
+// function.
+func (si *SCCPInfo) ValCell(fn string, id int) (uint64, bool) {
+	node := si.CG.Node(fn)
+	if node < 0 {
+		return 0, false
+	}
+	ft := si.fns[node]
+	if id < 0 || id >= len(ft.vals) {
+		return 0, false
+	}
+	return ft.vals[id].Const()
+}
+
+// ConstBranch describes a two-way branch whose condition is compile-time
+// constant.
+type ConstBranch struct {
+	Fn    string
+	Block int
+	Pos   ir.Pos
+	// Cond is the constant condition value; Taken is the successor block
+	// that executes.
+	Cond  uint64
+	Taken int
+}
+
+// ConstBranches lists every executable two-way CondBr whose condition
+// folded to a constant, in (node, block) order.
+func (si *SCCPInfo) ConstBranches() []ConstBranch {
+	var out []ConstBranch
+	for node, f := range si.CG.Funcs {
+		p := &sccpProblem{si: si, node: node}
+		for _, b := range f.Blocks {
+			if !si.Executable(node, b.Index) {
+				continue
+			}
+			term := b.Terminator()
+			if term == nil || term.Op != ir.OpCondBr || term.True == term.False {
+				continue
+			}
+			c, ok := p.operandCell(term.Args[0]).Const()
+			if !ok {
+				continue
+			}
+			taken := term.True
+			if c == 0 {
+				taken = term.False
+			}
+			out = append(out, ConstBranch{Fn: f.Name, Block: b.Index, Pos: term.Pos, Cond: c, Taken: taken})
+		}
+	}
+	return out
+}
+
+// DeadBlock describes a CFG-reachable block no feasible path executes.
+type DeadBlock struct {
+	Fn    string
+	Block int
+	Pos   ir.Pos
+}
+
+// DeadBlocks lists blocks that are reachable in the CFG but not
+// executable under propagated constants — code behind always-false
+// branches.
+func (si *SCCPInfo) DeadBlocks() []DeadBlock {
+	var out []DeadBlock
+	for node, f := range si.CG.Funcs {
+		c := si.CG.CFGs[node]
+		for _, b := range f.Blocks {
+			if !c.Reachable(b.Index) || si.Executable(node, b.Index) {
+				continue
+			}
+			db := DeadBlock{Fn: f.Name, Block: b.Index}
+			for _, in := range b.Instrs {
+				if in.Pos.IsValid() {
+					db.Pos = in.Pos
+					break
+				}
+			}
+			out = append(out, db)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// IR simplification.
+
+// SimplifyModule returns a copy of m with SCCP facts applied: constant
+// operands folded in place, constant two-way branches straightened,
+// unreachable blocks removed, and unused pure value computations dropped.
+// The second result counts rewrites (0 means the copy is structurally
+// identical). The input module is never mutated; the output always passes
+// ir.Verify.
+func SimplifyModule(m *ir.Module) (*ir.Module, int) {
+	out := cloneModule(m)
+	si := ComputeSCCP(BuildCallGraph(out))
+	changes := 0
+	for node, f := range si.CG.Funcs {
+		p := &sccpProblem{si: si, node: node}
+		// Fold constant operands and straighten constant branches.
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				for ai, a := range in.Args {
+					if a.Kind != ir.VInstr {
+						continue
+					}
+					if c, ok := p.operandCell(a).Const(); ok {
+						in.Args[ai] = ir.ConstVal(int64(c), a.Ty)
+						changes++
+					}
+				}
+				if in.Op == ir.OpCondBr {
+					if c, ok := p.operandCell(in.Args[0]).Const(); ok {
+						if c == 0 {
+							in.True = in.False
+						}
+						in.Op = ir.OpBr
+						in.Args = nil
+						in.False = 0
+						changes++
+					}
+				}
+			}
+		}
+		changes += removeUnreachable(f)
+		changes += removeDeadValues(f)
+	}
+	if err := ir.Verify(out); err != nil {
+		// Defensive: a rewrite that breaks structural invariants must never
+		// escape into prediction; fall back to the unmodified input.
+		return cloneModule(m), 0
+	}
+	return out, changes
+}
+
+// removeUnreachable drops blocks no terminator path reaches and reindexes
+// the remainder.
+func removeUnreachable(f *ir.Func) int {
+	n := len(f.Blocks)
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range f.Blocks[b].Succs() {
+			if s >= 0 && s < n && !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	remap := make([]int, n)
+	var kept []*ir.Block
+	for i, b := range f.Blocks {
+		if !seen[i] {
+			remap[i] = -1
+			continue
+		}
+		remap[i] = len(kept)
+		b.Index = len(kept)
+		kept = append(kept, b)
+	}
+	removed := n - len(kept)
+	if removed == 0 {
+		return 0
+	}
+	for _, b := range kept {
+		t := b.Terminator()
+		if t == nil {
+			continue
+		}
+		switch t.Op {
+		case ir.OpBr:
+			t.True = remap[t.True]
+		case ir.OpCondBr:
+			t.True = remap[t.True]
+			t.False = remap[t.False]
+		}
+	}
+	f.Blocks = kept
+	return removed
+}
+
+// removeDeadValues drops pure value computations (compute ops and local
+// loads) whose results are never used, iterating until stable. Global
+// loads are kept: they are the stateful memory accesses the predictor
+// counts, and dropping them is a placement-relevant decision left to the
+// NIC compiler.
+func removeDeadValues(f *ir.Func) int {
+	removed := 0
+	for {
+		used := make([]bool, f.NumVals)
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				for _, a := range in.Args {
+					if a.Kind == ir.VInstr && a.ID >= 0 && a.ID < len(used) {
+						used[a.ID] = true
+					}
+				}
+			}
+		}
+		dropped := 0
+		for _, b := range f.Blocks {
+			kept := b.Instrs[:0]
+			for _, in := range b.Instrs {
+				pure := in.Op.IsCompute() || in.Op == ir.OpLLoad
+				if pure && in.ID >= 0 && in.ID < len(used) && !used[in.ID] {
+					dropped++
+					continue
+				}
+				kept = append(kept, in)
+			}
+			b.Instrs = kept
+		}
+		if dropped == 0 {
+			return removed
+		}
+		removed += dropped
+	}
+}
+
+// cloneModule deep-copies a module (globals, functions, blocks,
+// instructions, operand slices).
+func cloneModule(m *ir.Module) *ir.Module {
+	out := &ir.Module{Name: m.Name}
+	for _, g := range m.Globals {
+		cg := *g
+		out.Globals = append(out.Globals, &cg)
+	}
+	for _, f := range m.Funcs {
+		nf := &ir.Func{
+			Name:    f.Name,
+			Params:  append([]ir.Param(nil), f.Params...),
+			Ret:     f.Ret,
+			NumVals: f.NumVals,
+			NSlots:  f.NSlots,
+		}
+		for _, b := range f.Blocks {
+			nb := &ir.Block{Index: b.Index, Name: b.Name}
+			for _, in := range b.Instrs {
+				ni := *in
+				ni.Args = append([]ir.Value(nil), in.Args...)
+				nb.Instrs = append(nb.Instrs, &ni)
+			}
+			nf.Blocks = append(nf.Blocks, nb)
+		}
+		out.Funcs = append(out.Funcs, nf)
+	}
+	return out
+}

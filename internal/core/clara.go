@@ -48,6 +48,15 @@ type Insights struct {
 	// Offloadability lint findings (internal/analysis): SmartNIC-hostile
 	// constructs detected statically in the unported NF.
 	Diagnostics []analysis.Diagnostic
+
+	// StateProfile is the interprocedural static profile: every loop and
+	// stateful structure classified header-only vs payload-dependent
+	// (taint) and weighted by estimated access frequency (trip counts ×
+	// branch probabilities). The placement ILP can consume its weights in
+	// place of a host profile (SuggestPlacementStatic), and the offload
+	// controller refines its fast/slow split from its header-only share
+	// (offload.DeriveCapacitiesProfile).
+	StateProfile *analysis.StateProfile
 }
 
 // LintConfig derives the linter budgets from the hardware model: the
@@ -109,6 +118,7 @@ func (c *Clara) AnalyzeWithPredictionContext(ctx context.Context, mod *ir.Module
 	ins := &Insights{NF: mod.Name, Workload: wl.Name}
 	ins.Prediction = mp
 	ins.Diagnostics = analysis.LintModule(mod, c.LintConfig())
+	ins.StateProfile = analysis.ComputeStateProfile(mod)
 
 	if c.AlgoID != nil {
 		ins.Algorithm = c.AlgoID.Classify(mod)
@@ -177,6 +187,13 @@ func (ins *Insights) Report() string {
 		fmt.Fprintf(&b, "\nCoalescing packs (allocate adjacently, fetch together):\n")
 		for i, p := range ins.Packs {
 			fmt.Fprintf(&b, "  pack %d: %s\n", i, strings.Join(p, ", "))
+		}
+	}
+	if sp := ins.StateProfile; sp != nil && (len(sp.Loops) > 0 || len(sp.Structs) > 0) {
+		fmt.Fprintf(&b, "\nStatic state profile (header-only share %.0f%%, %d payload-dependent loop(s)):\n",
+			100*sp.HeaderOnlyShare(), sp.PayloadLoops())
+		for _, line := range strings.Split(strings.TrimRight(sp.Render(), "\n"), "\n") {
+			fmt.Fprintf(&b, "  %s\n", line)
 		}
 	}
 	if len(ins.Diagnostics) > 0 {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"clara/internal/analysis"
 	"clara/internal/ilp"
 	"clara/internal/ir"
 	"clara/internal/isa"
@@ -34,6 +35,24 @@ func SuggestPlacementContext(ctx context.Context, mod *ir.Module, prof *HostProf
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: placement for %s: %w", mod.Name, err)
 	}
+	return placeWithFreq(mod, prof.GlobalFreq, params)
+}
+
+// SuggestPlacementStatic solves the same §4.3 ILP with the frequencies
+// f_i estimated statically (analysis.ComputeStateProfile: loop trip
+// counts × branch probabilities) instead of measured by host profiling.
+// It needs no workload, no interpreter run, and no profile — the
+// placement a one-shot `clara -lint`-grade invocation can produce — and
+// on the element library it matches the dynamically profiled placement
+// (pinned by TestStaticPlacement*).
+func SuggestPlacementStatic(mod *ir.Module, params nicsim.Params) (nicsim.Placement, error) {
+	sp := analysis.ComputeStateProfile(mod)
+	return placeWithFreq(mod, sp.GlobalFreq(), params)
+}
+
+// placeWithFreq formulates and solves the placement ILP for the given
+// per-structure access frequencies.
+func placeWithFreq(mod *ir.Module, freq map[string]float64, params nicsim.Params) (nicsim.Placement, error) {
 	var items []*ir.Global
 	for _, g := range mod.Globals {
 		items = append(items, g)
@@ -46,14 +65,13 @@ func SuggestPlacementContext(ctx context.Context, mod *ir.Module, prof *HostProf
 		prob.Cap[j] = params.Regions[r].Capacity
 	}
 	for _, g := range items {
-		freq := prof.GlobalFreq[g.Name]
 		row := make([]float64, len(placeRegions))
 		for j, r := range placeRegions {
 			if g.SizeBytes() > params.Regions[r].Capacity {
 				row[j] = math.Inf(1)
 				continue
 			}
-			row[j] = float64(params.Regions[r].Latency) * freq
+			row[j] = float64(params.Regions[r].Latency) * freq[g.Name]
 		}
 		prob.Cost = append(prob.Cost, row)
 		prob.Size = append(prob.Size, g.SizeBytes())

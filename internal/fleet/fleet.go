@@ -70,6 +70,12 @@ type Result struct {
 	Panicked bool
 	// Lint counts this job's offloadability diagnostics by severity.
 	Lint analysis.Summary
+	// PayloadLoops counts this NF's loops whose bounds the taint analysis
+	// traced to packet payload bytes (slow-path-only work).
+	PayloadLoops int
+	// PayloadKeyedStructs counts stateful structures keyed by
+	// payload-derived values (ineligible for a header-only fast path).
+	PayloadKeyedStructs int
 }
 
 // Config sizes a Fleet.
@@ -150,7 +156,7 @@ func (f *Fleet) RunContext(ctx context.Context, jobs []Job) ([]Result, error) {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
-	start := time.Now()
+	start := time.Now() //claravet:allow metrics only: feeds Stats.Wall, not any result
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -218,7 +224,9 @@ func (f *Fleet) prewarm(ctx context.Context, jobs []Job) {
 		return
 	}
 	defer f.stats.addPrewarmed(int64(claimed))
-	for accel, g := range groups {
+	// Each group fills only its own claimed cache entries, so the order
+	// groups are swept in cannot affect any job's result.
+	for accel, g := range groups { //claravet:allow order-insensitive: groups fill disjoint cache entries
 		f.prewarmGroup(accel, g.mods, g.entries)
 	}
 }
@@ -260,7 +268,7 @@ func (f *Fleet) prewarmGroup(accel niccc.AccelConfig, mods []*ir.Module, entries
 // confined to this job's Result — one poisoned NF must not take down the
 // batch (or, in serving mode, the process).
 func (f *Fleet) analyze(ctx context.Context, j Job) (res Result) {
-	start := time.Now()
+	start := time.Now() //claravet:allow metrics only: feeds Result.Elapsed, not the analysis
 	res = Result{Name: j.label(), Workload: j.WL.Name}
 	defer func() {
 		if r := recover(); r != nil {
@@ -286,6 +294,14 @@ func (f *Fleet) analyze(ctx context.Context, j Job) (res Result) {
 	}
 	if res.Insights != nil {
 		res.Lint = analysis.Summarize(res.Insights.Diagnostics)
+		if sp := res.Insights.StateProfile; sp != nil {
+			res.PayloadLoops = sp.PayloadLoops()
+			for _, s := range sp.Structs {
+				if s.PayloadKeyed {
+					res.PayloadKeyedStructs++
+				}
+			}
+		}
 	}
 	res.Err = err
 	return res

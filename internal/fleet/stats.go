@@ -86,6 +86,11 @@ type Stats struct {
 	LintErrors   int64
 	LintWarnings int64
 	LintInfos    int64
+	// Taint classification across all completed jobs: payload-bounded
+	// loops and payload-keyed structures (from each NF's static state
+	// profile).
+	PayloadLoops        int64
+	PayloadKeyedStructs int64
 	// Analyses is the per-analysis wall-time distribution.
 	Analyses Histogram
 	// Wall is the cumulative wall time of every Run call.
@@ -120,6 +125,10 @@ func (s Stats) String() string {
 	b.WriteString("\n")
 	fmt.Fprintf(&b, "lint findings: %d errors, %d warnings, %d notes\n",
 		s.LintErrors, s.LintWarnings, s.LintInfos)
+	if s.PayloadLoops > 0 || s.PayloadKeyedStructs > 0 {
+		fmt.Fprintf(&b, "payload-dependent: %d loop(s), %d keyed structure(s)\n",
+			s.PayloadLoops, s.PayloadKeyedStructs)
+	}
 	fmt.Fprintf(&b, "analysis time: %s\n", s.Analyses)
 	fmt.Fprintf(&b, "batch wall time: %s\n", s.Wall)
 	return b.String()
@@ -205,6 +214,8 @@ func (c *collector) record(r Result) {
 	c.s.LintErrors += int64(r.Lint.Errors)
 	c.s.LintWarnings += int64(r.Lint.Warnings)
 	c.s.LintInfos += int64(r.Lint.Infos)
+	c.s.PayloadLoops += int64(r.PayloadLoops)
+	c.s.PayloadKeyedStructs += int64(r.PayloadKeyedStructs)
 	c.mu.Unlock()
 	c.hist.Observe(r.Elapsed)
 }

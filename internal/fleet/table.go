@@ -58,7 +58,7 @@ func placementSummary(ins *core.Insights) string {
 		counts[r]++
 	}
 	regions := make([]isa.Region, 0, len(counts))
-	for r := range counts {
+	for r := range counts { //claravet:allow keys are sorted before rendering
 		regions = append(regions, r)
 	}
 	sort.Slice(regions, func(i, j int) bool { return regions[i] < regions[j] })

@@ -72,8 +72,10 @@ func (nf *NF) Build(params Params) (*Built, error) {
 	}
 	b := &Built{NF: nf, Prog: prog, Machine: m, packOf: map[string]int{}}
 
-	// Resolve placement and check capacities.
-	used := map[isa.Region]int{}
+	// Resolve placement and check capacities. Regions are tallied in a
+	// fixed array so the overflow error is deterministic when several
+	// regions overflow at once.
+	var used [isa.NumRegions]int
 	for _, g := range nf.Mod.Globals {
 		r := isa.EMEM
 		if nf.Placement != nil {
@@ -90,7 +92,7 @@ func (nf *NF) Build(params Params) (*Built, error) {
 	for r, bytes := range used {
 		if bytes > params.Regions[r].Capacity {
 			return nil, fmt.Errorf("nicsim: %s: placement overflows %s (%d > %d bytes)",
-				nf.Name, r, bytes, params.Regions[r].Capacity)
+				nf.Name, isa.Region(r), bytes, params.Regions[r].Capacity)
 		}
 	}
 

@@ -1,6 +1,7 @@
 package offload
 
 import (
+	"clara/internal/analysis"
 	"clara/internal/core"
 	"clara/internal/isa"
 	"clara/internal/nicsim"
@@ -64,6 +65,31 @@ func DeriveCapacities(p nicsim.Params, mp *core.ModulePrediction) Capacities {
 		OffloadTable:    p.FlowCacheEntries * 16,
 		OffloadPerRound: 65536 / RoundScale, // ~15 µs per rule install
 	}
+}
+
+// DeriveCapacitiesProfile refines DeriveCapacities with the NF's static
+// state profile (analysis.ComputeStateProfile). The fast path is an
+// exact-match rule cache over header fields: it can only replay actions
+// whose state is header-keyed. When a share of the NF's stateful access
+// weight is payload-dependent, that fraction of an offloaded flow's
+// packets still detours through the full NF, so the effective fast-path
+// throughput scales by the header-only share. A fully header-only NF
+// (share 1 — every library element that keys maps by addresses/ports)
+// keeps DeriveCapacities' split unchanged; a DPI-style NF that keys
+// state off payload bytes sees its fast-path budget shrink toward the
+// slow path it actually needs.
+func DeriveCapacitiesProfile(p nicsim.Params, mp *core.ModulePrediction, sp *analysis.StateProfile) Capacities {
+	caps := DeriveCapacities(p, mp)
+	if sp == nil {
+		return caps
+	}
+	share := sp.HeaderOnlyShare()
+	fast := int(float64(caps.FastPathPPS) * share)
+	if fast < 1 {
+		fast = 1 // Validate requires positive capacities
+	}
+	caps.FastPathPPS = fast
+	return caps
 }
 
 // SeedPolicy derives the insight-seeded policy for a scenario under the

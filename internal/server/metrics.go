@@ -53,18 +53,22 @@ func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond)
 
 // FleetStats is the /metrics rendering of fleet.Stats.
 type FleetStats struct {
-	JobsCompleted   int64         `json:"jobs_completed"`
-	JobsFailed      int64         `json:"jobs_failed"`
-	JobsCanceled    int64         `json:"jobs_canceled"`
-	JobsPanicked    int64         `json:"jobs_panicked"`
-	CacheHits       int64         `json:"cache_hits"`
-	CacheMisses     int64         `json:"cache_misses"`
-	CacheHitRate    float64       `json:"cache_hit_rate"`
-	Prewarmed       int64         `json:"prewarmed"`
-	LintErrors      int64         `json:"lint_errors"`
-	LintWarnings    int64         `json:"lint_warnings"`
-	LintInfos       int64         `json:"lint_infos"`
-	AnalysisLatency HistogramJSON `json:"analysis_latency"`
+	JobsCompleted int64   `json:"jobs_completed"`
+	JobsFailed    int64   `json:"jobs_failed"`
+	JobsCanceled  int64   `json:"jobs_canceled"`
+	JobsPanicked  int64   `json:"jobs_panicked"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+	Prewarmed     int64   `json:"prewarmed"`
+	LintErrors    int64   `json:"lint_errors"`
+	LintWarnings  int64   `json:"lint_warnings"`
+	LintInfos     int64   `json:"lint_infos"`
+	// Taint classification totals across analyzed jobs: loops bounded by
+	// payload bytes and structures keyed by payload-derived values.
+	PayloadLoops        int64         `json:"payload_loops"`
+	PayloadKeyedStructs int64         `json:"payload_keyed_structs"`
+	AnalysisLatency     HistogramJSON `json:"analysis_latency"`
 }
 
 // ModelStats is the /metrics rendering of the served model's
@@ -165,18 +169,20 @@ func (m *metrics) snapshot(fs fleet.Stats, queueDepth, queueCap int) MetricsSnap
 	out.Queue.Depth = queueDepth
 	out.Queue.Capacity = queueCap
 	out.Fleet = FleetStats{
-		JobsCompleted:   fs.JobsCompleted,
-		JobsFailed:      fs.JobsFailed,
-		JobsCanceled:    fs.JobsCanceled,
-		JobsPanicked:    fs.JobsPanicked,
-		CacheHits:       fs.CacheHits,
-		CacheMisses:     fs.CacheMisses,
-		CacheHitRate:    fs.HitRate(),
-		Prewarmed:       fs.Prewarmed,
-		LintErrors:      fs.LintErrors,
-		LintWarnings:    fs.LintWarnings,
-		LintInfos:       fs.LintInfos,
-		AnalysisLatency: histJSON(fs.Analyses),
+		JobsCompleted:       fs.JobsCompleted,
+		JobsFailed:          fs.JobsFailed,
+		JobsCanceled:        fs.JobsCanceled,
+		JobsPanicked:        fs.JobsPanicked,
+		CacheHits:           fs.CacheHits,
+		CacheMisses:         fs.CacheMisses,
+		CacheHitRate:        fs.HitRate(),
+		Prewarmed:           fs.Prewarmed,
+		LintErrors:          fs.LintErrors,
+		LintWarnings:        fs.LintWarnings,
+		LintInfos:           fs.LintInfos,
+		PayloadLoops:        fs.PayloadLoops,
+		PayloadKeyedStructs: fs.PayloadKeyedStructs,
+		AnalysisLatency:     histJSON(fs.Analyses),
 	}
 	return out
 }

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check check serve-check simulate-check fuzz bench bench-smoke bench-compare bench-fleet update-golden
+.PHONY: build test race vet fmt-check check serve-check cluster-check simulate-check fuzz bench bench-smoke bench-compare bench-fleet update-golden
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,12 @@ fmt-check:
 serve-check:
 	$(GO) test -race ./internal/server/...
 
+# cluster-check exercises the coordinator/worker layer end to end under
+# the race detector: content-hash routing, worker death mid-batch with
+# single retry, probe-driven rejoin, merged metrics.
+cluster-check:
+	$(GO) test -race ./internal/cluster/...
+
 # simulate-check exercises the offload controller under the race
 # detector — golden trajectories, invariants, bit-determinism across
 # GOMAXPROCS — and then runs `clara -simulate` end to end once per
@@ -43,14 +49,15 @@ simulate-check:
 
 # check is the PR gate: static gates first, then build, plain tests,
 # then the race passes, then a quick run of the benchmark harness.
-check: vet fmt-check build test race serve-check simulate-check bench-smoke
+check: vet fmt-check build test race serve-check cluster-check simulate-check bench-smoke
 
-# bench regenerates the committed BENCH_PR7.json: everything from the
-# PR6 report (cold/warm start, train throughput, predict latency,
-# quantized drift, fleet jobs/sec) plus the offload-controller
-# convergence grid. BENCH_PR6.json is kept for cross-PR comparison.
+# bench regenerates the committed BENCH_PR9.json: everything from the
+# PR7 report (cold/warm start, train throughput, predict latency,
+# quantized drift, fleet jobs/sec, convergence grid) plus the
+# coordinator/worker cluster scaling grid. Earlier BENCH_PR*.json files
+# are kept for cross-PR comparison.
 bench:
-	$(GO) run ./cmd/perfbench -out BENCH_PR7.json
+	$(GO) run ./cmd/perfbench -out BENCH_PR9.json
 
 # bench-smoke runs the same harness with shrunken workloads to verify
 # it end to end (CI); it does not overwrite the committed numbers.

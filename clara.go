@@ -23,6 +23,7 @@ import (
 
 	"clara/internal/analysis"
 	"clara/internal/click"
+	"clara/internal/cluster"
 	"clara/internal/core"
 	"clara/internal/fleet"
 	"clara/internal/interp"
@@ -98,6 +99,13 @@ type (
 	// ModelInfo is the served model's provenance (bundle hash, warm
 	// start, training wall time) surfaced by /metrics and /healthz.
 	ModelInfo = server.ModelInfo
+	// Coordinator fronts a fleet of -serve workers (clara -coordinator):
+	// content-hash job routing, fan-out/reassembly, health probes, and
+	// merged cluster metrics.
+	Coordinator = cluster.Coordinator
+	// ClusterConfig sizes a Coordinator (worker endpoints, probe cadence,
+	// forwarding timeout).
+	ClusterConfig = cluster.Config
 	// Prediction is Clara's per-NF instruction/memory prediction (§3),
 	// as carried by Insights.Prediction.
 	Prediction = core.ModulePrediction
@@ -266,6 +274,11 @@ func LoadTool(path string, cfg TrainConfig) (*Tool, string, error) {
 // internal/server for the endpoint surface (/v1/analyze, /v1/lint,
 // /v1/elements, /metrics, /debug/pprof).
 func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// NewCoordinator builds the cluster coordinator over a set of worker
+// endpoints; see internal/cluster for the routing and failover
+// contract.
+func NewCoordinator(cfg ClusterConfig) (*Coordinator, error) { return cluster.New(cfg) }
 
 // Lint runs the offloadability linter over an already-compiled module.
 func Lint(mod *Module, cfg LintConfig) []Diagnostic { return analysis.LintModule(mod, cfg) }

@@ -10,6 +10,7 @@
 //	clara -fleet [-workers 8] [-quick]      # whole library × all workloads
 //	clara -lint -src element.nfc [-json]    # offloadability lint, no training
 //	clara -serve :8080 [-workers 8] [-quick]  # HTTP analysis service
+//	clara -coordinator :9090 -workers host1:8080,host2:8080  # cluster front
 //	clara -nf mazunat -model-save model.json      # persist the trained model
 //	clara -serve :8080 -model-load model.json     # warm start (ms, no training)
 //	clara -simulate [-scenario synflood] [-policy insight] [-rounds 96]
@@ -23,6 +24,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -51,6 +54,11 @@ type cliFlags struct {
 	modelLoad string
 	modelSave string
 
+	// Coordinator mode: -coordinator :port fronts the worker endpoints
+	// parsed out of -workers (which is a pool size everywhere else).
+	coordAddr   string
+	workerAddrs []string
+
 	simulate bool
 	scenario string
 	policy   string
@@ -72,10 +80,11 @@ func main() {
 		quick     = flag.Bool("quick", false, "fast, lower-accuracy training")
 		list      = flag.Bool("list", false, "list library elements and exit")
 		fleetMode = flag.Bool("fleet", false, "analyze-fleet mode: every library element under every standard workload")
-		workers   = flag.Int("workers", 0, "fleet worker pool size (0 = GOMAXPROCS)")
+		workers   = flag.String("workers", "", "fleet worker pool size (0 = GOMAXPROCS); with -coordinator: comma-separated worker endpoints (host:port,...)")
 		lintMode  = flag.Bool("lint", false, "offloadability lint only (static, no training); exits 1 on error-severity findings")
 		jsonOut   = flag.Bool("json", false, "with -lint: emit diagnostics as a JSON array")
 		serveAddr = flag.String("serve", "", "serve the HTTP analysis API on this address (e.g. :8080)")
+		coordAddr = flag.String("coordinator", "", "serve the cluster coordinator on this address, fronting the -workers endpoints")
 		queue     = flag.Int("queue", 0, "with -serve: max concurrent analysis requests (0 = 4x workers)")
 		timeout   = flag.Duration("timeout", 0, "with -serve: per-request analysis deadline (0 = 30s)")
 		modelLoad = flag.String("model-load", "", "warm-start from a saved model bundle (falls back to training when missing or invalid)")
@@ -97,11 +106,18 @@ func main() {
 		return
 	}
 
+	nWorkers, workerAddrs, werr := parseWorkersFlag(*workers, *coordAddr != "")
+	if werr != nil {
+		fmt.Fprintf(os.Stderr, "clara: %v\n\n", werr)
+		flag.Usage()
+		os.Exit(2)
+	}
 	f := cliFlags{
 		nf: *nfName, src: *srcPath, workload: *workload, trace: *tracePath,
 		list: *list, fleetMode: *fleetMode, lintMode: *lintMode, jsonOut: *jsonOut,
-		serveAddr: *serveAddr, workers: *workers, queue: *queue, timeout: *timeout,
+		serveAddr: *serveAddr, workers: nWorkers, queue: *queue, timeout: *timeout,
 		modelLoad: *modelLoad, modelSave: *modelSave,
+		coordAddr: *coordAddr, workerAddrs: workerAddrs,
 		simulate: *simulate, scenario: *scenario, policy: *policy,
 		rounds: *rounds, cps: *cps, pps: *pps, simSeed: *simSeed,
 	}
@@ -117,8 +133,13 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *coordAddr != "" {
+		coordinate(*coordAddr, workerAddrs, *timeout)
+		return
+	}
+
 	if *serveAddr != "" {
-		serve(*serveAddr, *workers, *queue, *timeout, *quick, *quantize, *modelLoad, *modelSave)
+		serve(*serveAddr, nWorkers, *queue, *timeout, *quick, *quantize, *modelLoad, *modelSave)
 		return
 	}
 
@@ -136,7 +157,7 @@ func main() {
 	}
 
 	if *fleetMode {
-		analyzeFleet(*workers, *quick, *quantize, *modelLoad, *modelSave)
+		analyzeFleet(nWorkers, *quick, *quantize, *modelLoad, *modelSave)
 		return
 	}
 
@@ -211,6 +232,29 @@ func main() {
 	fmt.Print(ins.Report())
 }
 
+// parseWorkersFlag interprets -workers for the current mode: a worker
+// pool size everywhere except -coordinator, where it carries the
+// comma-separated worker endpoint list.
+func parseWorkersFlag(raw string, coordinator bool) (int, []string, error) {
+	if coordinator {
+		var addrs []string
+		for _, a := range strings.Split(raw, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		return 0, addrs, nil
+	}
+	if raw == "" {
+		return 0, nil, nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, nil, fmt.Errorf("-workers: expected a pool size, got %q (endpoint lists go with -coordinator)", raw)
+	}
+	return n, nil, nil
+}
+
 // checkFlags rejects incoherent flag combinations up front (main exits 2
 // with usage on error) instead of silently ignoring the extra flags.
 func checkFlags(f cliFlags) error {
@@ -235,6 +279,28 @@ func checkFlags(f cliFlags) error {
 	if f.nf != "" && f.src != "" {
 		return fmt.Errorf("-nf and -src are mutually exclusive; pick one input")
 	}
+	if f.coordAddr != "" {
+		incompatible := []struct {
+			name string
+			set  bool
+		}{
+			{"-serve", f.serveAddr != ""}, {"-fleet", f.fleetMode}, {"-lint", f.lintMode},
+			{"-list", f.list}, {"-nf", f.nf != ""}, {"-src", f.src != ""},
+			{"-trace", f.trace != ""}, {"-simulate", f.simulate},
+			{"-model-load", f.modelLoad != ""}, {"-model-save", f.modelSave != ""},
+		}
+		for _, fl := range incompatible {
+			if fl.set {
+				return fmt.Errorf("-coordinator fronts remote workers; it cannot be combined with %s", fl.name)
+			}
+		}
+		if len(f.workerAddrs) == 0 {
+			return fmt.Errorf("-coordinator requires -workers host1:port1,host2:port2")
+		}
+		if f.queue != 0 {
+			return fmt.Errorf("-queue does not apply to -coordinator (each worker bounds its own admission)")
+		}
+	}
 	if f.serveAddr != "" {
 		incompatible := []struct {
 			name string
@@ -249,8 +315,8 @@ func checkFlags(f cliFlags) error {
 				return fmt.Errorf("-serve runs the HTTP service; it cannot be combined with %s", fl.name)
 			}
 		}
-	} else if f.queue != 0 || f.timeout != 0 {
-		return fmt.Errorf("-queue and -timeout only apply to -serve")
+	} else if f.coordAddr == "" && (f.queue != 0 || f.timeout != 0) {
+		return fmt.Errorf("-queue and -timeout only apply to -serve or -coordinator")
 	}
 	if f.queue < 0 {
 		return fmt.Errorf("-queue must be >= 0 (got %d)", f.queue)
@@ -464,6 +530,24 @@ func serve(addr string, workers, queue int, timeout time.Duration, quick, quanti
 	}
 	fmt.Fprintf(os.Stderr, "clara: serving on %s\n", addr)
 	if err := srv.ListenAndServe(ctx, addr); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "clara: shut down cleanly")
+}
+
+// coordinate runs the cluster coordinator until SIGINT/SIGTERM: a
+// stateless front that routes analysis jobs across the given -serve
+// workers by module content hash (see internal/cluster). -timeout caps
+// one forwarded sub-batch request.
+func coordinate(addr string, workers []string, timeout time.Duration) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	c, err := clara.NewCoordinator(clara.ClusterConfig{Workers: workers, RequestTimeout: timeout})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "clara: coordinating %d worker(s) on %s\n", len(workers), addr)
+	if err := c.ListenAndServe(ctx, addr); err != nil {
 		fatal(err)
 	}
 	fmt.Fprintln(os.Stderr, "clara: shut down cleanly")

@@ -95,6 +95,21 @@ func TestCheckFlagsExisting(t *testing.T) {
 		{"negative timeout", cliFlags{serveAddr: ":1", timeout: -time.Second}, "-timeout must be >= 0"},
 		{"plain analyze ok", cliFlags{nf: "mazunat", workload: "mix"}, ""},
 		{"serve ok", cliFlags{serveAddr: ":8080", queue: 4, timeout: time.Minute}, ""},
+
+		{"coordinator ok", cliFlags{coordAddr: ":9090",
+			workerAddrs: []string{"h1:8080", "h2:8080"}}, ""},
+		{"coordinator with timeout", cliFlags{coordAddr: ":9090",
+			workerAddrs: []string{"h1:8080"}, timeout: time.Minute}, ""},
+		{"coordinator without workers", cliFlags{coordAddr: ":9090"},
+			"-coordinator requires -workers"},
+		{"coordinator with serve", cliFlags{coordAddr: ":9090", serveAddr: ":8080",
+			workerAddrs: []string{"h1:8080"}}, "cannot be combined with -serve"},
+		{"coordinator with nf", cliFlags{coordAddr: ":9090", nf: "tcpack",
+			workerAddrs: []string{"h1:8080"}}, "cannot be combined with -nf"},
+		{"coordinator with model-load", cliFlags{coordAddr: ":9090", modelLoad: "m.json",
+			workerAddrs: []string{"h1:8080"}}, "cannot be combined with -model-load"},
+		{"coordinator with queue", cliFlags{coordAddr: ":9090", queue: 4,
+			workerAddrs: []string{"h1:8080"}}, "-queue does not apply"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -109,5 +124,27 @@ func TestCheckFlagsExisting(t *testing.T) {
 				t.Fatalf("want error containing %q, got %v", c.wantErr, err)
 			}
 		})
+	}
+}
+
+// TestParseWorkersFlag pins -workers' dual role: an integer pool size
+// normally, a comma-separated endpoint list under -coordinator.
+func TestParseWorkersFlag(t *testing.T) {
+	if n, addrs, err := parseWorkersFlag("", false); n != 0 || addrs != nil || err != nil {
+		t.Errorf("empty: got (%d, %v, %v)", n, addrs, err)
+	}
+	if n, _, err := parseWorkersFlag("8", false); n != 8 || err != nil {
+		t.Errorf("pool size: got (%d, %v)", n, err)
+	}
+	if _, _, err := parseWorkersFlag("h1:8080,h2:8080", false); err == nil ||
+		!strings.Contains(err.Error(), "-coordinator") {
+		t.Errorf("endpoint list without -coordinator not rejected: %v", err)
+	}
+	_, addrs, err := parseWorkersFlag("h1:8080, h2:8080,", true)
+	if err != nil || len(addrs) != 2 || addrs[0] != "h1:8080" || addrs[1] != "h2:8080" {
+		t.Errorf("coordinator list: got (%v, %v)", addrs, err)
+	}
+	if _, addrs, _ := parseWorkersFlag("", true); len(addrs) != 0 {
+		t.Errorf("empty coordinator list parsed as %v", addrs)
 	}
 }

@@ -3,10 +3,13 @@
 //	compare OLD.json NEW.json
 //
 // Numeric fields print old, new, and the relative change; fields present
-// in only one report are listed as added/removed. It exits 0 regardless
-// of the deltas — benchmark numbers from different machines are not
-// comparable, so the diff informs rather than gates (the Makefile's
-// bench-compare target wraps it fail-soft).
+// in only one report are listed as added/removed. Nested structures
+// (the convergence and cluster grids) flatten into dotted keys —
+// cluster rows by worker count (cluster.w2.jobs_per_sec), convergence
+// rows by scenario/policy — so their numeric cells diff like top-level
+// fields. It exits 0 regardless of the deltas — benchmark numbers from
+// different machines are not comparable, so the diff informs rather
+// than gates (the Makefile's bench-compare target wraps it fail-soft).
 package main
 
 import (
@@ -48,16 +51,16 @@ func main() {
 		nv, newOK := newRep[k]
 		switch {
 		case !oldOK:
-			fmt.Printf("  %-28s (new)        %v\n", k, nv)
+			fmt.Printf("  %-36s (new)        %v\n", k, nv)
 		case !newOK:
-			fmt.Printf("  %-28s (removed)    %v\n", k, ov)
+			fmt.Printf("  %-36s (removed)    %v\n", k, ov)
 		default:
 			of, oNum := ov.(float64)
 			nf, nNum := nv.(float64)
 			if oNum && nNum && of != 0 {
-				fmt.Printf("  %-28s %12.4g -> %-12.4g (%+.1f%%)\n", k, of, nf, 100*(nf-of)/of)
+				fmt.Printf("  %-36s %12.4g -> %-12.4g (%+.1f%%)\n", k, of, nf, 100*(nf-of)/of)
 			} else if fmt.Sprint(ov) != fmt.Sprint(nv) {
-				fmt.Printf("  %-28s %v -> %v\n", k, ov, nv)
+				fmt.Printf("  %-36s %v -> %v\n", k, ov, nv)
 			}
 		}
 	}
@@ -72,7 +75,47 @@ func load(path string) (map[string]any, error) {
 	if err := json.Unmarshal(blob, &m); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return m, nil
+	out := make(map[string]any, len(m))
+	for k, v := range m {
+		flatten(k, v, out)
+	}
+	return out, nil
+}
+
+// flatten expands nested objects and arrays into dotted keys so every
+// leaf diffs independently. Array elements get a content-derived label
+// when the row has a natural identity — worker count for cluster rows,
+// scenario/policy for convergence rows — and fall back to the index,
+// so reordered rows still line up across reports where possible.
+func flatten(prefix string, v any, out map[string]any) {
+	switch t := v.(type) {
+	case map[string]any:
+		for k, sub := range t {
+			flatten(prefix+"."+k, sub, out)
+		}
+	case []any:
+		for i, sub := range t {
+			flatten(prefix+"."+rowLabel(i, sub), sub, out)
+		}
+	default:
+		out[prefix] = v
+	}
+}
+
+func rowLabel(i int, v any) string {
+	m, ok := v.(map[string]any)
+	if !ok {
+		return fmt.Sprint(i)
+	}
+	if w, ok := m["workers"].(float64); ok {
+		return fmt.Sprintf("w%.0f", w)
+	}
+	if sc, ok := m["scenario"].(string); ok {
+		if pol, ok := m["policy"].(string); ok {
+			return sc + "/" + pol
+		}
+	}
+	return fmt.Sprint(i)
 }
 
 func fatal(err error) {

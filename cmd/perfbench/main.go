@@ -18,23 +18,31 @@
 //   - offload convergence: rounds-to-steady-state of the online offload
 //     controller per threshold policy per traffic scenario, with the
 //     insight policy seeded from the trained predictor's prediction for
-//     a real library NF (the PR7 headline comparison).
+//     a real library NF (the PR7 headline comparison);
+//   - cluster throughput: the same analysis batch served through an
+//     in-process coordinator fronting 1, 2, and 4 single-threaded
+//     workers (the PR9 scaling grid; speedup_vs_1 is recorded honestly,
+//     so a 1-CPU runner reports ~1x).
 //
 // Usage:
 //
-//	perfbench [-quick] [-out BENCH_PR7.json]
+//	perfbench [-quick] [-out BENCH_PR9.json]
 //
 // -quick shrinks the measured workloads for CI smoke runs; the
 // committed numbers come from a run without it.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -74,6 +82,22 @@ type report struct {
 	ConvergenceNF     string           `json:"convergence_nf"`
 	ConvergenceRounds int              `json:"convergence_rounds"`
 	Convergence       []convergenceRow `json:"convergence"`
+	// Cluster is the coordinator/worker scaling grid: hot-cache batch
+	// throughput through an in-process cluster of N workers.
+	Cluster []clusterRow `json:"cluster"`
+}
+
+// clusterRow is one worker-count cell of the cluster scaling grid.
+type clusterRow struct {
+	Workers    int     `json:"workers"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	// SpeedupVs1 is JobsPerSec over the 1-worker row's — the scaling
+	// headline. On a single-CPU host the in-process workers share one
+	// core, so ~1.0 is the honest expectation there.
+	SpeedupVs1 float64 `json:"speedup_vs_1"`
+	// CacheHitRate is the merged cluster hit rate after the measured
+	// batches: content-hash routing should keep it near 1.0 once warm.
+	CacheHitRate float64 `json:"cache_hit_rate"`
 }
 
 // convergenceRow is one policy × scenario cell of the offload-controller
@@ -90,7 +114,7 @@ type convergenceRow struct {
 
 func main() {
 	quick := flag.Bool("quick", false, "smaller measured workloads (CI smoke)")
-	out := flag.String("out", "BENCH_PR7.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR9.json", "output JSON path")
 	flag.Parse()
 
 	rep := report{
@@ -196,6 +220,18 @@ func main() {
 	rep.ConvergenceNF = "ecmp"
 	rep.ConvergenceRounds = 96
 	rep.Convergence, err = convergenceBench(warm, rep.ConvergenceNF, rep.ConvergenceRounds)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Cluster scaling: the library batch served through a coordinator
+	// fronting 1/2/4 in-process workers.
+	fmt.Fprintln(os.Stderr, "perfbench: cluster scaling benchmark...")
+	clusterIters := 10
+	if *quick {
+		clusterIters = 2
+	}
+	rep.Cluster, err = clusterBench(warm, clusterIters)
 	if err != nil {
 		fatal(err)
 	}
@@ -368,6 +404,110 @@ func convergenceBench(tool *clara.Tool, nfName string, rounds int) ([]convergenc
 		}
 	}
 	return rows, nil
+}
+
+// clusterBench serves the whole element library as one /v1/analyze
+// batch through a coordinator fronting n in-process workers, for n in
+// {1, 2, 4}. Each worker is a single-threaded server (Workers: 1) so
+// the grid isolates the coordinator's fan-out from the pool's own
+// parallelism; all workers share the one trained tool (process-local
+// model sharing — the network cluster would load the same bundle).
+// One unmeasured warm-up batch fills the per-worker prediction caches,
+// so the measured rows are hot-cache routing throughput.
+func clusterBench(tool *clara.Tool, iters int) ([]clusterRow, error) {
+	var names []string
+	for _, e := range clara.Elements() {
+		names = append(names, e.Name)
+	}
+	var rows []clusterRow
+	for _, n := range []int{1, 2, 4} {
+		row, err := clusterRun(tool, n, names, iters)
+		if err != nil {
+			return nil, fmt.Errorf("cluster n=%d: %w", n, err)
+		}
+		rows = append(rows, row)
+	}
+	for i := range rows {
+		if rows[0].JobsPerSec > 0 {
+			rows[i].SpeedupVs1 = rows[i].JobsPerSec / rows[0].JobsPerSec
+		}
+	}
+	return rows, nil
+}
+
+func clusterRun(tool *clara.Tool, n int, names []string, iters int) (clusterRow, error) {
+	var workerURLs []string
+	for i := 0; i < n; i++ {
+		srv, err := clara.NewServer(clara.ServerConfig{Tool: tool, Workers: 1, QueueDepth: 64})
+		if err != nil {
+			return clusterRow{}, err
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		workerURLs = append(workerURLs, ts.Listener.Addr().String())
+	}
+	coord, err := clara.NewCoordinator(clara.ClusterConfig{Workers: workerURLs})
+	if err != nil {
+		return clusterRow{}, err
+	}
+	cs := httptest.NewServer(coord.Handler())
+	defer cs.Close()
+
+	body, err := json.Marshal(map[string]any{"nfs": names})
+	if err != nil {
+		return clusterRow{}, err
+	}
+	post := func() error {
+		resp, err := http.Post(cs.URL+"/v1/analyze", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("analyze: HTTP %d", resp.StatusCode)
+		}
+		if resp.Header.Get("X-Clara-Failed-Jobs") != "" {
+			return fmt.Errorf("analyze: %s jobs failed", resp.Header.Get("X-Clara-Failed-Jobs"))
+		}
+		return nil
+	}
+	if err := post(); err != nil { // warm-up: fill the per-worker caches
+		return clusterRow{}, err
+	}
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := post(); err != nil {
+			return clusterRow{}, err
+		}
+	}
+	elapsed := time.Since(t0).Seconds()
+
+	row := clusterRow{
+		Workers:    n,
+		JobsPerSec: float64(iters*len(names)) / elapsed,
+	}
+	// The merged cluster metrics carry the hit rate the content-hash
+	// routing earned across the measured batches.
+	resp, err := http.Get(cs.URL + "/metrics")
+	if err != nil {
+		return clusterRow{}, err
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Merged struct {
+			Fleet struct {
+				CacheHitRate float64 `json:"cache_hit_rate"`
+			} `json:"fleet"`
+		} `json:"merged"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return clusterRow{}, err
+	}
+	row.CacheHitRate = snap.Merged.Fleet.CacheHitRate
+	fmt.Fprintf(os.Stderr, "perfbench: cluster workers=%d jobs/sec=%.1f hit-rate=%.3f\n",
+		n, row.JobsPerSec, row.CacheHitRate)
+	return row, nil
 }
 
 func fatal(err error) {

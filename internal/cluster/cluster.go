@@ -1,0 +1,713 @@
+// Package cluster scales Clara's serving layer horizontally: a
+// coordinator fronts N `clara -serve` workers, routing each analysis
+// job to a worker chosen by rendezvous hashing over the module's
+// content hash. The same hash keys every worker's prediction cache
+// (fleet.ContentHash), so the assignment makes the caches disjoint and
+// hot: a module always lands on the one worker whose cache can already
+// hold its prediction, and the cluster's aggregate cache capacity is
+// the sum of the workers' instead of N copies of the same entries.
+//
+// The coordinator is deliberately thin — it holds no model and runs no
+// analysis. It splits incoming batches into per-worker sub-batches,
+// fans them out concurrently, reassembles results in request order, and
+// merges the workers' /metrics into one cluster snapshot. A background
+// probe loop health-checks each worker (/healthz, exponential backoff
+// while down); a dead worker's hash range rebalances to the live
+// workers via rendezvous hashing's minimal-disruption property, its
+// in-flight sub-batches are retried exactly once against the new
+// owners, and a rejoining worker gets precisely its old range back.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clara/internal/click"
+	"clara/internal/fleet"
+	"clara/internal/lang"
+	"clara/internal/server"
+)
+
+// Config sizes a Coordinator.
+type Config struct {
+	// Workers lists the worker endpoints ("host:port" or full URLs).
+	// The configured string is the worker's routing identity: it feeds
+	// the rendezvous hash, so it must stay stable across restarts for a
+	// rejoining worker to reclaim its old range.
+	Workers []string
+	// Client issues worker requests; nil means a default client. Probe
+	// and forwarding timeouts are applied per request, so the client
+	// itself needs no global timeout.
+	Client *http.Client
+	// ProbeInterval is the /healthz cadence for live workers and the
+	// starting backoff for dead ones; 0 means 2s.
+	ProbeInterval time.Duration
+	// ProbeBackoffMax caps the dead-worker re-probe backoff (the
+	// interval doubles from ProbeInterval up to this); 0 means 30s.
+	ProbeBackoffMax time.Duration
+	// RequestTimeout caps one forwarded sub-batch request; 0 means 60s.
+	RequestTimeout time.Duration
+}
+
+func (c Config) norm() (Config, error) {
+	if len(c.Workers) == 0 {
+		return c, errors.New("cluster: no workers configured")
+	}
+	seen := make(map[string]bool, len(c.Workers))
+	for _, w := range c.Workers {
+		if w == "" {
+			return c, errors.New("cluster: empty worker address")
+		}
+		if seen[w] {
+			return c, fmt.Errorf("cluster: duplicate worker %q", w)
+		}
+		seen[w] = true
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.ProbeBackoffMax < c.ProbeInterval {
+		c.ProbeBackoffMax = 30 * time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	return c, nil
+}
+
+// workerState is one worker's routing identity plus its liveness as the
+// probe loop and the dispatch path last observed it.
+type workerState struct {
+	addr string // routing identity (as configured)
+	base string // request base URL
+	// Guarded by Coordinator.mu:
+	alive      bool
+	deaths     int64
+	jobsRouted int64
+}
+
+// Coordinator fans analysis requests out over a worker fleet. Create
+// with New, start the health probes with Start, and expose via Handler
+// or ListenAndServe.
+type Coordinator struct {
+	cfg     Config
+	mux     *http.ServeMux
+	httpSrv *http.Server
+
+	mu      sync.Mutex
+	workers map[string]*workerState
+	order   []string // configured order, for stable reporting
+
+	retries atomic.Int64 // dead-worker sub-batch re-dispatches
+	started atomic.Bool
+}
+
+// New builds a coordinator over the configured workers. Workers start
+// optimistically alive — the first failed dispatch or probe demotes
+// them — so a cluster is routable the instant it comes up.
+func New(cfg Config) (*Coordinator, error) {
+	cfg, err := cfg.norm()
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		workers: make(map[string]*workerState, len(cfg.Workers)),
+	}
+	for _, addr := range cfg.Workers {
+		base := addr
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		c.workers[addr] = &workerState{addr: addr, base: strings.TrimRight(base, "/"), alive: true}
+		c.order = append(c.order, addr)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", c.handleAnalyze)
+	mux.HandleFunc("POST /v1/lint", c.handleLint)
+	mux.HandleFunc("GET /v1/elements", c.handleElements)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	mux.HandleFunc("GET /healthz", c.handleHealthz)
+	c.mux = mux
+	return c, nil
+}
+
+// Handler returns the coordinator's HTTP handler.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Start launches the per-worker health-probe loops; it is idempotent
+// and returns immediately. ctx cancellation stops the probes.
+func (c *Coordinator) Start(ctx context.Context) {
+	if !c.started.CompareAndSwap(false, true) {
+		return
+	}
+	for _, addr := range c.order {
+		go c.probeLoop(ctx, c.workers[addr])
+	}
+}
+
+// ListenAndServe serves on addr until ctx is canceled. The coordinator
+// holds no in-flight analysis state of its own, so shutdown just stops
+// the listener (workers drain their own requests).
+func (c *Coordinator) ListenAndServe(ctx context.Context, addr string) error {
+	c.Start(ctx)
+	c.httpSrv = &http.Server{Addr: addr, Handler: c.mux}
+	errCh := make(chan error, 1)
+	go func() { errCh <- c.httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	grace, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	return c.httpSrv.Shutdown(grace)
+}
+
+// owner picks the live worker that owns key by rendezvous (highest-
+// random-weight) hashing: every (key, worker) pair gets the score
+// sha256(key ‖ addr) and the highest live score wins. Losing a worker
+// reassigns only the keys it owned (each to its second-highest scorer),
+// and a rejoining worker reclaims exactly the keys it used to win —
+// no ring state to maintain or repair.
+func (c *Coordinator) owner(key [sha256.Size]byte, exclude map[string]bool) (*workerState, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var best *workerState
+	var bestScore [sha256.Size]byte
+	for _, addr := range c.order {
+		w := c.workers[addr]
+		if !w.alive || exclude[addr] {
+			continue
+		}
+		score := sha256.Sum256(append(key[:], addr...))
+		if best == nil || bytes.Compare(score[:], bestScore[:]) > 0 {
+			best, bestScore = w, score
+		}
+	}
+	return best, best != nil
+}
+
+// markDead demotes a worker after a failed dispatch or probe. The probe
+// loop keeps retrying it on a backoff and flips it back when /healthz
+// answers 200 again.
+func (c *Coordinator) markDead(w *workerState) {
+	c.mu.Lock()
+	if w.alive {
+		w.alive = false
+		w.deaths++
+	}
+	c.mu.Unlock()
+}
+
+// alive reports a worker's current liveness (probe-loop view).
+func (c *Coordinator) alive(addr string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.workers[addr]
+	return w != nil && w.alive
+}
+
+// liveWorkers snapshots the live set in configured order.
+func (c *Coordinator) liveWorkers() []*workerState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []*workerState
+	for _, addr := range c.order {
+		if w := c.workers[addr]; w.alive {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// cjob is one routed job: the client's job index, the module's routing
+// hash, and what to forward (an element name or inline source).
+type cjob struct {
+	index int
+	key   [sha256.Size]byte
+	name  string // element name; "" for a src job
+	src   string // inline source; "" for a named job
+	label string // src job's display name
+}
+
+func (c *Coordinator) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req server.AnalyzeRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	jobs, errMsg := resolveJobs(&req)
+	if errMsg != "" {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": errMsg})
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), c.cfg.RequestTimeout)
+	defer cancel()
+
+	results := make([]server.AnalyzeResult, len(jobs))
+	c.dispatch(ctx, jobs, results, &req, nil)
+	if r.Context().Err() != nil {
+		return // client went away; nobody to write to
+	}
+	failed := 0
+	for _, res := range results {
+		if res.Error != "" {
+			failed++
+		}
+	}
+	if failed == len(results) && allNoWorkers(results) {
+		// Not one job could even be routed: the cluster itself is the
+		// failure, and 503 tells clients (and upstream balancers) so.
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "no live workers"})
+		return
+	}
+	if failed > 0 {
+		w.Header().Set(server.FailedJobsHeader, strconv.Itoa(failed))
+	}
+	writeJSON(w, http.StatusOK, server.AnalyzeResponse{Results: results})
+}
+
+func allNoWorkers(results []server.AnalyzeResult) bool {
+	for _, res := range results {
+		if res.Error != errNoWorkers {
+			return false
+		}
+	}
+	return len(results) > 0
+}
+
+const errNoWorkers = "no live workers"
+
+// resolveJobs turns an analyze request into routed jobs. The
+// coordinator computes the same content hash the workers' prediction
+// caches key on (fleet.ContentHash over the compiled module's IR), so
+// routing and caching agree on module identity.
+func resolveJobs(req *server.AnalyzeRequest) ([]cjob, string) {
+	selectors := 0
+	for _, set := range []bool{req.NF != "", len(req.NFs) > 0, req.Src != ""} {
+		if set {
+			selectors++
+		}
+	}
+	if selectors != 1 {
+		return nil, "exactly one of nf, nfs, or src must be set"
+	}
+	if req.Src != "" {
+		name := req.Name
+		if name == "" {
+			name = "submitted"
+		}
+		mod, err := lang.Compile(name, req.Src)
+		if err != nil {
+			return nil, fmt.Sprintf("compiling %s: %v", name, err)
+		}
+		return []cjob{{index: 0, key: fleet.ContentHash(mod), src: req.Src, label: req.Name}}, ""
+	}
+	names := req.NFs
+	if req.NF != "" {
+		names = []string{req.NF}
+	}
+	jobs := make([]cjob, 0, len(names))
+	for i, n := range names {
+		e := click.Get(n)
+		if e == nil {
+			return nil, fmt.Sprintf("unknown element %q (GET /v1/elements lists them)", n)
+		}
+		mod, err := e.Module()
+		if err != nil {
+			return nil, err.Error()
+		}
+		jobs = append(jobs, cjob{index: i, key: fleet.ContentHash(mod), name: e.Name})
+	}
+	return jobs, ""
+}
+
+// dispatch groups jobs by owner and runs every sub-batch concurrently,
+// writing each job's outcome into results[job.index]. Job indices are
+// disjoint across sub-batches, so the only shared write is the retry
+// counter. exclude carries the workers this dispatch already saw die:
+// a sub-batch whose worker dies mid-flight is re-dispatched exactly
+// once against the remaining live set (minus everyone in exclude), and
+// a second death fails the jobs instead of cascading retries.
+func (c *Coordinator) dispatch(ctx context.Context, jobs []cjob, results []server.AnalyzeResult, req *server.AnalyzeRequest, exclude map[string]bool) {
+	groups := make(map[*workerState][]cjob)
+	for _, j := range jobs {
+		w, ok := c.owner(j.key, exclude)
+		if !ok {
+			results[j.index] = failResult(j, errNoWorkers)
+			continue
+		}
+		groups[w] = append(groups[w], j)
+	}
+	var wg sync.WaitGroup
+	for w, group := range groups {
+		wg.Add(1)
+		go func(w *workerState, group []cjob) {
+			defer wg.Done()
+			c.mu.Lock()
+			w.jobsRouted += int64(len(group))
+			c.mu.Unlock()
+			if dead := c.runSubBatch(ctx, w, group, results, req); dead {
+				c.markDead(w)
+				if ctx.Err() != nil || exclude[w.addr] {
+					// Canceled request, or this worker already got its
+					// one retry: the jobs keep their failure results.
+					return
+				}
+				c.retries.Add(1)
+				next := map[string]bool{w.addr: true}
+				for addr := range exclude {
+					next[addr] = true
+				}
+				c.dispatch(ctx, group, results, req, next)
+			}
+		}(w, group)
+	}
+	wg.Wait()
+}
+
+// runSubBatch forwards one worker's share of a batch and fills its
+// results. It reports dead=true only for failures that mean the worker
+// itself is gone — transport errors and 503 (draining or unready) —
+// which the caller answers by re-routing. Everything else is final:
+// 429 is backpressure (the worker is alive, just full; retrying
+// elsewhere would stampede the next worker), and per-job errors inside
+// a 200 are deterministic analysis faults that would fail identically
+// on any worker.
+func (c *Coordinator) runSubBatch(ctx context.Context, w *workerState, group []cjob, results []server.AnalyzeResult, req *server.AnalyzeRequest) (dead bool) {
+	sub := server.AnalyzeRequest{Workload: req.Workload, TimeoutMs: req.TimeoutMs}
+	if group[0].src != "" {
+		sub.Src, sub.Name = group[0].src, group[0].label
+	} else {
+		for _, j := range group {
+			sub.NFs = append(sub.NFs, j.name)
+		}
+	}
+	resp, status, err := c.postAnalyze(ctx, w, &sub)
+	switch {
+	case err != nil:
+		if ctx.Err() != nil {
+			// The client hung up or timed out; that says nothing about
+			// the worker's health.
+			for _, j := range group {
+				results[j.index] = failResult(j, "request canceled: "+ctx.Err().Error())
+			}
+			return false
+		}
+		for _, j := range group {
+			results[j.index] = failResult(j, fmt.Sprintf("worker %s unreachable: %v", w.addr, err))
+		}
+		return true
+	case status == http.StatusServiceUnavailable:
+		for _, j := range group {
+			results[j.index] = failResult(j, fmt.Sprintf("worker %s unavailable", w.addr))
+		}
+		return true
+	case status == http.StatusTooManyRequests:
+		for _, j := range group {
+			results[j.index] = failResult(j, fmt.Sprintf("worker %s at capacity: retry later", w.addr))
+		}
+		return false
+	case status != http.StatusOK:
+		for _, j := range group {
+			results[j.index] = failResult(j, fmt.Sprintf("worker %s answered %d", w.addr, status))
+		}
+		return false
+	case resp == nil || len(resp.Results) != len(group):
+		n := 0
+		if resp != nil {
+			n = len(resp.Results)
+		}
+		for _, j := range group {
+			results[j.index] = failResult(j, fmt.Sprintf("worker %s returned %d results for %d jobs", w.addr, n, len(group)))
+		}
+		return false
+	}
+	for i, j := range group {
+		results[j.index] = resp.Results[i]
+	}
+	return false
+}
+
+// postAnalyze issues one sub-batch request. A non-2xx status is not an
+// error — callers classify it — but an unparsable 200 body is.
+func (c *Coordinator) postAnalyze(ctx context.Context, w *workerState, sub *server.AnalyzeRequest) (*server.AnalyzeResponse, int, error) {
+	blob, err := json.Marshal(sub)
+	if err != nil {
+		return nil, 0, err
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, "POST", w.base+"/v1/analyze", bytes.NewReader(blob))
+	if err != nil {
+		return nil, 0, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	httpResp, err := c.cfg.Client.Do(httpReq)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer httpResp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(httpResp.Body, 64<<20))
+	if err != nil {
+		return nil, 0, err
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		return nil, httpResp.StatusCode, nil
+	}
+	var resp server.AnalyzeResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return nil, httpResp.StatusCode, fmt.Errorf("bad worker response: %w", err)
+	}
+	return &resp, httpResp.StatusCode, nil
+}
+
+func failResult(j cjob, msg string) server.AnalyzeResult {
+	name := j.name
+	if name == "" {
+		name = j.label
+		if name == "" {
+			name = "submitted"
+		}
+	}
+	return server.AnalyzeResult{Name: name, Error: msg}
+}
+
+// handleLint forwards a lint request to the worker that owns the
+// linted module (same routing as analyze — lint has no cache, but
+// keeping one module's traffic on one worker keeps its logs and
+// metrics coherent), falling back to any live worker when the module
+// cannot be resolved locally so the authoritative error rendering
+// stays on the workers.
+func (c *Coordinator) handleLint(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body"})
+		return
+	}
+	var req server.LintRequest
+	target := c.pickLintWorker(body, &req)
+	if target == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": errNoWorkers})
+		return
+	}
+	c.forward(w, r, target, "/v1/lint", body)
+}
+
+// pickLintWorker routes a lint body: by module hash when it resolves,
+// else the first live worker.
+func (c *Coordinator) pickLintWorker(body []byte, req *server.LintRequest) *workerState {
+	if err := json.Unmarshal(body, req); err == nil {
+		var key [sha256.Size]byte
+		resolved := false
+		switch {
+		case req.NF != "" && req.Src == "":
+			if e := click.Get(req.NF); e != nil {
+				if mod, err := e.Module(); err == nil {
+					key, resolved = fleet.ContentHash(mod), true
+				}
+			}
+		case req.Src != "" && req.NF == "":
+			name := req.Name
+			if name == "" {
+				name = "submitted"
+			}
+			if mod, err := lang.Compile(name, req.Src); err == nil {
+				key, resolved = fleet.ContentHash(mod), true
+			}
+		}
+		if resolved {
+			if w, ok := c.owner(key, nil); ok {
+				return w
+			}
+			return nil
+		}
+	}
+	live := c.liveWorkers()
+	if len(live) == 0 {
+		return nil
+	}
+	return live[0]
+}
+
+func (c *Coordinator) handleElements(w http.ResponseWriter, r *http.Request) {
+	live := c.liveWorkers()
+	if len(live) == 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": errNoWorkers})
+		return
+	}
+	c.forward(w, r, live[0], "/v1/elements", nil)
+}
+
+// forward proxies one request to a worker, relaying status and body. A
+// transport failure demotes the worker and answers 502 (these paths
+// carry no jobs, so there is nothing to re-route).
+func (c *Coordinator) forward(w http.ResponseWriter, r *http.Request, target *workerState, path string, body []byte) {
+	ctx, cancel := context.WithTimeout(r.Context(), c.cfg.RequestTimeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, r.Method, target.base+path, rd)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		if ctx.Err() == nil {
+			c.markDead(target)
+		}
+		writeJSON(w, http.StatusBadGateway, map[string]string{
+			"error": fmt.Sprintf("worker %s unreachable: %v", target.addr, err),
+		})
+		return
+	}
+	defer resp.Body.Close()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body) //nolint:errcheck // client may be gone
+}
+
+// WorkerInfo is one worker's row in the cluster snapshot.
+type WorkerInfo struct {
+	Addr string `json:"addr"`
+	// Alive is the probe loop's current view.
+	Alive bool `json:"alive"`
+	// Deaths counts alive→dead transitions (probe failures and failed
+	// dispatches both demote).
+	Deaths int64 `json:"deaths"`
+	// JobsRouted counts jobs this coordinator sent to the worker,
+	// including jobs whose sub-batch later failed.
+	JobsRouted int64 `json:"jobs_routed"`
+}
+
+// Snapshot is the coordinator's /metrics schema: the cluster's own
+// routing state plus the workers' merged serving metrics.
+type Snapshot struct {
+	Cluster struct {
+		Workers []WorkerInfo `json:"workers"`
+		Live    int          `json:"live_workers"`
+		// Retries counts dead-worker sub-batch re-dispatches.
+		Retries int64 `json:"retries"`
+	} `json:"cluster"`
+	// Merged folds every reachable worker's /metrics into one view
+	// (see server.MergeSnapshots for the fold semantics).
+	Merged server.MetricsSnapshot `json:"merged"`
+}
+
+// Stats returns the coordinator's routing-state snapshot (without
+// worker metrics — those need HTTP round trips; see handleMetrics).
+func (c *Coordinator) Stats() Snapshot {
+	var snap Snapshot
+	c.mu.Lock()
+	for _, addr := range c.order {
+		w := c.workers[addr]
+		snap.Cluster.Workers = append(snap.Cluster.Workers, WorkerInfo{
+			Addr: w.addr, Alive: w.alive, Deaths: w.deaths, JobsRouted: w.jobsRouted,
+		})
+		if w.alive {
+			snap.Cluster.Live++
+		}
+	}
+	c.mu.Unlock()
+	snap.Cluster.Retries = c.retries.Load()
+	return snap
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := c.Stats()
+	live := c.liveWorkers()
+	snaps := make([]server.MetricsSnapshot, len(live))
+	oks := make([]bool, len(live))
+	var wg sync.WaitGroup
+	for i, ws := range live {
+		wg.Add(1)
+		go func(i int, ws *workerState) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(r.Context(), 5*time.Second)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, "GET", ws.base+"/metrics", nil)
+			if err != nil {
+				return
+			}
+			resp, err := c.cfg.Client.Do(req)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return
+			}
+			if json.NewDecoder(resp.Body).Decode(&snaps[i]) == nil {
+				oks[i] = true
+			}
+		}(i, ws)
+	}
+	wg.Wait()
+	var reachable []server.MetricsSnapshot
+	for i, ok := range oks {
+		if ok {
+			reachable = append(reachable, snaps[i])
+		}
+	}
+	snap.Merged = server.MergeSnapshots(reachable)
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// handleHealthz reports the coordinator routable (200) while at least
+// one worker is live; the body carries the live count so orchestrators
+// can alert on partial degradation before total loss.
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := c.Stats()
+	status := "ok"
+	code := http.StatusOK
+	if snap.Cluster.Live == 0 {
+		status, code = "no live workers", http.StatusServiceUnavailable
+	} else if snap.Cluster.Live < len(snap.Cluster.Workers) {
+		status = "degraded"
+	}
+	writeJSON(w, code, map[string]any{
+		"status":  status,
+		"live":    snap.Cluster.Live,
+		"workers": len(snap.Cluster.Workers),
+	})
+}
+
+// Retries reports lifetime dead-worker re-dispatches (test hook and
+// Stats feed).
+func (c *Coordinator) Retries() int64 { return c.retries.Load() }
+
+func decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client may be gone
+}

@@ -1,0 +1,483 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"clara/internal/click"
+	"clara/internal/core"
+	"clara/internal/fleet"
+	"clara/internal/interp"
+	"clara/internal/nicsim"
+	"clara/internal/server"
+	"clara/internal/synth"
+)
+
+// One trained tool shared by every worker in every test: training
+// dominates package test time and the models are read-only.
+var (
+	toolOnce sync.Once
+	testTool *core.Clara
+	toolErr  error
+)
+
+func quickTool(t testing.TB) *core.Clara {
+	t.Helper()
+	toolOnce.Do(func() {
+		const seed = 7
+		params := nicsim.DefaultParams()
+		mods, err := click.Modules(click.Table2Order)
+		if err != nil {
+			toolErr = err
+			return
+		}
+		pred, err := core.TrainPredictor(core.PredictorConfig{
+			TrainPrograms: 50, Epochs: 6, Hidden: 16,
+			CompactVocab: true, Seed: seed,
+		}, core.CorpusProfile(mods))
+		if err != nil {
+			toolErr = err
+			return
+		}
+		algo, err := core.TrainAlgoIdentifier(synth.AlgoCorpus(12, seed), 48, seed)
+		if err != nil {
+			toolErr = err
+			return
+		}
+		sm, err := core.TrainScaleout(core.ScaleoutConfig{
+			TrainPrograms: 8, PacketsPerTrace: 400,
+			CoreGrid: []int{2, 8, 16, 32, 48, 60},
+			Params:   params, Seed: seed,
+		}, pred)
+		if err != nil {
+			toolErr = err
+			return
+		}
+		testTool = &core.Clara{Predictor: pred, AlgoID: algo, Scaleout: sm, Params: params}
+	})
+	if toolErr != nil {
+		t.Fatalf("training quick tool: %v", toolErr)
+	}
+	return testTool
+}
+
+// worker is one in-process cluster member: a real server.Server behind
+// an httptest listener, with a kill switch that makes the process
+// vanish from the network (new requests abort the connection,
+// CloseClientConnections severs in-flight ones) without stopping the
+// Go process — the sharpest crash we can simulate in-process.
+type worker struct {
+	srv    *server.Server
+	ts     *httptest.Server
+	killed atomic.Bool
+}
+
+func newWorker(t *testing.T, cfg server.Config) *worker {
+	t.Helper()
+	cfg.Tool = quickTool(t)
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &worker{srv: srv}
+	w.ts = httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if w.killed.Load() {
+			panic(http.ErrAbortHandler)
+		}
+		srv.Handler().ServeHTTP(rw, r)
+	}))
+	t.Cleanup(w.ts.Close)
+	return w
+}
+
+// kill severs the worker from the network mid-flight.
+func (w *worker) kill() {
+	w.killed.Store(true)
+	w.ts.CloseClientConnections()
+}
+
+func (w *worker) revive() { w.killed.Store(false) }
+
+func newCluster(t *testing.T, cfg Config, workers ...*worker) *Coordinator {
+	t.Helper()
+	for _, w := range workers {
+		cfg.Workers = append(cfg.Workers, w.ts.URL)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func postJSON(t *testing.T, h http.Handler, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	blob, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", path, bytes.NewReader(blob))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func decodeAnalyze(t *testing.T, rec *httptest.ResponseRecorder) server.AnalyzeResponse {
+	t.Helper()
+	var resp server.AnalyzeResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("bad analyze response (%d): %v\n%s", rec.Code, err, rec.Body.String())
+	}
+	return resp
+}
+
+var batchNames = []string{"tcpack", "udpipencap", "forcetcp", "aggcounter", "timefilter", "anonipaddr"}
+
+// checkOrdered asserts a response carries exactly the requested jobs,
+// in request order, each with insights and no error.
+func checkOrdered(t *testing.T, resp server.AnalyzeResponse, names []string) {
+	t.Helper()
+	if len(resp.Results) != len(names) {
+		t.Fatalf("got %d results for %d jobs", len(resp.Results), len(names))
+	}
+	for i, r := range resp.Results {
+		if r.Name != names[i] {
+			t.Errorf("result %d = %q, want %q (order lost)", i, r.Name, names[i])
+		}
+		if r.Error != "" || r.Insights == nil {
+			t.Errorf("job %s failed: %q", r.Name, r.Error)
+		}
+	}
+}
+
+// TestClusterRoutingAndCacheLocality is the happy-path e2e: a batch
+// fans out over two workers and reassembles in order, and the
+// content-hash routing keeps the workers' prediction caches disjoint —
+// across two identical batches, each distinct module is predicted
+// exactly once cluster-wide and the rerun is served entirely from
+// cache.
+func TestClusterRoutingAndCacheLocality(t *testing.T) {
+	a, b := newWorker(t, server.Config{}), newWorker(t, server.Config{})
+	c := newCluster(t, Config{}, a, b)
+
+	rec := postJSON(t, c.Handler(), "/v1/analyze", server.AnalyzeRequest{NFs: batchNames})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d:\n%s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get(server.FailedJobsHeader); got != "" {
+		t.Fatalf("clean batch carried %s=%q", server.FailedJobsHeader, got)
+	}
+	checkOrdered(t, decodeAnalyze(t, rec), batchNames)
+
+	rec = postJSON(t, c.Handler(), "/v1/analyze", server.AnalyzeRequest{NFs: batchNames})
+	resp := decodeAnalyze(t, rec)
+	checkOrdered(t, resp, batchNames)
+	for _, r := range resp.Results {
+		if !r.CacheHit {
+			t.Errorf("rerun job %s missed its owner's cache", r.Name)
+		}
+	}
+
+	// Merged metrics: every job completed, and the number of predictions
+	// actually computed (misses + prewarmed) equals the distinct module
+	// count — each module was predicted on exactly one worker.
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	mrec := httptest.NewRecorder()
+	c.Handler().ServeHTTP(mrec, req)
+	if mrec.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", mrec.Code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(mrec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics not JSON: %v", err)
+	}
+	if snap.Cluster.Live != 2 || len(snap.Cluster.Workers) != 2 {
+		t.Errorf("cluster view: %+v", snap.Cluster)
+	}
+	total := int64(2 * len(batchNames))
+	if snap.Merged.Fleet.JobsCompleted != total {
+		t.Errorf("merged jobs completed = %d, want %d", snap.Merged.Fleet.JobsCompleted, total)
+	}
+	computed := snap.Merged.Fleet.CacheMisses + snap.Merged.Fleet.Prewarmed
+	if computed != int64(len(batchNames)) {
+		t.Errorf("predictions computed cluster-wide = %d, want %d (disjoint caches)",
+			computed, len(batchNames))
+	}
+	var routed int64
+	for _, w := range snap.Cluster.Workers {
+		routed += w.JobsRouted
+	}
+	if routed != total {
+		t.Errorf("jobs routed = %d, want %d", routed, total)
+	}
+	if !snap.Merged.Model.Ready {
+		t.Errorf("merged model not ready: %+v", snap.Merged.Model)
+	}
+}
+
+// TestClusterSrcRouting: submitted source routes by the same content
+// hash the workers cache on, so resubmission hits.
+func TestClusterSrcRouting(t *testing.T) {
+	a, b := newWorker(t, server.Config{}), newWorker(t, server.Config{})
+	c := newCluster(t, Config{}, a, b)
+	src := click.Get("tcpack").Src
+
+	rec := postJSON(t, c.Handler(), "/v1/analyze", server.AnalyzeRequest{Src: src, Name: "mine"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d:\n%s", rec.Code, rec.Body.String())
+	}
+	if resp := decodeAnalyze(t, rec); resp.Results[0].Error != "" || resp.Results[0].Name != "mine" {
+		t.Fatalf("src job: %+v", resp.Results[0])
+	}
+	rec = postJSON(t, c.Handler(), "/v1/analyze", server.AnalyzeRequest{Src: src, Name: "mine"})
+	if resp := decodeAnalyze(t, rec); !resp.Results[0].CacheHit {
+		t.Error("resubmitted source missed the owner's cache")
+	}
+}
+
+// blockingSetup is a JobHook whose Setup announces each started job and
+// blocks until release closes.
+func blockingSetup(started chan<- struct{}, release <-chan struct{}) func(*fleet.Job) {
+	return func(j *fleet.Job) {
+		j.PS = core.ProfileSetup{Setup: func(*interp.Machine) error {
+			started <- struct{}{}
+			<-release
+			return nil
+		}}
+	}
+}
+
+// TestClusterWorkerKillMidBatch is the failure e2e the cluster exists
+// for: a worker is severed while its sub-batch is in flight. The
+// coordinator must mark it dead, re-route exactly that sub-batch to
+// the surviving owner (exactly one retry), and still deliver the full
+// batch — every job present once, in request order, with insights.
+func TestClusterWorkerKillMidBatch(t *testing.T) {
+	startedA := make(chan struct{}, 4*len(batchNames))
+	startedB := make(chan struct{}, 4*len(batchNames))
+	releaseA, releaseB := make(chan struct{}), make(chan struct{})
+	a := newWorker(t, server.Config{JobHook: blockingSetup(startedA, releaseA)})
+	b := newWorker(t, server.Config{JobHook: blockingSetup(startedB, releaseB)})
+	c := newCluster(t, Config{}, a, b)
+
+	// The victim is whichever worker owns the batch's first job, so the
+	// test is deterministic no matter how the hash assigns the rest.
+	req := server.AnalyzeRequest{NFs: batchNames}
+	jobs, errMsg := resolveJobs(&req)
+	if errMsg != "" {
+		t.Fatal(errMsg)
+	}
+	ownerState, ok := c.owner(jobs[0].key, nil)
+	if !ok {
+		t.Fatal("no owner for first job")
+	}
+	victim, startedV := a, startedA
+	if ownerState.addr == b.ts.URL {
+		victim, startedV = b, startedB
+	}
+
+	done := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		done <- postJSON(t, c.Handler(), "/v1/analyze", req)
+	}()
+
+	<-startedV // the victim's sub-batch is in flight, pinned in Setup
+	victim.kill()
+	close(releaseA)
+	close(releaseB)
+
+	rec := <-done
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d:\n%s", rec.Code, rec.Body.String())
+	}
+	checkOrdered(t, decodeAnalyze(t, rec), batchNames)
+	if got := rec.Header().Get(server.FailedJobsHeader); got != "" {
+		t.Errorf("retried batch carried %s=%q", server.FailedJobsHeader, got)
+	}
+	if got := c.Retries(); got != 1 {
+		t.Errorf("retries = %d, want exactly 1", got)
+	}
+	if c.alive(victim.ts.URL) {
+		t.Error("killed worker still marked alive")
+	}
+	snap := c.Stats()
+	if snap.Cluster.Live != 1 {
+		t.Errorf("live workers = %d, want 1", snap.Cluster.Live)
+	}
+}
+
+// TestClusterRejoinRestoresRange: probes demote a dead worker (its keys
+// rebalance to the survivors) and promote it on recovery — after which
+// every key maps exactly where it did before the death.
+func TestClusterRejoinRestoresRange(t *testing.T) {
+	a, b := newWorker(t, server.Config{}), newWorker(t, server.Config{})
+	c := newCluster(t, Config{ProbeInterval: 10 * time.Millisecond, ProbeBackoffMax: 40 * time.Millisecond}, a, b)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c.Start(ctx)
+
+	req := server.AnalyzeRequest{NFs: batchNames}
+	jobs, errMsg := resolveJobs(&req)
+	if errMsg != "" {
+		t.Fatal(errMsg)
+	}
+	before := make(map[int]string)
+	for i, j := range jobs {
+		w, ok := c.owner(j.key, nil)
+		if !ok {
+			t.Fatal("no owner")
+		}
+		before[i] = w.addr
+	}
+
+	b.kill()
+	waitFor(t, "probe demotes killed worker", func() bool { return !c.alive(b.ts.URL) })
+	for i, j := range jobs {
+		w, ok := c.owner(j.key, nil)
+		if !ok {
+			t.Fatal("no owner with one live worker")
+		}
+		if w.addr != a.ts.URL {
+			t.Fatalf("job %d routed to dead worker", i)
+		}
+	}
+	// The degraded cluster still serves (everything on the survivor).
+	rec := postJSON(t, c.Handler(), "/v1/analyze", server.AnalyzeRequest{NFs: batchNames[:2]})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("degraded status %d:\n%s", rec.Code, rec.Body.String())
+	}
+	checkOrdered(t, decodeAnalyze(t, rec), batchNames[:2])
+
+	b.revive()
+	waitFor(t, "probe revives worker", func() bool { return c.alive(b.ts.URL) })
+	for i, j := range jobs {
+		w, ok := c.owner(j.key, nil)
+		if !ok || w.addr != before[i] {
+			t.Errorf("job %d owner after rejoin = %v, want %s (range not restored)", i, w, before[i])
+		}
+	}
+}
+
+// TestClusterNoLiveWorkers: when every worker is unreachable the
+// coordinator answers 503, and healthz reports the loss.
+func TestClusterNoLiveWorkers(t *testing.T) {
+	a := newWorker(t, server.Config{})
+	c := newCluster(t, Config{}, a)
+	a.kill()
+
+	rec := postJSON(t, c.Handler(), "/v1/analyze", server.AnalyzeRequest{NF: "tcpack"})
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503:\n%s", rec.Code, rec.Body.String())
+	}
+	hreq := httptest.NewRequest("GET", "/healthz", nil)
+	hrec := httptest.NewRecorder()
+	c.Handler().ServeHTTP(hrec, hreq)
+	if hrec.Code != http.StatusServiceUnavailable {
+		t.Errorf("healthz status %d, want 503", hrec.Code)
+	}
+}
+
+// TestClusterValidation: the coordinator rejects malformed requests
+// itself — no worker round trip for input errors.
+func TestClusterValidation(t *testing.T) {
+	a := newWorker(t, server.Config{})
+	c := newCluster(t, Config{}, a)
+	for name, body := range map[string]server.AnalyzeRequest{
+		"no selector":     {},
+		"two selectors":   {NF: "tcpack", Src: "void handle() {}"},
+		"unknown element": {NF: "nosuch"},
+		"bad source":      {Src: "not nfc ("},
+	} {
+		if rec := postJSON(t, c.Handler(), "/v1/analyze", body); rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, rec.Code)
+		}
+	}
+}
+
+// TestClusterForwardedEndpoints: lint and elements proxy through to a
+// worker.
+func TestClusterForwardedEndpoints(t *testing.T) {
+	a, b := newWorker(t, server.Config{}), newWorker(t, server.Config{})
+	c := newCluster(t, Config{}, a, b)
+
+	rec := postJSON(t, c.Handler(), "/v1/lint", server.LintRequest{NF: "tcpack"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("lint via coordinator: %d\n%s", rec.Code, rec.Body.String())
+	}
+	var lint server.LintResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &lint); err != nil || lint.Name != "tcpack" {
+		t.Fatalf("lint response: %v %+v", err, lint)
+	}
+
+	ereq := httptest.NewRequest("GET", "/v1/elements", nil)
+	erec := httptest.NewRecorder()
+	c.Handler().ServeHTTP(erec, ereq)
+	if erec.Code != http.StatusOK || !bytes.Contains(erec.Body.Bytes(), []byte("tcpack")) {
+		t.Fatalf("elements via coordinator: %d", erec.Code)
+	}
+}
+
+// TestClusterPerJobErrorsNotRetried: a deterministic per-job failure
+// inside a 200 worker response must surface to the client as that
+// job's error — not kill the worker, not trigger a retry.
+func TestClusterPerJobErrorsNotRetried(t *testing.T) {
+	hook := func(j *fleet.Job) {
+		if j.Name == "aggcounter" {
+			j.PS = core.ProfileSetup{Setup: func(*interp.Machine) error {
+				panic("poisoned element")
+			}}
+		}
+	}
+	a := newWorker(t, server.Config{JobHook: hook})
+	b := newWorker(t, server.Config{JobHook: hook})
+	c := newCluster(t, Config{}, a, b)
+
+	names := []string{"tcpack", "aggcounter", "forcetcp"}
+	rec := postJSON(t, c.Handler(), "/v1/analyze", server.AnalyzeRequest{NFs: names})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d:\n%s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get(server.FailedJobsHeader); got != "1" {
+		t.Errorf("%s = %q, want \"1\"", server.FailedJobsHeader, got)
+	}
+	resp := decodeAnalyze(t, rec)
+	if len(resp.Results) != 3 {
+		t.Fatalf("got %d results", len(resp.Results))
+	}
+	if resp.Results[1].Error == "" || !resp.Results[1].Panicked {
+		t.Errorf("poisoned job not surfaced: %+v", resp.Results[1])
+	}
+	for _, i := range []int{0, 2} {
+		if resp.Results[i].Error != "" || resp.Results[i].Insights == nil {
+			t.Errorf("good job %s damaged: %+v", names[i], resp.Results[i])
+		}
+	}
+	if got := c.Retries(); got != 0 {
+		t.Errorf("retries = %d, want 0 (per-job errors are final)", got)
+	}
+	if !c.alive(a.ts.URL) || !c.alive(b.ts.URL) {
+		t.Error("per-job error demoted a live worker")
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

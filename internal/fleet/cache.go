@@ -37,7 +37,16 @@ type predKey struct {
 }
 
 func keyFor(mod *ir.Module, accel niccc.AccelConfig) predKey {
-	return predKey{hash: sha256.Sum256([]byte(mod.String())), accel: accel}
+	return predKey{hash: ContentHash(mod), accel: accel}
+}
+
+// ContentHash is the sha256 content hash of a module's printed IR — the
+// module half of the prediction-cache key. The cluster coordinator
+// routes jobs with the same hash, so its consistent-hash assignment and
+// each worker's cache agree on module identity: every module lands on
+// the one worker whose cache can already hold its prediction.
+func ContentHash(mod *ir.Module) [sha256.Size]byte {
+	return sha256.Sum256([]byte(mod.String()))
 }
 
 // predEntry is one cache slot. The first requester owns the computation;
@@ -61,6 +70,9 @@ type predCache struct {
 	cap int
 	m   map[predKey]*list.Element // values are *predEntry
 	lru *list.List                // front = most recently used
+	// evictions counts entries dropped by the LRU cap (not failed
+	// computations, which are removed as a retry policy, not for space).
+	evictions int64
 }
 
 func newPredCache(capacity int) *predCache {
@@ -76,7 +88,11 @@ func newPredCache(capacity int) *predCache {
 
 // get returns the cached prediction for (mod, accel), computing it via
 // compute on first request. hit reports whether this caller skipped the
-// computation (found a completed or in-flight entry).
+// computation AND got a usable prediction: a waiter whose singleflight
+// leader failed (or panicked) shares the leader's error, not a cached
+// value, so it must not count as a hit — otherwise an errored job would
+// inflate the hit rate the cluster coordinator uses to judge cache
+// locality.
 func (c *predCache) get(mod *ir.Module, accel niccc.AccelConfig, compute func() (*core.ModulePrediction, error)) (mp *core.ModulePrediction, hit bool, err error) {
 	k := keyFor(mod, accel)
 	c.mu.Lock()
@@ -85,16 +101,11 @@ func (c *predCache) get(mod *ir.Module, accel niccc.AccelConfig, compute func() 
 		e := el.Value.(*predEntry)
 		c.mu.Unlock()
 		<-e.ready
-		return e.mp, true, e.err
+		return e.mp, e.err == nil, e.err
 	}
 	e := &predEntry{key: k, ready: make(chan struct{})}
 	c.m[k] = c.lru.PushFront(e)
-	for c.lru.Len() > c.cap {
-		oldest := c.lru.Back()
-		old := oldest.Value.(*predEntry)
-		c.lru.Remove(oldest)
-		delete(c.m, old.key)
-	}
+	c.evictOverCapLocked()
 	c.mu.Unlock()
 
 	done := false
@@ -134,13 +145,29 @@ func (c *predCache) claim(k predKey) (*predEntry, bool) {
 	}
 	e := &predEntry{key: k, ready: make(chan struct{})}
 	c.m[k] = c.lru.PushFront(e)
+	c.evictOverCapLocked()
+	return e, true
+}
+
+// evictOverCapLocked drops least-recently-used entries until the cache
+// is within its cap. Evicting an in-flight entry is safe: waiters hold
+// the entry pointer, so they still complete when the leader fills it —
+// only future lookups recompute. Callers must hold c.mu.
+func (c *predCache) evictOverCapLocked() {
 	for c.lru.Len() > c.cap {
 		oldest := c.lru.Back()
 		old := oldest.Value.(*predEntry)
 		c.lru.Remove(oldest)
 		delete(c.m, old.key)
+		c.evictions++
 	}
-	return e, true
+}
+
+// evicted reports the lifetime count of cap-evicted entries.
+func (c *predCache) evicted() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
 }
 
 // fill completes a claimed entry. Failed computations are dropped from

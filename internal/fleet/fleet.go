@@ -127,7 +127,11 @@ func New(tool *core.Clara, cfg Config) (*Fleet, error) {
 func (f *Fleet) Workers() int { return f.cfg.Workers }
 
 // Stats returns a consistent snapshot of the fleet's lifetime metrics.
-func (f *Fleet) Stats() Stats { return f.stats.snapshot() }
+func (f *Fleet) Stats() Stats {
+	s := f.stats.snapshot()
+	s.CacheEvictions = f.cache.evicted()
+	return s
+}
 
 // Run analyzes every job over the worker pool and returns results in job
 // order regardless of scheduling. A job failure is recorded in its

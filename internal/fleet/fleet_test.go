@@ -512,3 +512,183 @@ func TestRunContextCancel(t *testing.T) {
 		t.Errorf("stats: %d canceled, want %d", s.JobsCanceled, n)
 	}
 }
+
+// TestCacheNoHitOnErroredSingleflight pins the accounting fix: a waiter
+// blocked on an in-flight entry whose leader then fails shares the
+// leader's error, not a cached prediction, so it must report hit=false —
+// otherwise an errored job would count a CacheHit and inflate the hit
+// rate the cluster coordinator uses to judge per-worker cache locality.
+func TestCacheNoHitOnErroredSingleflight(t *testing.T) {
+	mod := click.Get("tcpack").MustModule()
+	c := newPredCache(0)
+	boom := errors.New("leader failed")
+	started := make(chan struct{})
+	release := make(chan struct{})
+	failing := func() (*core.ModulePrediction, error) {
+		<-release
+		return nil, boom
+	}
+
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		_, hit, err := c.get(mod, niccc.AccelConfig{}, func() (*core.ModulePrediction, error) {
+			close(started)
+			<-release
+			return nil, boom
+		})
+		if hit || !errors.Is(err, boom) {
+			t.Errorf("leader: hit=%v err=%v, want miss and boom", hit, err)
+		}
+	}()
+	<-started
+
+	// Waiters join while the leader is in flight. A waiter that loses the
+	// race and arrives after the failed entry is dropped becomes a new
+	// leader and recomputes — either way the outcome is (no hit, boom).
+	const n = 8
+	type outcome struct {
+		hit bool
+		err error
+	}
+	outs := make([]outcome, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, hit, err := c.get(mod, niccc.AccelConfig{}, failing)
+			outs[i] = outcome{hit, err}
+		}(i)
+	}
+	time.Sleep(10 * time.Millisecond) // let the waiters attach to the entry
+	close(release)
+	wg.Wait()
+	<-leaderDone
+	for i, o := range outs {
+		if o.hit {
+			t.Errorf("waiter %d reported a cache hit for an errored prediction", i)
+		}
+		if !errors.Is(o.err, boom) {
+			t.Errorf("waiter %d error = %v, want boom", i, o.err)
+		}
+	}
+	if c.len() != 0 {
+		t.Errorf("failed entries retained: %d", c.len())
+	}
+
+	// A successful waiter still counts a hit: the semantics only changed
+	// for errored entries.
+	if _, hit, err := c.get(mod, niccc.AccelConfig{}, func() (*core.ModulePrediction, error) {
+		return &core.ModulePrediction{Name: mod.Name}, nil
+	}); hit || err != nil {
+		t.Fatalf("recompute after failures: hit=%v err=%v", hit, err)
+	}
+	if _, hit, err := c.get(mod, niccc.AccelConfig{}, failing); !hit || err != nil {
+		t.Errorf("completed entry: hit=%v err=%v, want hit", hit, err)
+	}
+}
+
+// TestCacheInFlightEviction drives the claim/fill prewarm path with a
+// cap smaller than the batch: the map never exceeds the cap, evicted
+// in-flight entries still complete for waiters holding the entry
+// pointer, evictions are counted, and an evicted key recomputes.
+func TestCacheInFlightEviction(t *testing.T) {
+	names := []string{"tcpack", "aggcounter", "udpipencap", "forcetcp"}
+	var mods []*ir.Module
+	for _, n := range names {
+		mods = append(mods, click.Get(n).MustModule())
+	}
+	c := newPredCache(2)
+	var entries []*predEntry
+	for i, m := range mods {
+		e, leader := c.claim(keyFor(m, niccc.AccelConfig{}))
+		if !leader {
+			t.Fatalf("claim %d not leader", i)
+		}
+		if c.len() > 2 {
+			t.Fatalf("after claim %d cache holds %d entries, over cap 2", i, c.len())
+		}
+		entries = append(entries, e)
+	}
+	if got := c.evicted(); got != 2 {
+		t.Errorf("evictions = %d, want 2 (the first two in-flight claims)", got)
+	}
+
+	// Waiters on the two evicted in-flight entries, holding the entry
+	// pointers exactly the way get's waiter path does.
+	got := make([]*core.ModulePrediction, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-entries[i].ready
+			got[i] = entries[i].mp
+		}(i)
+	}
+	for i, e := range entries {
+		c.fill(e, &core.ModulePrediction{Name: names[i]}, nil)
+	}
+	wg.Wait()
+	for i := 0; i < 2; i++ {
+		if got[i] == nil || got[i].Name != names[i] {
+			t.Errorf("waiter %d on evicted entry got %+v, want %s", i, got[i], names[i])
+		}
+	}
+	if c.len() != 2 {
+		t.Errorf("cache holds %d entries after fills, want 2", c.len())
+	}
+
+	// The evicted keys are gone: a fresh lookup recomputes.
+	calls := 0
+	if _, hit, _ := c.get(mods[0], niccc.AccelConfig{}, func() (*core.ModulePrediction, error) {
+		calls++
+		return &core.ModulePrediction{}, nil
+	}); hit || calls != 1 {
+		t.Errorf("evicted key: hit=%v calls=%d, want recompute", hit, calls)
+	}
+}
+
+// TestFleetPrewarmEviction runs a real batch whose distinct-module count
+// exceeds the cache cap: prewarm claims more entries than fit, evicting
+// in-flight entries, and every job must still complete with a usable
+// prediction (the waiters hold entry pointers, so eviction only affects
+// future lookups).
+func TestFleetPrewarmEviction(t *testing.T) {
+	tool := quickTool(t)
+	names := []string{"tcpack", "aggcounter", "udpipencap", "forcetcp", "timefilter"}
+	var jobs []Job
+	for _, n := range names {
+		e := click.Get(n)
+		jobs = append(jobs, Job{
+			Name: e.Name,
+			Mod:  e.MustModule(),
+			PS:   core.ProfileSetup{Setup: e.Setup, LPMTable: e.Routes},
+			WL:   traffic.SmallFlows,
+		})
+	}
+	fl, err := New(tool, Config{Workers: 2, CacheSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := fl.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil || r.Insights == nil {
+			t.Errorf("job %d (%s) failed under eviction pressure: %v", i, r.Name, r.Err)
+		}
+	}
+	if fl.cache.len() > 2 {
+		t.Errorf("cache holds %d entries, over cap 2", fl.cache.len())
+	}
+	s := fl.Stats()
+	if s.CacheEvictions < int64(len(names)-2) {
+		t.Errorf("stats evictions = %d, want >= %d", s.CacheEvictions, len(names)-2)
+	}
+	if s.JobsCompleted != int64(len(names)) {
+		t.Errorf("completed = %d, want %d", s.JobsCompleted, len(names))
+	}
+}

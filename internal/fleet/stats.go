@@ -77,6 +77,11 @@ type Stats struct {
 	JobsPanicked int64
 	CacheHits    int64
 	CacheMisses  int64
+	// CacheEvictions counts prediction-cache entries dropped by the LRU
+	// cap over the fleet's lifetime. A high rate relative to misses means
+	// the cap is smaller than the working set (each eviction is a future
+	// recompute), which in cluster mode reads as poor per-worker locality.
+	CacheEvictions int64
 	// Prewarmed counts predictions computed by batch prewarm sweeps
 	// (RunContext predicts a batch's distinct uncached modules in one
 	// LSTM pass before dispatching workers). Prewarmed entries surface
@@ -121,6 +126,9 @@ func (s Stats) String() string {
 		s.CacheHits, s.CacheMisses, 100*s.HitRate())
 	if s.Prewarmed > 0 {
 		fmt.Fprintf(&b, ", %d prewarmed", s.Prewarmed)
+	}
+	if s.CacheEvictions > 0 {
+		fmt.Fprintf(&b, ", %d evicted", s.CacheEvictions)
 	}
 	b.WriteString("\n")
 	fmt.Fprintf(&b, "lint findings: %d errors, %d warnings, %d notes\n",

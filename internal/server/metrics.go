@@ -53,17 +53,18 @@ func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond)
 
 // FleetStats is the /metrics rendering of fleet.Stats.
 type FleetStats struct {
-	JobsCompleted int64   `json:"jobs_completed"`
-	JobsFailed    int64   `json:"jobs_failed"`
-	JobsCanceled  int64   `json:"jobs_canceled"`
-	JobsPanicked  int64   `json:"jobs_panicked"`
-	CacheHits     int64   `json:"cache_hits"`
-	CacheMisses   int64   `json:"cache_misses"`
-	CacheHitRate  float64 `json:"cache_hit_rate"`
-	Prewarmed     int64   `json:"prewarmed"`
-	LintErrors    int64   `json:"lint_errors"`
-	LintWarnings  int64   `json:"lint_warnings"`
-	LintInfos     int64   `json:"lint_infos"`
+	JobsCompleted  int64   `json:"jobs_completed"`
+	JobsFailed     int64   `json:"jobs_failed"`
+	JobsCanceled   int64   `json:"jobs_canceled"`
+	JobsPanicked   int64   `json:"jobs_panicked"`
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+	CacheEvictions int64   `json:"cache_evictions"`
+	Prewarmed      int64   `json:"prewarmed"`
+	LintErrors     int64   `json:"lint_errors"`
+	LintWarnings   int64   `json:"lint_warnings"`
+	LintInfos      int64   `json:"lint_infos"`
 	// Taint classification totals across analyzed jobs: loops bounded by
 	// payload bytes and structures keyed by payload-derived values.
 	PayloadLoops        int64         `json:"payload_loops"`
@@ -176,6 +177,7 @@ func (m *metrics) snapshot(fs fleet.Stats, queueDepth, queueCap int) MetricsSnap
 		CacheHits:           fs.CacheHits,
 		CacheMisses:         fs.CacheMisses,
 		CacheHitRate:        fs.HitRate(),
+		CacheEvictions:      fs.CacheEvictions,
 		Prewarmed:           fs.Prewarmed,
 		LintErrors:          fs.LintErrors,
 		LintWarnings:        fs.LintWarnings,
@@ -185,6 +187,119 @@ func (m *metrics) snapshot(fs fleet.Stats, queueDepth, queueCap int) MetricsSnap
 		AnalysisLatency:     histJSON(fs.Analyses),
 	}
 	return out
+}
+
+// MergeSnapshots folds per-worker /metrics snapshots into one
+// cluster-wide view: route counters and fleet counters sum, latency
+// histograms merge bucket-wise (workers share HistCollector's fixed
+// bounds), queue depth/capacity add across workers, and the model is
+// Ready only when every worker's is. Uptime is the minimum across
+// workers — the window for which all counters have been accumulating.
+// The cluster coordinator serves this from its own /metrics endpoint.
+func MergeSnapshots(snaps []MetricsSnapshot) MetricsSnapshot {
+	out := MetricsSnapshot{
+		Requests: make(map[string]RouteStats),
+		Latency:  make(map[string]HistogramJSON),
+	}
+	if len(snaps) == 0 {
+		return out
+	}
+	out.Model.Ready = true
+	for i, s := range snaps {
+		if i == 0 || s.UptimeSeconds < out.UptimeSeconds {
+			out.UptimeSeconds = s.UptimeSeconds
+		}
+		if !s.Model.Ready {
+			out.Model.Ready = false
+		}
+		out.Model.WarmStart = out.Model.WarmStart || s.Model.WarmStart
+		out.Model.Quantized = out.Model.Quantized || s.Model.Quantized
+		if out.Model.Hash == "" {
+			out.Model.Hash = s.Model.Hash
+		} else if s.Model.Hash != "" && s.Model.Hash != out.Model.Hash {
+			// Workers serving different models is a deploy skew worth
+			// surfacing; the merged view can only flag it.
+			out.Model.Hash = "mixed"
+		}
+		out.Model.TrainSeconds += s.Model.TrainSeconds
+		if s.Model.TrainError != "" && out.Model.TrainError == "" {
+			out.Model.TrainError = s.Model.TrainError
+		}
+		for route, rs := range s.Requests {
+			acc := out.Requests[route]
+			acc.Total += rs.Total
+			acc.OK += rs.OK
+			acc.ClientErrors += rs.ClientErrors
+			acc.ServerErrors += rs.ServerErrors
+			acc.Rejected += rs.Rejected
+			acc.Canceled += rs.Canceled
+			out.Requests[route] = acc
+		}
+		for route, h := range s.Latency {
+			out.Latency[route] = mergeHist(out.Latency[route], h)
+		}
+		out.Queue.Depth += s.Queue.Depth
+		out.Queue.Capacity += s.Queue.Capacity
+		out.Fleet = mergeFleet(out.Fleet, s.Fleet)
+	}
+	total := out.Fleet.CacheHits + out.Fleet.CacheMisses
+	if total > 0 {
+		out.Fleet.CacheHitRate = float64(out.Fleet.CacheHits) / float64(total)
+	}
+	return out
+}
+
+// mergeHist adds histogram b into a. Bounds come from the shared
+// HistCollector bucket layout, so equal-length bound slices merge by
+// adding counts; a dimension mismatch (a worker on a different build)
+// keeps a's buckets and only folds b's scalar moments.
+func mergeHist(a, b HistogramJSON) HistogramJSON {
+	if a.N == 0 {
+		return b
+	}
+	if b.N == 0 {
+		return a
+	}
+	out := HistogramJSON{
+		BoundsMs: a.BoundsMs,
+		Counts:   append([]int64(nil), a.Counts...),
+	}
+	if len(a.Counts) == len(b.Counts) {
+		for i := range out.Counts {
+			out.Counts[i] += b.Counts[i]
+		}
+	}
+	out.N = a.N + b.N
+	out.MinMs = a.MinMs
+	if b.MinMs < out.MinMs {
+		out.MinMs = b.MinMs
+	}
+	out.MaxMs = a.MaxMs
+	if b.MaxMs > out.MaxMs {
+		out.MaxMs = b.MaxMs
+	}
+	out.MeanMs = (a.MeanMs*float64(a.N) + b.MeanMs*float64(b.N)) / float64(out.N)
+	return out
+}
+
+// mergeFleet sums b's counters into a. CacheHitRate is recomputed by
+// the caller once all workers are folded in.
+func mergeFleet(a, b FleetStats) FleetStats {
+	a.JobsCompleted += b.JobsCompleted
+	a.JobsFailed += b.JobsFailed
+	a.JobsCanceled += b.JobsCanceled
+	a.JobsPanicked += b.JobsPanicked
+	a.CacheHits += b.CacheHits
+	a.CacheMisses += b.CacheMisses
+	a.CacheEvictions += b.CacheEvictions
+	a.Prewarmed += b.Prewarmed
+	a.LintErrors += b.LintErrors
+	a.LintWarnings += b.LintWarnings
+	a.LintInfos += b.LintInfos
+	a.PayloadLoops += b.PayloadLoops
+	a.PayloadKeyedStructs += b.PayloadKeyedStructs
+	a.AnalysisLatency = mergeHist(a.AnalysisLatency, b.AnalysisLatency)
+	return a
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -34,6 +34,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -87,9 +88,10 @@ type Config struct {
 	// CacheSize caps the fleet prediction cache; 0 = fleet default.
 	CacheSize int
 
-	// jobHook, when set, is applied to every job built from a request —
-	// a test seam for injecting slow or panicking analyses.
-	jobHook func(j *fleet.Job)
+	// JobHook, when set, is applied to every job built from a request —
+	// a seam for injecting slow or panicking analyses (used by the
+	// server's and the cluster coordinator's failure-mode tests).
+	JobHook func(j *fleet.Job)
 }
 
 // Server is the HTTP analysis service. Create with New, expose via
@@ -273,6 +275,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
+// Draining reports whether Shutdown has begun: the server answers 503
+// on the analysis endpoints and /healthz says "draining". Exposed for
+// in-process embedders (tests, benchmarks, the cluster coordinator's
+// harness) that hold a *Server rather than probing over HTTP.
+func (s *Server) Draining() bool { return s.drain.closing() }
+
 // drainGate tracks in-flight requests so Shutdown can drain them. (A
 // bare WaitGroup would race Add against Wait; the mutex-guarded counter
 // makes enter-after-close an explicit rejection instead.)
@@ -316,9 +324,9 @@ func (d *drainGate) close() {
 // maxBodyBytes bounds request bodies; NFC sources are small programs.
 const maxBodyBytes = 1 << 20
 
-// analyzeRequest is the /v1/analyze body. Exactly one of NF, NFs, or
+// AnalyzeRequest is the /v1/analyze body. Exactly one of NF, NFs, or
 // Src selects what to analyze.
-type analyzeRequest struct {
+type AnalyzeRequest struct {
 	// NF names one library element; NFs names several (one batch).
 	NF  string   `json:"nf,omitempty"`
 	NFs []string `json:"nfs,omitempty"`
@@ -331,8 +339,8 @@ type analyzeRequest struct {
 	TimeoutMs int `json:"timeout_ms,omitempty"`
 }
 
-// analyzeResult is one job's JSON outcome.
-type analyzeResult struct {
+// AnalyzeResult is one job's JSON outcome.
+type AnalyzeResult struct {
 	Name      string         `json:"name"`
 	Workload  string         `json:"workload"`
 	Insights  *core.Insights `json:"insights,omitempty"`
@@ -342,8 +350,8 @@ type analyzeResult struct {
 	ElapsedMs float64        `json:"elapsed_ms"`
 }
 
-type analyzeResponse struct {
-	Results []analyzeResult `json:"results"`
+type AnalyzeResponse struct {
+	Results []AnalyzeResult `json:"results"`
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
@@ -353,7 +361,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if fl == nil {
 		return
 	}
-	var req analyzeRequest
+	var req AnalyzeRequest
 	if !s.decode(w, r, route, &req) {
 		return
 	}
@@ -363,13 +371,25 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Drain first, admission second. A draining server must always
+	// answer 503 "shutting down" — checking the semaphore first made a
+	// full, draining server tell clients "retry later" (429) against a
+	// process that was about to exit, which a retrying proxy (or the
+	// cluster coordinator) would obligingly hammer instead of failing
+	// over to a live worker.
+	if !s.drain.enter() {
+		s.writeError(w, route, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	defer s.drain.exit()
+
 	// Admission: a slot per request, held for its whole analysis. No
 	// hidden queue behind it — a full service answers 429 immediately
 	// and the client retries against visible backpressure.
 	select {
 	case s.sem <- struct{}{}:
 	default:
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(fl)))
 		s.met.observe(route, http.StatusTooManyRequests, time.Since(start))
 		writeJSON(w, http.StatusTooManyRequests, map[string]string{
 			"error": "analysis queue full",
@@ -377,11 +397,6 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer func() { <-s.sem }()
-	if !s.drain.enter() {
-		s.writeError(w, route, http.StatusServiceUnavailable, "server shutting down")
-		return
-	}
-	defer s.drain.exit()
 
 	timeout := s.cfg.RequestTimeout
 	if req.TimeoutMs > 0 && time.Duration(req.TimeoutMs)*time.Millisecond < timeout {
@@ -409,10 +424,10 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	resp := analyzeResponse{Results: make([]analyzeResult, len(results))}
-	status := http.StatusOK
+	resp := AnalyzeResponse{Results: make([]AnalyzeResult, len(results))}
+	failed := 0
 	for i, res := range results {
-		out := analyzeResult{
+		out := AnalyzeResult{
 			Name:      res.Name,
 			Workload:  res.Workload,
 			Insights:  res.Insights,
@@ -422,18 +437,49 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		}
 		if res.Err != nil {
 			out.Error = res.Err.Error()
-			// A failed job is a server-side analysis fault; surface it in
-			// the status while still returning every result.
-			status = http.StatusInternalServerError
+			failed++
 		}
 		resp.Results[i] = out
 	}
-	s.met.observe(route, status, elapsed)
-	writeJSON(w, status, resp)
+	// A batch with failed jobs is still a delivered batch: per-job errors
+	// ride in the results and the count in X-Clara-Failed-Jobs. Answering
+	// 500 here made every retrying proxy re-run the whole batch — good
+	// jobs included — to retry failures that are deterministic analysis
+	// faults, not transient server state.
+	if failed > 0 {
+		w.Header().Set(FailedJobsHeader, strconv.Itoa(failed))
+	}
+	s.met.observe(route, http.StatusOK, elapsed)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// FailedJobsHeader carries the number of jobs in a 200 batch response
+// that failed with per-job errors (absent when all jobs succeeded).
+const FailedJobsHeader = "X-Clara-Failed-Jobs"
+
+// retryAfterSeconds estimates when an admission slot is likely to free:
+// the current slot occupancy divided by the analysis pool's parallelism
+// (each worker retires roughly one queued request at a time), clamped to
+// [1, 30] seconds. A deeper queue pushes clients further out instead of
+// the old hardcoded "1", which synchronized every rejected client into
+// a retry storm one second later.
+func (s *Server) retryAfterSeconds(fl *fleet.Fleet) int {
+	workers := 1
+	if fl != nil {
+		workers = fl.Workers()
+	}
+	secs := (len(s.sem) + workers - 1) / workers
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
 }
 
 // buildJobs resolves an analyze request into fleet jobs.
-func (s *Server) buildJobs(req *analyzeRequest) ([]fleet.Job, string) {
+func (s *Server) buildJobs(req *AnalyzeRequest) ([]fleet.Job, string) {
 	wl, err := pickWorkload(req.Workload)
 	if err != nil {
 		return nil, err.Error()
@@ -481,22 +527,22 @@ func (s *Server) buildJobs(req *analyzeRequest) ([]fleet.Job, string) {
 			})
 		}
 	}
-	if s.cfg.jobHook != nil {
+	if s.cfg.JobHook != nil {
 		for i := range jobs {
-			s.cfg.jobHook(&jobs[i])
+			s.cfg.JobHook(&jobs[i])
 		}
 	}
 	return jobs, ""
 }
 
-// lintRequest is the /v1/lint body: a library element name or source.
-type lintRequest struct {
+// LintRequest is the /v1/lint body: a library element name or source.
+type LintRequest struct {
 	NF   string `json:"nf,omitempty"`
 	Src  string `json:"src,omitempty"`
 	Name string `json:"name,omitempty"`
 }
 
-type lintResponse struct {
+type LintResponse struct {
 	Name        string                `json:"name"`
 	Summary     analysis.Summary      `json:"summary"`
 	Diagnostics []analysis.Diagnostic `json:"diagnostics"`
@@ -510,7 +556,7 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 	if s.gate(w, route) == nil {
 		return
 	}
-	var req lintRequest
+	var req LintRequest
 	if !s.decode(w, r, route, &req) {
 		return
 	}
@@ -543,7 +589,7 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.met.observe(route, http.StatusOK, time.Since(start))
-	writeJSON(w, http.StatusOK, lintResponse{
+	writeJSON(w, http.StatusOK, LintResponse{
 		Name:        name,
 		Summary:     analysis.Summarize(ds),
 		Diagnostics: ds,

@@ -94,9 +94,9 @@ func postJSON(t *testing.T, h http.Handler, path string, body any) *httptest.Res
 	return rec
 }
 
-func decodeAnalyze(t *testing.T, rec *httptest.ResponseRecorder) analyzeResponse {
+func decodeAnalyze(t *testing.T, rec *httptest.ResponseRecorder) AnalyzeResponse {
 	t.Helper()
-	var resp analyzeResponse
+	var resp AnalyzeResponse
 	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 		t.Fatalf("bad analyze response (%d): %v\n%s", rec.Code, err, rec.Body.String())
 	}
@@ -110,7 +110,7 @@ func decodeAnalyze(t *testing.T, rec *httptest.ResponseRecorder) analyzeResponse
 func TestAnalyzeSubmittedSource(t *testing.T) {
 	s := newTestServer(t, Config{})
 	src := click.Get("tcpack").Src
-	rec := postJSON(t, s.Handler(), "/v1/analyze", analyzeRequest{Src: src, Name: "submitted-tcpack", Workload: "mix"})
+	rec := postJSON(t, s.Handler(), "/v1/analyze", AnalyzeRequest{Src: src, Name: "submitted-tcpack", Workload: "mix"})
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d:\n%s", rec.Code, rec.Body.String())
 	}
@@ -132,7 +132,7 @@ func TestAnalyzeSubmittedSource(t *testing.T) {
 		t.Error("first submission claimed a cache hit")
 	}
 
-	rec2 := postJSON(t, s.Handler(), "/v1/analyze", analyzeRequest{Src: src, Name: "submitted-tcpack", Workload: "small"})
+	rec2 := postJSON(t, s.Handler(), "/v1/analyze", AnalyzeRequest{Src: src, Name: "submitted-tcpack", Workload: "small"})
 	resp2 := decodeAnalyze(t, rec2)
 	if !resp2.Results[0].CacheHit {
 		t.Error("resubmitted source missed the prediction cache")
@@ -142,7 +142,7 @@ func TestAnalyzeSubmittedSource(t *testing.T) {
 // TestAnalyzeLibraryBatch analyzes library elements by name, as a batch.
 func TestAnalyzeLibraryBatch(t *testing.T) {
 	s := newTestServer(t, Config{})
-	rec := postJSON(t, s.Handler(), "/v1/analyze", analyzeRequest{NFs: []string{"tcpack", "aggcounter"}})
+	rec := postJSON(t, s.Handler(), "/v1/analyze", AnalyzeRequest{NFs: []string{"tcpack", "aggcounter"}})
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d:\n%s", rec.Code, rec.Body.String())
 	}
@@ -160,7 +160,7 @@ func TestAnalyzeLibraryBatch(t *testing.T) {
 // TestAnalyzeValidation pins the 400 paths.
 func TestAnalyzeValidation(t *testing.T) {
 	s := newTestServer(t, Config{})
-	for name, body := range map[string]analyzeRequest{
+	for name, body := range map[string]AnalyzeRequest{
 		"no selector":      {},
 		"two selectors":    {NF: "tcpack", Src: "void handle() {}"},
 		"unknown element":  {NF: "nosuch"},
@@ -183,7 +183,7 @@ func TestAnalyzeValidation(t *testing.T) {
 // for SmartNIC-hostile source.
 func TestLintOnly(t *testing.T) {
 	s := newTestServer(t, Config{})
-	rec := postJSON(t, s.Handler(), "/v1/lint", lintRequest{
+	rec := postJSON(t, s.Handler(), "/v1/lint", LintRequest{
 		Name: "floaty",
 		Src: `void handle() {
 	u32 rate = ewma_rate(u32(pkt_len()));
@@ -195,7 +195,7 @@ func TestLintOnly(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d:\n%s", rec.Code, rec.Body.String())
 	}
-	var resp lintResponse
+	var resp LintResponse
 	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +212,7 @@ func TestLintOnly(t *testing.T) {
 		t.Errorf("no float rule fired: %+v", resp.Diagnostics)
 	}
 
-	rec = postJSON(t, s.Handler(), "/v1/lint", lintRequest{NF: "tcpack"})
+	rec = postJSON(t, s.Handler(), "/v1/lint", LintRequest{NF: "tcpack"})
 	if rec.Code != http.StatusOK {
 		t.Fatalf("library lint status %d", rec.Code)
 	}
@@ -237,15 +237,15 @@ func TestQueueFullBackpressure(t *testing.T) {
 	started := make(chan struct{}, 1)
 	release := make(chan struct{})
 	s := newTestServer(t, Config{QueueDepth: 1, Workers: 1,
-		jobHook: blockingHook(started, release)})
+		JobHook: blockingHook(started, release)})
 
 	firstDone := make(chan *httptest.ResponseRecorder, 1)
 	go func() {
-		firstDone <- postJSON(t, s.Handler(), "/v1/analyze", analyzeRequest{NF: "tcpack"})
+		firstDone <- postJSON(t, s.Handler(), "/v1/analyze", AnalyzeRequest{NF: "tcpack"})
 	}()
 	<-started // the slot is held and the analysis is in flight
 
-	rec := postJSON(t, s.Handler(), "/v1/analyze", analyzeRequest{NF: "aggcounter"})
+	rec := postJSON(t, s.Handler(), "/v1/analyze", AnalyzeRequest{NF: "aggcounter"})
 	if rec.Code != http.StatusTooManyRequests {
 		t.Fatalf("status %d, want 429:\n%s", rec.Code, rec.Body.String())
 	}
@@ -268,9 +268,9 @@ func TestQueueFullBackpressure(t *testing.T) {
 func TestClientCancelStopsAnalysis(t *testing.T) {
 	started := make(chan struct{}, 1)
 	release := make(chan struct{})
-	s := newTestServer(t, Config{Workers: 1, jobHook: blockingHook(started, release)})
+	s := newTestServer(t, Config{Workers: 1, JobHook: blockingHook(started, release)})
 
-	blob, _ := json.Marshal(analyzeRequest{NF: "tcpack"})
+	blob, _ := json.Marshal(AnalyzeRequest{NF: "tcpack"})
 	ctx, cancel := context.WithCancel(context.Background())
 	req := httptest.NewRequest("POST", "/v1/analyze", bytes.NewReader(blob)).WithContext(ctx)
 	rec := httptest.NewRecorder()
@@ -311,26 +311,32 @@ func TestRequestTimeout(t *testing.T) {
 			return nil
 		}}
 	}
-	s := newTestServer(t, Config{Workers: 1, jobHook: hook})
-	rec := postJSON(t, s.Handler(), "/v1/analyze", analyzeRequest{NF: "tcpack", TimeoutMs: 50})
+	s := newTestServer(t, Config{Workers: 1, JobHook: hook})
+	rec := postJSON(t, s.Handler(), "/v1/analyze", AnalyzeRequest{NF: "tcpack", TimeoutMs: 50})
 	if rec.Code != http.StatusGatewayTimeout {
 		t.Fatalf("status %d, want 504:\n%s", rec.Code, rec.Body.String())
 	}
 }
 
 // TestPanickingNFIsolation submits a job whose analysis panics: the
-// response reports the per-job error and the server keeps serving.
+// batch is still delivered as 200 with the per-job error in its result
+// and the failure count in X-Clara-Failed-Jobs, and the server keeps
+// serving. (A 500 here would make retrying proxies re-run the whole
+// batch against a deterministic fault.)
 func TestPanickingNFIsolation(t *testing.T) {
 	s := newTestServer(t, Config{
-		jobHook: func(j *fleet.Job) {
+		JobHook: func(j *fleet.Job) {
 			j.PS = core.ProfileSetup{Setup: func(*interp.Machine) error {
 				panic("synthetic NF panic")
 			}}
 		},
 	})
-	rec := postJSON(t, s.Handler(), "/v1/analyze", analyzeRequest{NF: "tcpack"})
-	if rec.Code != http.StatusInternalServerError {
-		t.Fatalf("status %d, want 500:\n%s", rec.Code, rec.Body.String())
+	rec := postJSON(t, s.Handler(), "/v1/analyze", AnalyzeRequest{NF: "tcpack"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d, want 200:\n%s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get(FailedJobsHeader); got != "1" {
+		t.Fatalf("%s = %q, want \"1\"", FailedJobsHeader, got)
 	}
 	resp := decodeAnalyze(t, rec)
 	if !resp.Results[0].Panicked || !strings.Contains(resp.Results[0].Error, "synthetic NF panic") {
@@ -340,12 +346,184 @@ func TestPanickingNFIsolation(t *testing.T) {
 	// The process survived; a clean request still works.
 	s2 := newTestServer(t, Config{})
 	_ = s2
-	rec = postJSON(t, s.Handler(), "/v1/lint", lintRequest{NF: "tcpack"})
+	rec = postJSON(t, s.Handler(), "/v1/lint", LintRequest{NF: "tcpack"})
 	if rec.Code != http.StatusOK {
 		t.Fatalf("server unhealthy after panic: %d", rec.Code)
 	}
 	if got := s.fl.Stats().JobsPanicked; got != 1 {
 		t.Errorf("panicked jobs = %d, want 1", got)
+	}
+}
+
+// TestPartialBatchFailure analyzes a batch where exactly one job fails:
+// the response is 200 with the good job's insights intact, the bad
+// job's error inline, and X-Clara-Failed-Jobs counting the failures.
+func TestPartialBatchFailure(t *testing.T) {
+	s := newTestServer(t, Config{
+		JobHook: func(j *fleet.Job) {
+			if j.Name == "aggcounter" {
+				j.PS = core.ProfileSetup{Setup: func(*interp.Machine) error {
+					panic("poisoned element")
+				}}
+			}
+		},
+	})
+	rec := postJSON(t, s.Handler(), "/v1/analyze", AnalyzeRequest{NFs: []string{"tcpack", "aggcounter"}})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d, want 200:\n%s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get(FailedJobsHeader); got != "1" {
+		t.Fatalf("%s = %q, want \"1\"", FailedJobsHeader, got)
+	}
+	resp := decodeAnalyze(t, rec)
+	if len(resp.Results) != 2 {
+		t.Fatalf("got %d results", len(resp.Results))
+	}
+	if resp.Results[0].Error != "" || resp.Results[0].Insights == nil {
+		t.Errorf("good job damaged: %+v", resp.Results[0])
+	}
+	if resp.Results[1].Error == "" || !resp.Results[1].Panicked {
+		t.Errorf("bad job not surfaced: %+v", resp.Results[1])
+	}
+
+	// An all-good batch must not carry the header.
+	rec = postJSON(t, s.Handler(), "/v1/analyze", AnalyzeRequest{NFs: []string{"tcpack", "udpipencap"}})
+	if rec.Code != http.StatusOK || rec.Header().Get(FailedJobsHeader) != "" {
+		t.Fatalf("clean batch: status %d, header %q", rec.Code, rec.Header().Get(FailedJobsHeader))
+	}
+}
+
+// TestDrainWinsOver429: a server that is both full and draining must
+// answer 503 "shutting down", not 429 "retry later" — a client told to
+// retry would hammer a process that is about to exit instead of failing
+// over.
+func TestDrainWinsOver429(t *testing.T) {
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	s := newTestServer(t, Config{QueueDepth: 1, Workers: 1,
+		JobHook: blockingHook(started, release)})
+
+	firstDone := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		firstDone <- postJSON(t, s.Handler(), "/v1/analyze", AnalyzeRequest{NF: "tcpack"})
+	}()
+	<-started // queue is now full (the one slot is held)
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+	for !s.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+
+	rec := postJSON(t, s.Handler(), "/v1/analyze", AnalyzeRequest{NF: "aggcounter"})
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("full+draining: status %d, want 503:\n%s", rec.Code, rec.Body.String())
+	}
+
+	close(release)
+	if rec := <-firstDone; rec.Code != http.StatusOK {
+		t.Fatalf("drained request failed: %d", rec.Code)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestRetryAfterScalesWithOccupancy pins three slots of a depth-3 queue
+// on a one-worker server and checks the rejected request's Retry-After
+// reflects the occupancy (3 requests ahead / 1 worker = 3s), not a
+// hardcoded constant.
+func TestRetryAfterScalesWithOccupancy(t *testing.T) {
+	started := make(chan struct{}, 3)
+	release := make(chan struct{})
+	s := newTestServer(t, Config{QueueDepth: 3, Workers: 1,
+		JobHook: blockingHook(started, release)})
+
+	var wg sync.WaitGroup
+	for _, nf := range []string{"tcpack", "aggcounter", "udpipencap"} {
+		wg.Add(1)
+		go func(nf string) {
+			defer wg.Done()
+			postJSON(t, s.Handler(), "/v1/analyze", AnalyzeRequest{NF: nf})
+		}(nf)
+	}
+	for i := 0; i < 3; i++ {
+		<-started
+	}
+
+	rec := postJSON(t, s.Handler(), "/v1/analyze", AnalyzeRequest{NF: "forcetcp"})
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429:\n%s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("Retry-After"); got != "3" {
+		t.Errorf("Retry-After = %q, want \"3\" (3 held slots / 1 worker)", got)
+	}
+	close(release)
+	wg.Wait()
+}
+
+// TestMergeSnapshots checks the cluster metric fold: counters sum,
+// histograms merge bucket-wise with correct moments, hit rate is
+// recomputed over the merged counters, readiness requires every worker,
+// and differing model hashes are flagged.
+func TestMergeSnapshots(t *testing.T) {
+	mk := func(uptime float64, hits, misses int64, ready bool, hash string) MetricsSnapshot {
+		var s MetricsSnapshot
+		s.UptimeSeconds = uptime
+		s.Model = ModelStats{Ready: ready, Hash: hash}
+		s.Requests = map[string]RouteStats{
+			"analyze": {Total: 10, OK: 8, Rejected: 1, ServerErrors: 1},
+		}
+		s.Latency = map[string]HistogramJSON{
+			"analyze": {BoundsMs: []float64{1, 5}, Counts: []int64{3, 4, 3}, N: 10, MinMs: 0.5, MeanMs: 2, MaxMs: 9},
+		}
+		s.Queue.Depth = 1
+		s.Queue.Capacity = 4
+		s.Fleet = FleetStats{
+			JobsCompleted: 9, JobsFailed: 1,
+			CacheHits: hits, CacheMisses: misses, CacheEvictions: 2,
+		}
+		return s
+	}
+	a := mk(100, 6, 4, true, "aaaa")
+	b := mk(50, 2, 8, true, "aaaa")
+	m := MergeSnapshots([]MetricsSnapshot{a, b})
+
+	if m.UptimeSeconds != 50 {
+		t.Errorf("uptime = %v, want min 50", m.UptimeSeconds)
+	}
+	if rs := m.Requests["analyze"]; rs.Total != 20 || rs.OK != 16 || rs.Rejected != 2 || rs.ServerErrors != 2 {
+		t.Errorf("merged route stats: %+v", rs)
+	}
+	h := m.Latency["analyze"]
+	if h.N != 20 || h.Counts[0] != 6 || h.Counts[2] != 6 || h.MinMs != 0.5 || h.MaxMs != 9 || h.MeanMs != 2 {
+		t.Errorf("merged histogram: %+v", h)
+	}
+	if m.Queue.Depth != 2 || m.Queue.Capacity != 8 {
+		t.Errorf("merged queue: %+v", m.Queue)
+	}
+	if m.Fleet.JobsCompleted != 18 || m.Fleet.CacheHits != 8 || m.Fleet.CacheMisses != 12 || m.Fleet.CacheEvictions != 4 {
+		t.Errorf("merged fleet: %+v", m.Fleet)
+	}
+	if m.Fleet.CacheHitRate != 0.4 {
+		t.Errorf("merged hit rate = %v, want 0.4 (8/20)", m.Fleet.CacheHitRate)
+	}
+	if !m.Model.Ready || m.Model.Hash != "aaaa" {
+		t.Errorf("merged model: %+v", m.Model)
+	}
+
+	// One unready worker makes the cluster unready; skewed hashes flag.
+	c := mk(75, 0, 0, false, "bbbb")
+	m = MergeSnapshots([]MetricsSnapshot{a, c})
+	if m.Model.Ready || m.Model.Hash != "mixed" {
+		t.Errorf("skewed merge model: %+v", m.Model)
+	}
+	if got := MergeSnapshots(nil); got.Model.Ready || got.Requests == nil {
+		t.Errorf("empty merge: %+v", got)
 	}
 }
 
@@ -356,11 +534,11 @@ func TestMetricsEndpoint(t *testing.T) {
 	s := newTestServer(t, Config{QueueDepth: 3})
 	src := click.Get("aggcounter").Src
 	for i := 0; i < 2; i++ {
-		if rec := postJSON(t, s.Handler(), "/v1/analyze", analyzeRequest{Src: src, Name: "m"}); rec.Code != http.StatusOK {
+		if rec := postJSON(t, s.Handler(), "/v1/analyze", AnalyzeRequest{Src: src, Name: "m"}); rec.Code != http.StatusOK {
 			t.Fatalf("analyze %d: %d", i, rec.Code)
 		}
 	}
-	postJSON(t, s.Handler(), "/v1/lint", lintRequest{NF: "tcpack"})
+	postJSON(t, s.Handler(), "/v1/lint", LintRequest{NF: "tcpack"})
 
 	req := httptest.NewRequest("GET", "/metrics", nil)
 	rec := httptest.NewRecorder()
@@ -400,11 +578,11 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	started := make(chan struct{}, 1)
 	release := make(chan struct{})
 	s := newTestServer(t, Config{Workers: 1, QueueDepth: 2,
-		jobHook: blockingHook(started, release)})
+		JobHook: blockingHook(started, release)})
 
 	firstDone := make(chan *httptest.ResponseRecorder, 1)
 	go func() {
-		firstDone <- postJSON(t, s.Handler(), "/v1/analyze", analyzeRequest{NF: "tcpack"})
+		firstDone <- postJSON(t, s.Handler(), "/v1/analyze", AnalyzeRequest{NF: "tcpack"})
 	}()
 	<-started
 
@@ -420,7 +598,7 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	case <-time.After(50 * time.Millisecond):
 	}
 
-	rec := postJSON(t, s.Handler(), "/v1/analyze", analyzeRequest{NF: "aggcounter"})
+	rec := postJSON(t, s.Handler(), "/v1/analyze", AnalyzeRequest{NF: "aggcounter"})
 	if rec.Code != http.StatusServiceUnavailable {
 		t.Fatalf("during drain: status %d, want 503", rec.Code)
 	}
@@ -447,12 +625,12 @@ func TestConcurrentRequests(t *testing.T) {
 			defer wg.Done()
 			name := names[i%len(names)]
 			if i%4 == 3 {
-				if rec := postJSON(t, s.Handler(), "/v1/lint", lintRequest{NF: name}); rec.Code != http.StatusOK {
+				if rec := postJSON(t, s.Handler(), "/v1/lint", LintRequest{NF: name}); rec.Code != http.StatusOK {
 					errs <- fmt.Sprintf("lint %s: %d", name, rec.Code)
 				}
 				return
 			}
-			rec := postJSON(t, s.Handler(), "/v1/analyze", analyzeRequest{NF: name})
+			rec := postJSON(t, s.Handler(), "/v1/analyze", AnalyzeRequest{NF: name})
 			if rec.Code != http.StatusOK {
 				errs <- fmt.Sprintf("analyze %s: %d", name, rec.Code)
 			}
@@ -519,11 +697,11 @@ func TestTrainingGateThenReady(t *testing.T) {
 		!strings.Contains(rec.Body.String(), "training") {
 		t.Fatalf("healthz during training: %d %s", rec.Code, rec.Body.String())
 	}
-	rec := postJSON(t, s.Handler(), "/v1/analyze", analyzeRequest{NF: "tcpack"})
+	rec := postJSON(t, s.Handler(), "/v1/analyze", AnalyzeRequest{NF: "tcpack"})
 	if rec.Code != http.StatusServiceUnavailable || rec.Header().Get("Retry-After") == "" {
 		t.Fatalf("analyze during training: %d (Retry-After %q)", rec.Code, rec.Header().Get("Retry-After"))
 	}
-	if rec := postJSON(t, s.Handler(), "/v1/lint", lintRequest{NF: "tcpack"}); rec.Code != http.StatusServiceUnavailable {
+	if rec := postJSON(t, s.Handler(), "/v1/lint", LintRequest{NF: "tcpack"}); rec.Code != http.StatusServiceUnavailable {
 		t.Fatalf("lint during training: %d", rec.Code)
 	}
 	if snap := metricsSnap(t, s.Handler()); snap.Model.Ready || snap.Model.Hash != "" {
@@ -542,7 +720,7 @@ func TestTrainingGateThenReady(t *testing.T) {
 		!strings.Contains(rec.Body.String(), "feedface") {
 		t.Fatalf("healthz after training: %d %s", rec.Code, rec.Body.String())
 	}
-	if rec := postJSON(t, s.Handler(), "/v1/analyze", analyzeRequest{NF: "tcpack"}); rec.Code != http.StatusOK {
+	if rec := postJSON(t, s.Handler(), "/v1/analyze", AnalyzeRequest{NF: "tcpack"}); rec.Code != http.StatusOK {
 		t.Fatalf("analyze after training: %d %s", rec.Code, rec.Body.String())
 	}
 	snap := metricsSnap(t, s.Handler())
@@ -595,7 +773,7 @@ func TestWarmStartFromBundle(t *testing.T) {
 		!strings.Contains(rec.Body.String(), loaded.Hash) {
 		t.Fatalf("healthz: %d %s", rec.Code, rec.Body.String())
 	}
-	rec := postJSON(t, s.Handler(), "/v1/analyze", analyzeRequest{NF: "tcpack"})
+	rec := postJSON(t, s.Handler(), "/v1/analyze", AnalyzeRequest{NF: "tcpack"})
 	if rec.Code != http.StatusOK {
 		t.Fatalf("analyze on warm-started server: %d %s", rec.Code, rec.Body.String())
 	}
@@ -631,7 +809,7 @@ func TestTrainingFailureSurfaces(t *testing.T) {
 		!strings.Contains(rec.Body.String(), "failed") {
 		t.Fatalf("healthz after failure: %d %s", rec.Code, rec.Body.String())
 	}
-	if rec := postJSON(t, s.Handler(), "/v1/analyze", analyzeRequest{NF: "tcpack"}); rec.Code != http.StatusInternalServerError {
+	if rec := postJSON(t, s.Handler(), "/v1/analyze", AnalyzeRequest{NF: "tcpack"}); rec.Code != http.StatusInternalServerError {
 		t.Fatalf("analyze after failure: %d", rec.Code)
 	}
 	if snap := metricsSnap(t, s.Handler()); snap.Model.Ready || snap.Model.TrainError == "" {

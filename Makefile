@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check check serve-check cluster-check simulate-check fuzz bench bench-smoke bench-compare bench-fleet update-golden
+.PHONY: build test race vet fmt-check check serve-check cluster-check simulate-check interp-check fuzz bench bench-smoke bench-compare bench-fleet update-golden
 
 build:
 	$(GO) build ./...
@@ -47,17 +47,25 @@ simulate-check:
 	$(GO) run ./cmd/clara -simulate -scenario zipf -policy dynamic -rounds 24 > /dev/null
 	$(GO) run ./cmd/clara -simulate -scenario elephantmice -policy static -rounds 24 > /dev/null
 
+# interp-check runs the compiled-backend differential suite under the
+# race detector: every library element x every traffic spec x both
+# observability flavors, plus the fuel-starvation and HostMap sweeps,
+# must produce byte-identical transcripts from both backends.
+interp-check:
+	$(GO) test -race -run 'TestCompiledBackendEquivalence|TestProfileLoopZeroAllocs' ./internal/interp/ ./internal/core/
+
 # check is the PR gate: static gates first, then build, plain tests,
 # then the race passes, then a quick run of the benchmark harness.
-check: vet fmt-check build test race serve-check cluster-check simulate-check bench-smoke
+check: vet fmt-check build test race serve-check cluster-check simulate-check interp-check bench-smoke
 
-# bench regenerates the committed BENCH_PR9.json: everything from the
-# PR7 report (cold/warm start, train throughput, predict latency,
-# quantized drift, fleet jobs/sec, convergence grid) plus the
-# coordinator/worker cluster scaling grid. Earlier BENCH_PR*.json files
-# are kept for cross-PR comparison.
+# bench regenerates the committed BENCH_PR10.json: everything from the
+# PR9 report (cold/warm start, train throughput, predict latency,
+# quantized drift, fleet jobs/sec, convergence grid, cluster scaling)
+# plus the host-profiling microbench (profile_us_per_packet,
+# compiled_speedup). Earlier BENCH_PR*.json files are kept for cross-PR
+# comparison.
 bench:
-	$(GO) run ./cmd/perfbench -out BENCH_PR9.json
+	$(GO) run ./cmd/perfbench -out BENCH_PR10.json
 
 # bench-smoke runs the same harness with shrunken workloads to verify
 # it end to end (CI); it does not overwrite the committed numbers.
@@ -83,6 +91,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzLint -fuzztime=20s ./internal/analysis/
 	$(GO) test -run=^$$ -fuzz=FuzzTaint -fuzztime=20s ./internal/analysis/
 	$(GO) test -run=^$$ -fuzz=FuzzSimulate -fuzztime=10s ./internal/offload/
+	$(GO) test -run=^$$ -fuzz=FuzzCompiledExec -fuzztime=20s ./internal/interp/
 
 bench-fleet:
 	$(GO) test -run=^$$ -bench=BenchmarkFleetAnalyze -benchtime=5x .

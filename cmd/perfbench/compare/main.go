@@ -3,13 +3,16 @@
 //	compare OLD.json NEW.json
 //
 // Numeric fields print old, new, and the relative change; fields present
-// in only one report are listed as added/removed. Nested structures
-// (the convergence and cluster grids) flatten into dotted keys —
-// cluster rows by worker count (cluster.w2.jobs_per_sec), convergence
-// rows by scenario/policy — so their numeric cells diff like top-level
-// fields. It exits 0 regardless of the deltas — benchmark numbers from
-// different machines are not comparable, so the diff informs rather
-// than gates (the Makefile's bench-compare target wraps it fail-soft).
+// in only one report are listed informationally — a metric missing from
+// the older committed baseline prints as "(new)" and is never an error,
+// so growing the perfbench report can't break `make bench-compare`
+// against historical BENCH_PR*.json files. Nested structures (the
+// convergence and cluster grids) flatten into dotted keys — cluster rows
+// by worker count (cluster.w2.jobs_per_sec), convergence rows by
+// scenario/policy — so their numeric cells diff like top-level fields.
+// It exits 0 regardless of the deltas — benchmark numbers from different
+// machines are not comparable, so the diff informs rather than gates
+// (the Makefile's bench-compare target wraps it fail-soft).
 package main
 
 import (
@@ -32,7 +35,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	for _, line := range diff(oldRep, newRep) {
+		fmt.Println(line)
+	}
+}
 
+// diff renders the field-by-field comparison of two flattened reports.
+// Asymmetric keys are informational by construction: "(new)" for metrics
+// the older baseline predates, "(removed)" for ones the newer report
+// dropped. Unchanged non-numeric fields are omitted.
+func diff(oldRep, newRep map[string]any) []string {
 	keys := make(map[string]bool)
 	for k := range oldRep {
 		keys[k] = true
@@ -46,24 +58,26 @@ func main() {
 	}
 	sort.Strings(sorted)
 
+	var out []string
 	for _, k := range sorted {
 		ov, oldOK := oldRep[k]
 		nv, newOK := newRep[k]
 		switch {
 		case !oldOK:
-			fmt.Printf("  %-36s (new)        %v\n", k, nv)
+			out = append(out, fmt.Sprintf("  %-36s (new)        %v", k, nv))
 		case !newOK:
-			fmt.Printf("  %-36s (removed)    %v\n", k, ov)
+			out = append(out, fmt.Sprintf("  %-36s (removed)    %v", k, ov))
 		default:
 			of, oNum := ov.(float64)
 			nf, nNum := nv.(float64)
 			if oNum && nNum && of != 0 {
-				fmt.Printf("  %-36s %12.4g -> %-12.4g (%+.1f%%)\n", k, of, nf, 100*(nf-of)/of)
+				out = append(out, fmt.Sprintf("  %-36s %12.4g -> %-12.4g (%+.1f%%)", k, of, nf, 100*(nf-of)/of))
 			} else if fmt.Sprint(ov) != fmt.Sprint(nv) {
-				fmt.Printf("  %-36s %v -> %v\n", k, ov, nv)
+				out = append(out, fmt.Sprintf("  %-36s %v -> %v", k, ov, nv))
 			}
 		}
 	}
+	return out
 }
 
 func load(path string) (map[string]any, error) {
@@ -71,6 +85,13 @@ func load(path string) (map[string]any, error) {
 	if err != nil {
 		return nil, err
 	}
+	return parse(blob, path)
+}
+
+// parse decodes a report into its flattened leaf-key form. Reports are
+// schema-free maps, so a baseline written before a metric existed simply
+// lacks its keys — never a decode error.
+func parse(blob []byte, path string) (map[string]any, error) {
 	var m map[string]any
 	if err := json.Unmarshal(blob, &m); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)

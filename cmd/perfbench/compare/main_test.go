@@ -1,0 +1,94 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, blob string) map[string]any {
+	t.Helper()
+	m, err := parse([]byte(blob), "test.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestDiffNewMetricInformational: a metric the older committed baseline
+// predates must show up as "(new)" — informational, never an error. This
+// is the contract that lets perfbench grow fields (profile_us_per_packet,
+// compiled_speedup, ...) without breaking `make bench-compare` against
+// historical BENCH_PR*.json files.
+func TestDiffNewMetricInformational(t *testing.T) {
+	oldRep := mustParse(t, `{"fleet_jobs_per_sec": 198.0}`)
+	newRep := mustParse(t, `{"fleet_jobs_per_sec": 260.0, "profile_us_per_packet": 0.31, "compiled_speedup": 1.4}`)
+	lines := diff(oldRep, newRep)
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{"profile_us_per_packet", "compiled_speedup"} {
+		found := false
+		for _, l := range lines {
+			if strings.Contains(l, want) && strings.Contains(l, "(new)") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("metric %q not reported as (new):\n%s", want, joined)
+		}
+	}
+	if !strings.Contains(joined, "fleet_jobs_per_sec") || !strings.Contains(joined, "+31.3%") {
+		t.Errorf("numeric delta missing:\n%s", joined)
+	}
+}
+
+func TestDiffRemovedMetric(t *testing.T) {
+	oldRep := mustParse(t, `{"a": 1, "legacy": 5}`)
+	newRep := mustParse(t, `{"a": 1}`)
+	joined := strings.Join(diff(oldRep, newRep), "\n")
+	if !strings.Contains(joined, "legacy") || !strings.Contains(joined, "(removed)") {
+		t.Errorf("want (removed) line for legacy, got:\n%s", joined)
+	}
+}
+
+func TestDiffUnchangedOmitted(t *testing.T) {
+	rep := mustParse(t, `{"go": "go1.22", "n": 3}`)
+	// Same report on both sides: the numeric field still prints its
+	// (zero) delta; the unchanged string is omitted.
+	lines := diff(rep, rep)
+	for _, l := range lines {
+		if strings.Contains(l, "go1.22") {
+			t.Errorf("unchanged string field printed: %q", l)
+		}
+	}
+}
+
+// TestParseFlattensRows: nested grids flatten to dotted keys with
+// content-derived row labels, so a new column inside an existing row also
+// lands on the informational "(new)" path rather than a shape mismatch.
+func TestParseFlattensRows(t *testing.T) {
+	m := mustParse(t, `{
+		"cluster": [{"workers": 2, "jobs_per_sec": 10}],
+		"conv": [{"scenario": "zipf", "policy": "insight", "rounds": 96}]
+	}`)
+	if _, ok := m["cluster.w2.jobs_per_sec"]; !ok {
+		t.Errorf("cluster row not labeled by worker count: %v", m)
+	}
+	if _, ok := m["conv.zipf/insight.rounds"]; !ok {
+		t.Errorf("convergence row not labeled by scenario/policy: %v", m)
+	}
+
+	oldRep := m
+	newRep := mustParse(t, `{
+		"cluster": [{"workers": 2, "jobs_per_sec": 12, "p99_ms": 4}],
+		"conv": [{"scenario": "zipf", "policy": "insight", "rounds": 96}]
+	}`)
+	joined := strings.Join(diff(oldRep, newRep), "\n")
+	if !strings.Contains(joined, "cluster.w2.p99_ms") || !strings.Contains(joined, "(new)") {
+		t.Errorf("new nested metric not informational:\n%s", joined)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := parse([]byte("not json"), "x.json"); err == nil {
+		t.Fatal("want error for malformed report")
+	}
+}

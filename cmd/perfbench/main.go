@@ -22,11 +22,15 @@
 //   - cluster throughput: the same analysis batch served through an
 //     in-process coordinator fronting 1, 2, and 4 single-threaded
 //     workers (the PR9 scaling grid; speedup_vs_1 is recorded honestly,
-//     so a 1-CPU runner reports ~1x).
+//     so a 1-CPU runner reports ~1x);
+//   - host profiling: µs per workload packet through the compiled
+//     direct-threaded interpreter backend, and its speedup over the
+//     reference switch-dispatch loop on the identical packet stream
+//     (the PR10 headline).
 //
 // Usage:
 //
-//	perfbench [-quick] [-out BENCH_PR9.json]
+//	perfbench [-quick] [-out BENCH_PR10.json]
 //
 // -quick shrinks the measured workloads for CI smoke runs; the
 // committed numbers come from a run without it.
@@ -49,9 +53,12 @@ import (
 	"time"
 
 	"clara"
+	"clara/internal/core"
+	"clara/internal/interp"
 	"clara/internal/ml"
 	"clara/internal/niccc"
 	"clara/internal/offload"
+	"clara/internal/traffic"
 )
 
 // report is the BENCH_PR7.json schema.
@@ -74,6 +81,12 @@ type report struct {
 	// WMAPE(f32)| (the accuracy gate pins it below 0.005).
 	QuantizedWmapeDrift float64 `json:"quantized_wmape_drift"`
 	FleetJobsPerSec     float64 `json:"fleet_jobs_per_sec"`
+	// ProfileUsPerPacket is host profiling's per-packet cost on the
+	// compiled direct-threaded backend (the fleet's hot loop);
+	// CompiledSpeedup is the reference interpreter's wall time over the
+	// compiled backend's on the identical profiling workload.
+	ProfileUsPerPacket float64 `json:"profile_us_per_packet"`
+	CompiledSpeedup    float64 `json:"compiled_speedup"`
 	// ConvergenceNF is the library element whose trained prediction
 	// derives the NIC capacities and seeds the insight policy; the
 	// Convergence rows compare rounds-to-steady-state (drop rate <= 1%)
@@ -114,7 +127,7 @@ type convergenceRow struct {
 
 func main() {
 	quick := flag.Bool("quick", false, "smaller measured workloads (CI smoke)")
-	out := flag.String("out", "BENCH_PR9.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR10.json", "output JSON path")
 	flag.Parse()
 
 	rep := report{
@@ -212,6 +225,17 @@ func main() {
 		}
 	}
 	rep.FleetJobsPerSec = float64(len(results)) / time.Since(t0).Seconds()
+
+	// Host-profiling microbench: the same packet stream through both
+	// interpreter backends.
+	fmt.Fprintln(os.Stderr, "perfbench: host-profiling backends benchmark...")
+	profPkts := 40000
+	if *quick {
+		profPkts = 4000
+	}
+	if rep.ProfileUsPerPacket, rep.CompiledSpeedup, err = profileBench(profPkts); err != nil {
+		fatal(err)
+	}
 
 	// Offload-controller convergence: how many rounds each threshold
 	// policy needs to reach steady state, with the insight policy seeded
@@ -404,6 +428,58 @@ func convergenceBench(tool *clara.Tool, nfName string, rounds int) ([]convergenc
 		}
 	}
 	return rows, nil
+}
+
+// profileBench times ProfileOnHost — the fleet's measured floor — over a
+// loop-heavy element slice of the library, n packets of the mix workload
+// each, once per interpreter backend, and returns the compiled backend's
+// µs/packet plus its speedup over the reference loop. The best-of-3
+// median-free minimum is used per backend: profiling is deterministic, so
+// the minimum is the run least disturbed by the machine.
+func profileBench(n int) (usPerPkt, speedup float64, err error) {
+	defer interp.SetDefaultBackend(interp.BackendCompiled)
+	elems := []string{"mazunat", "cmsketch", "udpcount", "firewall", "dedup"}
+	timeBackend := func(b interp.Backend) (time.Duration, error) {
+		if err := interp.SetDefaultBackend(b); err != nil {
+			return 0, err
+		}
+		best := time.Duration(math.MaxInt64)
+		for rep := 0; rep < 3; rep++ {
+			t0 := time.Now()
+			for _, name := range elems {
+				e := clara.GetElement(name)
+				if e == nil {
+					return 0, fmt.Errorf("unknown element %q", name)
+				}
+				mod, err := e.Module()
+				if err != nil {
+					return 0, err
+				}
+				ps := core.ProfileSetup{Setup: e.Setup, LPMTable: e.Routes}
+				if _, err := core.ProfileOnHost(mod, ps, traffic.MediumMix, n); err != nil {
+					return 0, err
+				}
+			}
+			if d := time.Since(t0); d < best {
+				best = d
+			}
+		}
+		return best, nil
+	}
+	compiled, err := timeBackend(interp.BackendCompiled)
+	if err != nil {
+		return 0, 0, err
+	}
+	reference, err := timeBackend(interp.BackendReference)
+	if err != nil {
+		return 0, 0, err
+	}
+	pkts := float64(len(elems) * n)
+	usPerPkt = float64(compiled.Microseconds()) / pkts
+	speedup = float64(reference) / float64(compiled)
+	fmt.Fprintf(os.Stderr, "perfbench: profiling compiled=%.2fus/pkt reference=%.2fus/pkt speedup=%.2fx\n",
+		usPerPkt, float64(reference.Microseconds())/pkts, speedup)
+	return usPerPkt, speedup, nil
 }
 
 // clusterBench serves the whole element library as one /v1/analyze

@@ -88,6 +88,10 @@ func ProfileOnHostSourceContext(ctx context.Context, mod *ir.Module, ps ProfileS
 	if err != nil {
 		return nil, err
 	}
+	// The machine goes back to the interpreter's pool on every exit path:
+	// the profile below is built from Counters slices, which Release
+	// leaves with this caller (pooled reuse hands out fresh ones).
+	defer m.Release()
 	if ps.Setup != nil {
 		if err := ps.Setup(m); err != nil {
 			return nil, err
@@ -99,13 +103,28 @@ func ProfileOnHostSourceContext(ctx context.Context, mod *ir.Module, ps ProfileS
 	// OnBlock/OnState/OnAPI hooks would accumulate (integer weights summed
 	// in float64 are exact well past any realistic packet count).
 	ctr := m.EnableCounters()
+	// Sources that support caller-provided payload scratch (the trace
+	// Replayer) make the loop allocation-free: each packet is fully
+	// consumed by RunPacket before the next overwrites the buffer.
+	bufSrc, buffered := gen.(interface {
+		NextBuf([]byte) (traffic.Packet, []byte)
+	})
+	var pbuf []byte
+	// p is hoisted out of the loop: RunPacket retains &p for the packet's
+	// duration, so a per-iteration variable would escape and cost one heap
+	// allocation per packet.
+	var p traffic.Packet
 	for i := 0; i < n; i++ {
 		if i&63 == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("core: profiling %s: %w", mod.Name, err)
 			}
 		}
-		p := gen.Next()
+		if buffered {
+			p, pbuf = bufSrc.NextBuf(pbuf)
+		} else {
+			p = gen.Next()
+		}
 		if err := m.RunPacket(&p); err != nil {
 			return nil, fmt.Errorf("core: profiling %s: %w", mod.Name, err)
 		}

@@ -44,9 +44,12 @@ func keyFor(mod *ir.Module, accel niccc.AccelConfig) predKey {
 // module half of the prediction-cache key. The cluster coordinator
 // routes jobs with the same hash, so its consistent-hash assignment and
 // each worker's cache agree on module identity: every module lands on
-// the one worker whose cache can already hold its prediction.
+// the one worker whose cache can already hold its prediction. The
+// interpreter's compiled-program cache keys on the same hash
+// (ir.Fingerprint), so that worker also holds the module's compiled
+// program.
 func ContentHash(mod *ir.Module) [sha256.Size]byte {
-	return sha256.Sum256([]byte(mod.String()))
+	return ir.Fingerprint(mod)
 }
 
 // predEntry is one cache slot. The first requester owns the computation;

@@ -26,6 +26,7 @@ import (
 
 	"clara/internal/analysis"
 	"clara/internal/core"
+	"clara/internal/interp"
 	"clara/internal/ir"
 	"clara/internal/niccc"
 	"clara/internal/traffic"
@@ -249,6 +250,15 @@ func (f *Fleet) prewarmGroup(accel niccc.AccelConfig, mods []*ir.Module, entries
 			}
 		}
 	}()
+	// Warm the interpreter's compiled-program cache alongside the
+	// prediction sweep: host profiling for these modules then starts on
+	// the threaded backend immediately instead of each first worker
+	// paying the compile. A compile error is not a batch error — the
+	// machine falls back to the reference interpreter, and any real
+	// module problem surfaces in that job's analysis.
+	for _, mod := range mods {
+		_ = interp.Precompile(mod)
+	}
 	mps, err := f.tool.Predictor.PredictModules(mods, accel)
 	if err != nil {
 		// The batched sweep fails jointly (e.g. one module calls an API

@@ -281,10 +281,11 @@ func (nm *nicMapState) lookup(key uint64) (int, int) {
 	base := nm.bucket(key)
 	for i := 0; i < BucketSlots; i++ {
 		s := &nm.slots[base+i]
-		if s.state == 0 {
+		st := nm.st(s)
+		if st == 0 {
 			return -1, i + 1 // free slot terminates the probe chain
 		}
-		if s.state == 1 && s.key == key {
+		if st == 1 && s.key == key {
 			return base + i, i + 1
 		}
 	}
@@ -298,22 +299,23 @@ func (nm *nicMapState) insert(key, val uint64) int {
 	free := -1
 	for i := 0; i < BucketSlots; i++ {
 		s := &nm.slots[base+i]
-		if s.state == 1 && s.key == key {
+		st := nm.st(s)
+		if st == 1 && s.key == key {
 			s.val = val
 			return i + 1
 		}
-		if s.state != 1 && free < 0 {
+		if st != 1 && free < 0 {
 			free = base + i
 		}
-		if s.state == 0 {
+		if st == 0 {
 			break
 		}
 	}
 	if free >= 0 {
-		if nm.slots[free].state != 1 {
+		if nm.st(&nm.slots[free]) != 1 {
 			nm.size++
 		}
-		nm.slots[free] = mslot{key: key, val: val, state: 1}
+		nm.slots[free] = mslot{key: key, val: val, state: 1, gen: nm.gen}
 		return free - base + 1
 	}
 	nm.failedInserts++
@@ -573,11 +575,7 @@ func (m *Machine) ResetState() {
 				g.hmap = make(map[uint64]uint64)
 			}
 			if g.nmap != nil {
-				for i := range g.nmap.slots {
-					g.nmap.slots[i] = mslot{}
-				}
-				g.nmap.size = 0
-				g.nmap.failedInserts = 0
+				g.nmap.reset()
 			}
 		case ir.GVec:
 			v := g.vec

@@ -50,9 +50,9 @@ func benchPackets(b *testing.B, n int) []traffic.Packet {
 	return pkts
 }
 
-func benchRun(b *testing.B, src string) {
+func benchRun(b *testing.B, src string, backend Backend) {
 	mod := compileB(b, "bench", src)
-	m, err := New(mod, Config{Mode: HostMap})
+	m, err := New(mod, Config{Mode: HostMap, Backend: backend})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -68,5 +68,8 @@ func benchRun(b *testing.B, src string) {
 	b.ReportMetric(float64(m.Steps)/float64(b.N), "instrs/pkt")
 }
 
-func BenchmarkRunPacketNAT(b *testing.B)  { benchRun(b, natSrc) }
-func BenchmarkRunPacketLoop(b *testing.B) { benchRun(b, benchLoopSrc) }
+func BenchmarkRunPacketNAT(b *testing.B)  { benchRun(b, natSrc, BackendCompiled) }
+func BenchmarkRunPacketLoop(b *testing.B) { benchRun(b, benchLoopSrc, BackendCompiled) }
+
+func BenchmarkRunPacketNATReference(b *testing.B)  { benchRun(b, natSrc, BackendReference) }
+func BenchmarkRunPacketLoopReference(b *testing.B) { benchRun(b, benchLoopSrc, BackendReference) }

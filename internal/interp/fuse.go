@@ -1,0 +1,1761 @@
+package interp
+
+import "clara/internal/ir"
+
+// Superinstruction fusion for the plain and counting flavors. Shapes are
+// matched on opcodes alone — write-through bodies (see compile.go) make
+// any adjacent instructions of a matched shape fusable without use-def
+// analysis. The catalog covers the sequences -O0-style lowering emits
+// for the statements that dominate host profiling:
+//
+//	load+load+ALU+store  the full `x = a ⊕ b` statement
+//	load+load+ALU    operand staging for a binary expression
+//	load+ALU+store   `x ⊕= e` on a local
+//	gload+ALU+gstore `a[i] ⊕= e` on a pow2 global array (counter bump)
+//	payload+ALU[+store]  per-byte packet reads feeding compute (ciphers)
+//	hash32+ALU       hash feeding the table-index mask/mod (hash+probe)
+//	load+ALU, ALU+store, load+load   the two-instruction remainders
+//
+// Counter increments in fused global-access bodies are deferred to the
+// end of the body: counters are only readable after RunPacket returns
+// and no abort point exists inside a block, so the deferral is
+// unobservable.
+
+// vstep is one instruction of a chain superinstruction, pre-resolved to
+// flat operand indices. A chain closure walks a []vstep with a dense
+// switch — one indirect call per run instead of one per instruction —
+// so the per-op cost drops to a predicted jump plus the op itself.
+type vstep struct {
+	mask uint64
+	aux  uint64 // pow2 array index mask (gloadAP/gstoreAP) or baked const operand (C variants)
+	sm   uint64 // store-width mask (S variants)
+	a0   int32
+	a1   int32
+	id   int32 // result cell; dest slot for lstore
+	gi   int32 // global index (gloadAP/gstoreAP) or store slot (S variants)
+	k    int32 // baked state-counter index, -1 when not counting
+	op   xop
+	pred ir.Pred
+}
+
+// Chain-only pseudo-ops, produced by peepholeSteps and never present in
+// cInstr form: C variants bake a constant right operand into the step
+// (const-pool cells are immutable, preloaded at machine construction),
+// S variants fold a following local store of the step's own result into
+// the same step, CS variants do both. Values start past the real xop
+// enum so the execSteps switch can host both sets.
+const (
+	vAddC xop = 64 + iota
+	vSubC
+	vMulC
+	vAndC
+	vOrC
+	vXorC
+	vShlC
+	vLShrC
+	vICmpC
+	vAddS
+	vSubS
+	vMulS
+	vAndS
+	vOrS
+	vXorS
+	vShlS
+	vLShrS
+	vMaskS
+	vAddCS
+	vSubCS
+	vMulCS
+	vAndCS
+	vOrCS
+	vXorCS
+	vShlCS
+	vLShrCS
+)
+
+// constOp maps an op to its baked-constant variant (0 = none).
+func constOp(op xop) xop {
+	switch op {
+	case xAdd:
+		return vAddC
+	case xSub:
+		return vSubC
+	case xMul:
+		return vMulC
+	case xAnd:
+		return vAndC
+	case xOr:
+		return vOrC
+	case xXor:
+		return vXorC
+	case xShl:
+		return vShlC
+	case xLShr:
+		return vLShrC
+	case xICmp:
+		return vICmpC
+	}
+	return 0
+}
+
+// storeOp maps an op to its store-fused variant (0 = none).
+func storeOp(op xop) xop {
+	switch op {
+	case xAdd:
+		return vAddS
+	case xSub:
+		return vSubS
+	case xMul:
+		return vMulS
+	case xAnd:
+		return vAndS
+	case xOr:
+		return vOrS
+	case xXor:
+		return vXorS
+	case xShl:
+		return vShlS
+	case xLShr:
+		return vLShrS
+	case xMask:
+		return vMaskS
+	case vAddC:
+		return vAddCS
+	case vSubC:
+		return vSubCS
+	case vMulC:
+		return vMulCS
+	case vAndC:
+		return vAndCS
+	case vOrC:
+		return vOrCS
+	case vXorC:
+		return vXorCS
+	case vShlC:
+		return vShlCS
+	case vLShrC:
+		return vLShrCS
+	}
+	return 0
+}
+
+// peepholeSteps rewrites a chain into fewer, fatter steps: a constant
+// right operand is baked into the step (vs[c] for a const-pool cell c
+// always holds the pooled value), and a local store of the step's own
+// fresh result folds into the producing step. Both rewrites keep the
+// write-through contract — every constituent's result cell is still
+// written — so later steps and other blocks observe identical state.
+func peepholeSteps(p *program, ss []vstep) []vstep {
+	cb := p.vsOff() + int32(p.nvals) // first const-pool cell, combined space
+	out := make([]vstep, 0, len(ss))
+	for j := 0; j < len(ss); j++ {
+		s := ss[j]
+		switch s.op {
+		case xAdd, xSub, xMul, xAnd, xOr, xXor, xShl, xLShr, xICmp:
+			if s.a1 >= cb {
+				c := p.pool[s.a1-cb]
+				switch s.op {
+				case xAnd:
+					c &= s.mask // fold the width mask into the constant
+				case xShl, xLShr:
+					c &= 63 // pre-bake the shift-amount clamp
+				}
+				s.aux = c
+				s.op = constOp(s.op)
+			}
+		}
+		if j+1 < len(ss) && ss[j+1].op == xLStore && ss[j+1].a0 == s.id {
+			if so := storeOp(s.op); so != 0 {
+				s.gi = ss[j+1].id // the destination slot
+				s.sm = ss[j+1].mask
+				s.op = so
+				out = append(out, s)
+				j++
+				continue
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// chainStep translates an instruction into its vstep if it belongs to
+// the chain-fusable class: ops whose effects touch only the register
+// file, the packet payload, pow2 global arrays, and baked counter cells
+// — everything deterministic with no error or hook path.
+func chainStep(p *program, in *cInstr, bi int, counting bool) (vstep, bool) {
+	s := vstep{mask: in.mask, a0: in.a0, a1: in.a1, id: in.id, op: in.op, pred: in.pred, k: -1}
+	switch in.op {
+	case xAdd, xSub, xMul, xUDiv, xURem, xAnd, xOr, xXor, xShl, xLShr,
+		xNot, xMask, xICmp, xCallHash32:
+	case xLLoad:
+		s.a0 = in.slot // vs[id] = vs[slot]
+	case xLStore:
+		s.id = in.slot // vs[slot] = vs[a0] & mask
+	case xCallPayload, xCallSetPayload:
+	case xGLoadAP, xGStoreAP:
+		s.gi = in.gidx
+		s.aux = uint64(p.gmeta[in.gidx].len - 1)
+		s.k = int32(ctrIdx(p, in.gidx, bi, counting))
+	default:
+		return vstep{}, false
+	}
+	return s, true
+}
+
+// fuseChain fuses a maximal run of >= 3 chain-fusable instructions into
+// a single closure. Each step replays the exact semantics of its
+// plainOp/aluOp closure (including counter bumps at their original
+// positions), so the chain is observably identical to dispatching the
+// run one closure at a time.
+func fuseChain(p *program, body []cInstr, i, bi int, counting bool) (cOp, int) {
+	var steps []vstep
+	for j := i; j < len(body); j++ {
+		s, ok := chainStep(p, &body[j], bi, counting)
+		if !ok {
+			break
+		}
+		steps = append(steps, s)
+	}
+	if len(steps) < 3 {
+		return nil, 0
+	}
+	adv := len(steps) // source instructions consumed, pre-peephole
+	ss := peepholeSteps(p, steps)
+	return func(m *Machine, vs []uint64) {
+		execSteps(m, vs, ss)
+	}, adv
+}
+
+// execSteps replays a chain, each step with the exact semantics of its
+// standalone plainOp/aluOp closure.
+func execSteps(m *Machine, vs []uint64, ss []vstep) {
+	for k := range ss {
+		s := &ss[k]
+		switch s.op {
+		case xAdd:
+			vs[s.id] = (vs[s.a0] + vs[s.a1]) & s.mask
+		case xSub:
+			vs[s.id] = (vs[s.a0] - vs[s.a1]) & s.mask
+		case xMul:
+			vs[s.id] = (vs[s.a0] * vs[s.a1]) & s.mask
+		case xUDiv:
+			if d := vs[s.a1]; d == 0 {
+				vs[s.id] = s.mask // all-ones, like NIC firmware
+			} else {
+				vs[s.id] = (vs[s.a0] / d) & s.mask
+			}
+		case xURem:
+			if d := vs[s.a1]; d == 0 {
+				vs[s.id] = 0
+			} else {
+				vs[s.id] = (vs[s.a0] % d) & s.mask
+			}
+		case xAnd:
+			vs[s.id] = vs[s.a0] & vs[s.a1] & s.mask
+		case xOr:
+			vs[s.id] = (vs[s.a0] | vs[s.a1]) & s.mask
+		case xXor:
+			vs[s.id] = (vs[s.a0] ^ vs[s.a1]) & s.mask
+		case xShl:
+			sh := vs[s.a1] & 63
+			vs[s.id] = (vs[s.a0] << sh) & s.mask
+		case xLShr:
+			sh := vs[s.a1] & 63
+			vs[s.id] = (vs[s.a0] >> sh) & s.mask
+		case xNot:
+			vs[s.id] = ^vs[s.a0] & s.mask
+		case xMask:
+			vs[s.id] = vs[s.a0] & s.mask
+		case xICmp:
+			var b bool
+			switch s.pred {
+			case ir.PredEQ:
+				b = vs[s.a0] == vs[s.a1]
+			case ir.PredNE:
+				b = vs[s.a0] != vs[s.a1]
+			case ir.PredULT:
+				b = vs[s.a0] < vs[s.a1]
+			case ir.PredULE:
+				b = vs[s.a0] <= vs[s.a1]
+			case ir.PredUGT:
+				b = vs[s.a0] > vs[s.a1]
+			case ir.PredUGE:
+				b = vs[s.a0] >= vs[s.a1]
+			}
+			vs[s.id] = b2u(b)
+		case xLLoad:
+			vs[s.id] = vs[s.a0]
+		case xLStore:
+			vs[s.id] = vs[s.a0] & s.mask
+		case xCallPayload:
+			if i := vs[s.a0]; i < uint64(len(m.pkt.Payload)) {
+				vs[s.id] = uint64(m.pkt.Payload[i])
+			} else {
+				vs[s.id] = 0
+			}
+		case xCallSetPayload:
+			if i := vs[s.a0]; i < uint64(len(m.pkt.Payload)) {
+				m.pkt.Payload[i] = byte(vs[s.a1])
+			}
+		case xCallHash32:
+			vs[s.id] = uint64(Hash32(vs[s.a0]))
+		case xGLoadAP:
+			vs[s.id] = m.gl[s.gi].array[vs[s.a0]&s.aux]
+			if s.k >= 0 {
+				m.ctr.State[s.k]++
+			}
+		case xGStoreAP:
+			m.gl[s.gi].array[vs[s.a1]&s.aux] = vs[s.a0] & s.mask
+			if s.k >= 0 {
+				m.ctr.State[s.k]++
+			}
+		case vAddC:
+			vs[s.id] = (vs[s.a0] + s.aux) & s.mask
+		case vSubC:
+			vs[s.id] = (vs[s.a0] - s.aux) & s.mask
+		case vMulC:
+			vs[s.id] = (vs[s.a0] * s.aux) & s.mask
+		case vAndC:
+			vs[s.id] = vs[s.a0] & s.aux // aux already folds the width mask
+		case vOrC:
+			vs[s.id] = (vs[s.a0] | s.aux) & s.mask
+		case vXorC:
+			vs[s.id] = (vs[s.a0] ^ s.aux) & s.mask
+		case vShlC:
+			vs[s.id] = (vs[s.a0] << s.aux) & s.mask
+		case vLShrC:
+			vs[s.id] = (vs[s.a0] >> s.aux) & s.mask
+		case vICmpC:
+			var b bool
+			switch s.pred {
+			case ir.PredEQ:
+				b = vs[s.a0] == s.aux
+			case ir.PredNE:
+				b = vs[s.a0] != s.aux
+			case ir.PredULT:
+				b = vs[s.a0] < s.aux
+			case ir.PredULE:
+				b = vs[s.a0] <= s.aux
+			case ir.PredUGT:
+				b = vs[s.a0] > s.aux
+			case ir.PredUGE:
+				b = vs[s.a0] >= s.aux
+			}
+			vs[s.id] = b2u(b)
+		case vAddS:
+			r := (vs[s.a0] + vs[s.a1]) & s.mask
+			vs[s.id] = r
+			vs[s.gi] = r & s.sm
+		case vSubS:
+			r := (vs[s.a0] - vs[s.a1]) & s.mask
+			vs[s.id] = r
+			vs[s.gi] = r & s.sm
+		case vMulS:
+			r := (vs[s.a0] * vs[s.a1]) & s.mask
+			vs[s.id] = r
+			vs[s.gi] = r & s.sm
+		case vAndS:
+			r := vs[s.a0] & vs[s.a1] & s.mask
+			vs[s.id] = r
+			vs[s.gi] = r & s.sm
+		case vOrS:
+			r := (vs[s.a0] | vs[s.a1]) & s.mask
+			vs[s.id] = r
+			vs[s.gi] = r & s.sm
+		case vXorS:
+			r := (vs[s.a0] ^ vs[s.a1]) & s.mask
+			vs[s.id] = r
+			vs[s.gi] = r & s.sm
+		case vShlS:
+			r := (vs[s.a0] << (vs[s.a1] & 63)) & s.mask
+			vs[s.id] = r
+			vs[s.gi] = r & s.sm
+		case vLShrS:
+			r := (vs[s.a0] >> (vs[s.a1] & 63)) & s.mask
+			vs[s.id] = r
+			vs[s.gi] = r & s.sm
+		case vMaskS:
+			r := vs[s.a0] & s.mask
+			vs[s.id] = r
+			vs[s.gi] = r & s.sm
+		case vAddCS:
+			r := (vs[s.a0] + s.aux) & s.mask
+			vs[s.id] = r
+			vs[s.gi] = r & s.sm
+		case vSubCS:
+			r := (vs[s.a0] - s.aux) & s.mask
+			vs[s.id] = r
+			vs[s.gi] = r & s.sm
+		case vMulCS:
+			r := (vs[s.a0] * s.aux) & s.mask
+			vs[s.id] = r
+			vs[s.gi] = r & s.sm
+		case vAndCS:
+			r := vs[s.a0] & s.aux
+			vs[s.id] = r
+			vs[s.gi] = r & s.sm
+		case vOrCS:
+			r := (vs[s.a0] | s.aux) & s.mask
+			vs[s.id] = r
+			vs[s.gi] = r & s.sm
+		case vXorCS:
+			r := (vs[s.a0] ^ s.aux) & s.mask
+			vs[s.id] = r
+			vs[s.gi] = r & s.sm
+		case vShlCS:
+			r := (vs[s.a0] << s.aux) & s.mask
+			vs[s.id] = r
+			vs[s.gi] = r & s.sm
+		case vLShrCS:
+			r := (vs[s.a0] >> s.aux) & s.mask
+			vs[s.id] = r
+			vs[s.gi] = r & s.sm
+		}
+	}
+}
+
+// chainRunAll builds a whole-block closure — body chain plus terminator
+// in one indirect call — when every body instruction is chain-fusable
+// and the terminator is a plain branch shape. The hottest profiling
+// blocks are tiny loop bodies (one or two ALU ops and a compare-branch),
+// where the second dispatch for the terminator was most of the cost.
+func chainRunAll(p *program, body []cInstr, tm *cInstr, bi int, counting bool) cTerm {
+	switch tm.op {
+	case xRet, xBr, xCondBr, xCmpBr:
+	default:
+		return nil
+	}
+	ss, ok := chainSteps(p, body, bi, counting)
+	if !ok {
+		return nil
+	}
+	kind, pred := tm.op, tm.pred
+	ta0, ta1, tid, tt, tf := tm.a0, tm.a1, tm.id, tm.t, tm.f
+	return func(m *Machine, vs []uint64) int32 {
+		execSteps(m, vs, ss)
+		switch kind {
+		case xRet:
+			return retSignal
+		case xBr:
+			return tt
+		case xCondBr:
+			if vs[ta0] != 0 {
+				return tt
+			}
+			return tf
+		default: // xCmpBr: store the compare result, then branch on it
+			var b bool
+			switch pred {
+			case ir.PredEQ:
+				b = vs[ta0] == vs[ta1]
+			case ir.PredNE:
+				b = vs[ta0] != vs[ta1]
+			case ir.PredULT:
+				b = vs[ta0] < vs[ta1]
+			case ir.PredULE:
+				b = vs[ta0] <= vs[ta1]
+			case ir.PredUGT:
+				b = vs[ta0] > vs[ta1]
+			case ir.PredUGE:
+				b = vs[ta0] >= vs[ta1]
+			}
+			if b {
+				vs[tid] = 1
+				return tt
+			}
+			vs[tid] = 0
+			return tf
+		}
+	}
+}
+
+// fuseOps tries to start a superinstruction at body[i], returning its
+// closure and how many instructions it consumed (nil = no fusion).
+// Chains are tried first (they subsume most catalog shapes over longer
+// runs), then triples before pairs.
+func fuseOps(p *program, body []cInstr, i, bi int, counting bool) (cOp, int) {
+	if op, adv := fuseChain(p, body, i, bi, counting); op != nil {
+		return op, adv
+	}
+	if i+3 < len(body) {
+		a, b, c, d := &body[i], &body[i+1], &body[i+2], &body[i+3]
+		if a.op == xLLoad && b.op == xLLoad && d.op == xLStore {
+			if op := fuse4LoadLoadALUStore(a, b, c, d); op != nil {
+				return op, 4
+			}
+		}
+	}
+	if i+2 < len(body) {
+		a, b, c := &body[i], &body[i+1], &body[i+2]
+		switch {
+		case a.op == xLLoad && b.op == xLLoad:
+			if op := fuse3LoadLoadALU(a, b, c); op != nil {
+				return op, 3
+			}
+		case a.op == xLLoad && c.op == xLStore:
+			if op := fuse3LoadALUStore(a, b, c); op != nil {
+				return op, 3
+			}
+		case a.op == xGLoadAP && c.op == xGStoreAP:
+			if op := fuse3Bump(p, a, b, c, bi, counting); op != nil {
+				return op, 3
+			}
+		case a.op == xCallPayload && c.op == xLStore:
+			if op := fuse3PayloadALUStore(a, b, c); op != nil {
+				return op, 3
+			}
+		default:
+			if op := fuse3ALU(a, b, c); op != nil {
+				return op, 3
+			}
+		}
+	}
+	if i+1 < len(body) {
+		a, b := &body[i], &body[i+1]
+		switch a.op {
+		case xLLoad:
+			if b.op == xLLoad {
+				id1, s1, id2, s2 := a.id, a.slot, b.id, b.slot
+				return func(m *Machine, vs []uint64) {
+					vs[id1] = vs[s1]
+					vs[id2] = vs[s2]
+				}, 2
+			}
+			if op := fuseLLoadALU(a, b); op != nil {
+				return op, 2
+			}
+		case xCallPayload:
+			if op := fusePayloadALU(a, b); op != nil {
+				return op, 2
+			}
+		case xCallHash32:
+			if op := fuseHashALU(a, b); op != nil {
+				return op, 2
+			}
+		case xGLoadAP:
+			if op := fuseGLoadAPALU(p, a, b, bi, counting); op != nil {
+				return op, 2
+			}
+		case xAdd, xSub, xMul, xAnd, xOr, xXor, xShl, xLShr, xMask, xURem:
+			if op := fuseALUALU(a, b); op != nil {
+				return op, 2
+			}
+		}
+		if b.op == xLStore {
+			if op := fuseALULStore(a, b); op != nil {
+				return op, 2
+			}
+		}
+	}
+	return nil, 0
+}
+
+// fuse4LoadLoadALUStore fuses the full -O0 lowering of the canonical
+// binary statement `x = a ⊕ b`: stage both operands, compute, store.
+// As everywhere in this catalog the body write-throughs every
+// intermediate cell, so the shape is legal on opcodes alone.
+func fuse4LoadLoadALUStore(l1, l2, al, st *cInstr) cOp {
+	id1, s1, id2, s2 := l1.id, l1.slot, l2.id, l2.slot
+	id, a0, a1, mask := al.id, al.a0, al.a1, al.mask
+	sa0, ss, smask := st.a0, st.slot, st.mask
+	switch al.op {
+	case xAdd:
+		return func(m *Machine, vs []uint64) {
+			vs[id1] = vs[s1]
+			vs[id2] = vs[s2]
+			vs[id] = (vs[a0] + vs[a1]) & mask
+			vs[ss] = vs[sa0] & smask
+		}
+	case xSub:
+		return func(m *Machine, vs []uint64) {
+			vs[id1] = vs[s1]
+			vs[id2] = vs[s2]
+			vs[id] = (vs[a0] - vs[a1]) & mask
+			vs[ss] = vs[sa0] & smask
+		}
+	case xMul:
+		return func(m *Machine, vs []uint64) {
+			vs[id1] = vs[s1]
+			vs[id2] = vs[s2]
+			vs[id] = (vs[a0] * vs[a1]) & mask
+			vs[ss] = vs[sa0] & smask
+		}
+	case xAnd:
+		return func(m *Machine, vs []uint64) {
+			vs[id1] = vs[s1]
+			vs[id2] = vs[s2]
+			vs[id] = vs[a0] & vs[a1] & mask
+			vs[ss] = vs[sa0] & smask
+		}
+	case xOr:
+		return func(m *Machine, vs []uint64) {
+			vs[id1] = vs[s1]
+			vs[id2] = vs[s2]
+			vs[id] = (vs[a0] | vs[a1]) & mask
+			vs[ss] = vs[sa0] & smask
+		}
+	case xXor:
+		return func(m *Machine, vs []uint64) {
+			vs[id1] = vs[s1]
+			vs[id2] = vs[s2]
+			vs[id] = (vs[a0] ^ vs[a1]) & mask
+			vs[ss] = vs[sa0] & smask
+		}
+	case xShl:
+		return func(m *Machine, vs []uint64) {
+			vs[id1] = vs[s1]
+			vs[id2] = vs[s2]
+			sh := vs[a1] & 63
+			vs[id] = (vs[a0] << sh) & mask
+			vs[ss] = vs[sa0] & smask
+		}
+	case xLShr:
+		return func(m *Machine, vs []uint64) {
+			vs[id1] = vs[s1]
+			vs[id2] = vs[s2]
+			sh := vs[a1] & 63
+			vs[id] = (vs[a0] >> sh) & mask
+			vs[ss] = vs[sa0] & smask
+		}
+	case xURem:
+		return func(m *Machine, vs []uint64) {
+			vs[id1] = vs[s1]
+			vs[id2] = vs[s2]
+			if d := vs[a1]; d == 0 {
+				vs[id] = 0
+			} else {
+				vs[id] = (vs[a0] % d) & mask
+			}
+			vs[ss] = vs[sa0] & smask
+		}
+	case xMask:
+		return func(m *Machine, vs []uint64) {
+			vs[id1] = vs[s1]
+			vs[id2] = vs[s2]
+			vs[id] = vs[a0] & mask
+			vs[ss] = vs[sa0] & smask
+		}
+	}
+	return nil
+}
+
+// fuse3LoadLoadALU fuses the operand staging of a binary expression:
+// two local loads followed by the compute op.
+func fuse3LoadLoadALU(l1, l2, al *cInstr) cOp {
+	id1, s1, id2, s2 := l1.id, l1.slot, l2.id, l2.slot
+	id, a0, a1, mask := al.id, al.a0, al.a1, al.mask
+	switch al.op {
+	case xAdd:
+		return func(m *Machine, vs []uint64) {
+			vs[id1] = vs[s1]
+			vs[id2] = vs[s2]
+			vs[id] = (vs[a0] + vs[a1]) & mask
+		}
+	case xSub:
+		return func(m *Machine, vs []uint64) {
+			vs[id1] = vs[s1]
+			vs[id2] = vs[s2]
+			vs[id] = (vs[a0] - vs[a1]) & mask
+		}
+	case xMul:
+		return func(m *Machine, vs []uint64) {
+			vs[id1] = vs[s1]
+			vs[id2] = vs[s2]
+			vs[id] = (vs[a0] * vs[a1]) & mask
+		}
+	case xAnd:
+		return func(m *Machine, vs []uint64) {
+			vs[id1] = vs[s1]
+			vs[id2] = vs[s2]
+			vs[id] = vs[a0] & vs[a1] & mask
+		}
+	case xOr:
+		return func(m *Machine, vs []uint64) {
+			vs[id1] = vs[s1]
+			vs[id2] = vs[s2]
+			vs[id] = (vs[a0] | vs[a1]) & mask
+		}
+	case xXor:
+		return func(m *Machine, vs []uint64) {
+			vs[id1] = vs[s1]
+			vs[id2] = vs[s2]
+			vs[id] = (vs[a0] ^ vs[a1]) & mask
+		}
+	case xShl:
+		return func(m *Machine, vs []uint64) {
+			vs[id1] = vs[s1]
+			vs[id2] = vs[s2]
+			sh := vs[a1] & 63
+			vs[id] = (vs[a0] << sh) & mask
+		}
+	case xLShr:
+		return func(m *Machine, vs []uint64) {
+			vs[id1] = vs[s1]
+			vs[id2] = vs[s2]
+			sh := vs[a1] & 63
+			vs[id] = (vs[a0] >> sh) & mask
+		}
+	case xURem:
+		return func(m *Machine, vs []uint64) {
+			vs[id1] = vs[s1]
+			vs[id2] = vs[s2]
+			if d := vs[a1]; d == 0 {
+				vs[id] = 0
+			} else {
+				vs[id] = (vs[a0] % d) & mask
+			}
+		}
+	case xICmp:
+		pred := al.pred
+		return func(m *Machine, vs []uint64) {
+			vs[id1] = vs[s1]
+			vs[id2] = vs[s2]
+			vs[id] = b2u(cmpPred(pred, vs[a0], vs[a1]))
+		}
+	}
+	return nil
+}
+
+// fuse3LoadALUStore fuses "local load; ALU; local store" — the full
+// lowering of an `x ⊕= e` statement.
+func fuse3LoadALUStore(ld, al, st *cInstr) cOp {
+	lid, ls := ld.id, ld.slot
+	id, a0, a1, mask := al.id, al.a0, al.a1, al.mask
+	sa0, ss, smask := st.a0, st.slot, st.mask
+	switch al.op {
+	case xAdd:
+		return func(m *Machine, vs []uint64) {
+			vs[lid] = vs[ls]
+			vs[id] = (vs[a0] + vs[a1]) & mask
+			vs[ss] = vs[sa0] & smask
+		}
+	case xSub:
+		return func(m *Machine, vs []uint64) {
+			vs[lid] = vs[ls]
+			vs[id] = (vs[a0] - vs[a1]) & mask
+			vs[ss] = vs[sa0] & smask
+		}
+	case xMul:
+		return func(m *Machine, vs []uint64) {
+			vs[lid] = vs[ls]
+			vs[id] = (vs[a0] * vs[a1]) & mask
+			vs[ss] = vs[sa0] & smask
+		}
+	case xAnd:
+		return func(m *Machine, vs []uint64) {
+			vs[lid] = vs[ls]
+			vs[id] = vs[a0] & vs[a1] & mask
+			vs[ss] = vs[sa0] & smask
+		}
+	case xOr:
+		return func(m *Machine, vs []uint64) {
+			vs[lid] = vs[ls]
+			vs[id] = (vs[a0] | vs[a1]) & mask
+			vs[ss] = vs[sa0] & smask
+		}
+	case xXor:
+		return func(m *Machine, vs []uint64) {
+			vs[lid] = vs[ls]
+			vs[id] = (vs[a0] ^ vs[a1]) & mask
+			vs[ss] = vs[sa0] & smask
+		}
+	case xShl:
+		return func(m *Machine, vs []uint64) {
+			vs[lid] = vs[ls]
+			sh := vs[a1] & 63
+			vs[id] = (vs[a0] << sh) & mask
+			vs[ss] = vs[sa0] & smask
+		}
+	case xLShr:
+		return func(m *Machine, vs []uint64) {
+			vs[lid] = vs[ls]
+			sh := vs[a1] & 63
+			vs[id] = (vs[a0] >> sh) & mask
+			vs[ss] = vs[sa0] & smask
+		}
+	case xMask:
+		return func(m *Machine, vs []uint64) {
+			vs[lid] = vs[ls]
+			vs[id] = vs[a0] & mask
+			vs[ss] = vs[sa0] & smask
+		}
+	}
+	return nil
+}
+
+// fuse3Bump fuses "pow2 array load; ALU; pow2 array store" — the
+// counter/sketch bump `a[i] ⊕= e`.
+func fuse3Bump(p *program, ld, al, st *cInstr, bi int, counting bool) cOp {
+	lid, la0, lgi := ld.id, ld.a0, ld.gidx
+	lamask := uint64(p.gmeta[lgi].len - 1)
+	id, a0, a1, mask := al.id, al.a0, al.a1, al.mask
+	sa0, sa1, sgi, smask := st.a0, st.a1, st.gidx, st.mask
+	samask := uint64(p.gmeta[sgi].len - 1)
+	k1 := ctrIdx(p, lgi, bi, counting)
+	k2 := ctrIdx(p, sgi, bi, counting)
+	switch al.op {
+	case xAdd:
+		return func(m *Machine, vs []uint64) {
+			vs[lid] = m.gl[lgi].array[vs[la0]&lamask]
+			vs[id] = (vs[a0] + vs[a1]) & mask
+			m.gl[sgi].array[vs[sa1]&samask] = vs[sa0] & smask
+			if k1 >= 0 {
+				m.ctr.State[k1]++
+				m.ctr.State[k2]++
+			}
+		}
+	case xSub:
+		return func(m *Machine, vs []uint64) {
+			vs[lid] = m.gl[lgi].array[vs[la0]&lamask]
+			vs[id] = (vs[a0] - vs[a1]) & mask
+			m.gl[sgi].array[vs[sa1]&samask] = vs[sa0] & smask
+			if k1 >= 0 {
+				m.ctr.State[k1]++
+				m.ctr.State[k2]++
+			}
+		}
+	case xAnd:
+		return func(m *Machine, vs []uint64) {
+			vs[lid] = m.gl[lgi].array[vs[la0]&lamask]
+			vs[id] = vs[a0] & vs[a1] & mask
+			m.gl[sgi].array[vs[sa1]&samask] = vs[sa0] & smask
+			if k1 >= 0 {
+				m.ctr.State[k1]++
+				m.ctr.State[k2]++
+			}
+		}
+	case xOr:
+		return func(m *Machine, vs []uint64) {
+			vs[lid] = m.gl[lgi].array[vs[la0]&lamask]
+			vs[id] = (vs[a0] | vs[a1]) & mask
+			m.gl[sgi].array[vs[sa1]&samask] = vs[sa0] & smask
+			if k1 >= 0 {
+				m.ctr.State[k1]++
+				m.ctr.State[k2]++
+			}
+		}
+	case xXor:
+		return func(m *Machine, vs []uint64) {
+			vs[lid] = m.gl[lgi].array[vs[la0]&lamask]
+			vs[id] = (vs[a0] ^ vs[a1]) & mask
+			m.gl[sgi].array[vs[sa1]&samask] = vs[sa0] & smask
+			if k1 >= 0 {
+				m.ctr.State[k1]++
+				m.ctr.State[k2]++
+			}
+		}
+	}
+	return nil
+}
+
+// fuse3PayloadALUStore fuses "payload byte; ALU; local store" — the
+// lowering of `x = f(pkt_payload(i))`.
+func fuse3PayloadALUStore(pl, al, st *cInstr) cOp {
+	pid, pa0 := pl.id, pl.a0
+	id, a0, a1, mask := al.id, al.a0, al.a1, al.mask
+	sa0, ss, smask := st.a0, st.slot, st.mask
+	switch al.op {
+	case xMask:
+		return func(m *Machine, vs []uint64) {
+			if i := vs[pa0]; i < uint64(len(m.pkt.Payload)) {
+				vs[pid] = uint64(m.pkt.Payload[i])
+			} else {
+				vs[pid] = 0
+			}
+			vs[id] = vs[a0] & mask
+			vs[ss] = vs[sa0] & smask
+		}
+	case xAdd:
+		return func(m *Machine, vs []uint64) {
+			if i := vs[pa0]; i < uint64(len(m.pkt.Payload)) {
+				vs[pid] = uint64(m.pkt.Payload[i])
+			} else {
+				vs[pid] = 0
+			}
+			vs[id] = (vs[a0] + vs[a1]) & mask
+			vs[ss] = vs[sa0] & smask
+		}
+	case xXor:
+		return func(m *Machine, vs []uint64) {
+			if i := vs[pa0]; i < uint64(len(m.pkt.Payload)) {
+				vs[pid] = uint64(m.pkt.Payload[i])
+			} else {
+				vs[pid] = 0
+			}
+			vs[id] = (vs[a0] ^ vs[a1]) & mask
+			vs[ss] = vs[sa0] & smask
+		}
+	case xAnd:
+		return func(m *Machine, vs []uint64) {
+			if i := vs[pa0]; i < uint64(len(m.pkt.Payload)) {
+				vs[pid] = uint64(m.pkt.Payload[i])
+			} else {
+				vs[pid] = 0
+			}
+			vs[id] = vs[a0] & vs[a1] & mask
+			vs[ss] = vs[sa0] & smask
+		}
+	}
+	return nil
+}
+
+// fuseLLoadALU fuses a local load with the compute op that follows it.
+func fuseLLoadALU(ld, al *cInstr) cOp {
+	lid, ls := ld.id, ld.slot
+	id, a0, a1, mask := al.id, al.a0, al.a1, al.mask
+	switch al.op {
+	case xAdd:
+		return func(m *Machine, vs []uint64) {
+			vs[lid] = vs[ls]
+			vs[id] = (vs[a0] + vs[a1]) & mask
+		}
+	case xSub:
+		return func(m *Machine, vs []uint64) {
+			vs[lid] = vs[ls]
+			vs[id] = (vs[a0] - vs[a1]) & mask
+		}
+	case xMul:
+		return func(m *Machine, vs []uint64) {
+			vs[lid] = vs[ls]
+			vs[id] = (vs[a0] * vs[a1]) & mask
+		}
+	case xAnd:
+		return func(m *Machine, vs []uint64) {
+			vs[lid] = vs[ls]
+			vs[id] = vs[a0] & vs[a1] & mask
+		}
+	case xOr:
+		return func(m *Machine, vs []uint64) {
+			vs[lid] = vs[ls]
+			vs[id] = (vs[a0] | vs[a1]) & mask
+		}
+	case xXor:
+		return func(m *Machine, vs []uint64) {
+			vs[lid] = vs[ls]
+			vs[id] = (vs[a0] ^ vs[a1]) & mask
+		}
+	case xShl:
+		return func(m *Machine, vs []uint64) {
+			vs[lid] = vs[ls]
+			sh := vs[a1] & 63
+			vs[id] = (vs[a0] << sh) & mask
+		}
+	case xLShr:
+		return func(m *Machine, vs []uint64) {
+			vs[lid] = vs[ls]
+			sh := vs[a1] & 63
+			vs[id] = (vs[a0] >> sh) & mask
+		}
+	case xURem:
+		return func(m *Machine, vs []uint64) {
+			vs[lid] = vs[ls]
+			if d := vs[a1]; d == 0 {
+				vs[id] = 0
+			} else {
+				vs[id] = (vs[a0] % d) & mask
+			}
+		}
+	case xMask:
+		return func(m *Machine, vs []uint64) {
+			vs[lid] = vs[ls]
+			vs[id] = vs[a0] & mask
+		}
+	case xICmp:
+		pred := al.pred
+		return func(m *Machine, vs []uint64) {
+			vs[lid] = vs[ls]
+			vs[id] = b2u(cmpPred(pred, vs[a0], vs[a1]))
+		}
+	}
+	return nil
+}
+
+// fuseALULStore fuses a compute op with the local store that follows it.
+func fuseALULStore(al, st *cInstr) cOp {
+	id, a0, a1, mask := al.id, al.a0, al.a1, al.mask
+	sa0, ss, smask := st.a0, st.slot, st.mask
+	switch al.op {
+	case xAdd:
+		return func(m *Machine, vs []uint64) {
+			vs[id] = (vs[a0] + vs[a1]) & mask
+			vs[ss] = vs[sa0] & smask
+		}
+	case xSub:
+		return func(m *Machine, vs []uint64) {
+			vs[id] = (vs[a0] - vs[a1]) & mask
+			vs[ss] = vs[sa0] & smask
+		}
+	case xMul:
+		return func(m *Machine, vs []uint64) {
+			vs[id] = (vs[a0] * vs[a1]) & mask
+			vs[ss] = vs[sa0] & smask
+		}
+	case xAnd:
+		return func(m *Machine, vs []uint64) {
+			vs[id] = vs[a0] & vs[a1] & mask
+			vs[ss] = vs[sa0] & smask
+		}
+	case xOr:
+		return func(m *Machine, vs []uint64) {
+			vs[id] = (vs[a0] | vs[a1]) & mask
+			vs[ss] = vs[sa0] & smask
+		}
+	case xXor:
+		return func(m *Machine, vs []uint64) {
+			vs[id] = (vs[a0] ^ vs[a1]) & mask
+			vs[ss] = vs[sa0] & smask
+		}
+	case xShl:
+		return func(m *Machine, vs []uint64) {
+			sh := vs[a1] & 63
+			vs[id] = (vs[a0] << sh) & mask
+			vs[ss] = vs[sa0] & smask
+		}
+	case xLShr:
+		return func(m *Machine, vs []uint64) {
+			sh := vs[a1] & 63
+			vs[id] = (vs[a0] >> sh) & mask
+			vs[ss] = vs[sa0] & smask
+		}
+	case xURem:
+		return func(m *Machine, vs []uint64) {
+			if d := vs[a1]; d == 0 {
+				vs[id] = 0
+			} else {
+				vs[id] = (vs[a0] % d) & mask
+			}
+			vs[ss] = vs[sa0] & smask
+		}
+	case xMask:
+		return func(m *Machine, vs []uint64) {
+			vs[id] = vs[a0] & mask
+			vs[ss] = vs[sa0] & smask
+		}
+	}
+	return nil
+}
+
+// fusePayloadALU fuses a per-byte payload read with the compute op that
+// follows it (cipher/sketch inner loops).
+func fusePayloadALU(pl, al *cInstr) cOp {
+	pid, pa0 := pl.id, pl.a0
+	id, a0, a1, mask := al.id, al.a0, al.a1, al.mask
+	switch al.op {
+	case xAdd:
+		return func(m *Machine, vs []uint64) {
+			if i := vs[pa0]; i < uint64(len(m.pkt.Payload)) {
+				vs[pid] = uint64(m.pkt.Payload[i])
+			} else {
+				vs[pid] = 0
+			}
+			vs[id] = (vs[a0] + vs[a1]) & mask
+		}
+	case xSub:
+		return func(m *Machine, vs []uint64) {
+			if i := vs[pa0]; i < uint64(len(m.pkt.Payload)) {
+				vs[pid] = uint64(m.pkt.Payload[i])
+			} else {
+				vs[pid] = 0
+			}
+			vs[id] = (vs[a0] - vs[a1]) & mask
+		}
+	case xMul:
+		return func(m *Machine, vs []uint64) {
+			if i := vs[pa0]; i < uint64(len(m.pkt.Payload)) {
+				vs[pid] = uint64(m.pkt.Payload[i])
+			} else {
+				vs[pid] = 0
+			}
+			vs[id] = (vs[a0] * vs[a1]) & mask
+		}
+	case xAnd:
+		return func(m *Machine, vs []uint64) {
+			if i := vs[pa0]; i < uint64(len(m.pkt.Payload)) {
+				vs[pid] = uint64(m.pkt.Payload[i])
+			} else {
+				vs[pid] = 0
+			}
+			vs[id] = vs[a0] & vs[a1] & mask
+		}
+	case xOr:
+		return func(m *Machine, vs []uint64) {
+			if i := vs[pa0]; i < uint64(len(m.pkt.Payload)) {
+				vs[pid] = uint64(m.pkt.Payload[i])
+			} else {
+				vs[pid] = 0
+			}
+			vs[id] = (vs[a0] | vs[a1]) & mask
+		}
+	case xXor:
+		return func(m *Machine, vs []uint64) {
+			if i := vs[pa0]; i < uint64(len(m.pkt.Payload)) {
+				vs[pid] = uint64(m.pkt.Payload[i])
+			} else {
+				vs[pid] = 0
+			}
+			vs[id] = (vs[a0] ^ vs[a1]) & mask
+		}
+	case xMask:
+		return func(m *Machine, vs []uint64) {
+			if i := vs[pa0]; i < uint64(len(m.pkt.Payload)) {
+				vs[pid] = uint64(m.pkt.Payload[i])
+			} else {
+				vs[pid] = 0
+			}
+			vs[id] = vs[a0] & mask
+		}
+	case xICmp:
+		pred := al.pred
+		return func(m *Machine, vs []uint64) {
+			if i := vs[pa0]; i < uint64(len(m.pkt.Payload)) {
+				vs[pid] = uint64(m.pkt.Payload[i])
+			} else {
+				vs[pid] = 0
+			}
+			vs[id] = b2u(cmpPred(pred, vs[a0], vs[a1]))
+		}
+	}
+	return nil
+}
+
+// fuseHashALU fuses the hash32 mix with the table-index reduction that
+// follows it (hash+probe).
+func fuseHashALU(h, al *cInstr) cOp {
+	hid, ha0 := h.id, h.a0
+	id, a0, a1, mask := al.id, al.a0, al.a1, al.mask
+	switch al.op {
+	case xAdd:
+		return func(m *Machine, vs []uint64) {
+			vs[hid] = uint64(Hash32(vs[ha0]))
+			vs[id] = (vs[a0] + vs[a1]) & mask
+		}
+	case xXor:
+		return func(m *Machine, vs []uint64) {
+			vs[hid] = uint64(Hash32(vs[ha0]))
+			vs[id] = (vs[a0] ^ vs[a1]) & mask
+		}
+	case xAnd:
+		return func(m *Machine, vs []uint64) {
+			vs[hid] = uint64(Hash32(vs[ha0]))
+			vs[id] = vs[a0] & vs[a1] & mask
+		}
+	case xURem:
+		return func(m *Machine, vs []uint64) {
+			vs[hid] = uint64(Hash32(vs[ha0]))
+			if d := vs[a1]; d == 0 {
+				vs[id] = 0
+			} else {
+				vs[id] = (vs[a0] % d) & mask
+			}
+		}
+	case xMask:
+		return func(m *Machine, vs []uint64) {
+			vs[hid] = uint64(Hash32(vs[ha0]))
+			vs[id] = vs[a0] & mask
+		}
+	}
+	return nil
+}
+
+// fuseGLoadAPALU fuses a pow2 array load with the compute op that
+// follows it.
+func fuseGLoadAPALU(p *program, ld, al *cInstr, bi int, counting bool) cOp {
+	lid, la0, lgi := ld.id, ld.a0, ld.gidx
+	lamask := uint64(p.gmeta[lgi].len - 1)
+	id, a0, a1, mask := al.id, al.a0, al.a1, al.mask
+	k := ctrIdx(p, lgi, bi, counting)
+	switch al.op {
+	case xAdd:
+		return func(m *Machine, vs []uint64) {
+			vs[lid] = m.gl[lgi].array[vs[la0]&lamask]
+			vs[id] = (vs[a0] + vs[a1]) & mask
+			if k >= 0 {
+				m.ctr.State[k]++
+			}
+		}
+	case xSub:
+		return func(m *Machine, vs []uint64) {
+			vs[lid] = m.gl[lgi].array[vs[la0]&lamask]
+			vs[id] = (vs[a0] - vs[a1]) & mask
+			if k >= 0 {
+				m.ctr.State[k]++
+			}
+		}
+	case xAnd:
+		return func(m *Machine, vs []uint64) {
+			vs[lid] = m.gl[lgi].array[vs[la0]&lamask]
+			vs[id] = vs[a0] & vs[a1] & mask
+			if k >= 0 {
+				m.ctr.State[k]++
+			}
+		}
+	case xOr:
+		return func(m *Machine, vs []uint64) {
+			vs[lid] = m.gl[lgi].array[vs[la0]&lamask]
+			vs[id] = (vs[a0] | vs[a1]) & mask
+			if k >= 0 {
+				m.ctr.State[k]++
+			}
+		}
+	case xXor:
+		return func(m *Machine, vs []uint64) {
+			vs[lid] = m.gl[lgi].array[vs[la0]&lamask]
+			vs[id] = (vs[a0] ^ vs[a1]) & mask
+			if k >= 0 {
+				m.ctr.State[k]++
+			}
+		}
+	case xICmp:
+		pred := al.pred
+		return func(m *Machine, vs []uint64) {
+			vs[lid] = m.gl[lgi].array[vs[la0]&lamask]
+			vs[id] = b2u(cmpPred(pred, vs[a0], vs[a1]))
+			if k >= 0 {
+				m.ctr.State[k]++
+			}
+		}
+	}
+	return nil
+}
+
+// fuseALUALU fuses two adjacent compute ops. After load elision
+// (lvnBlock) straight-line statement bodies are mostly pure ALU chains,
+// so this is the workhorse pair; the combo set covers the mixes NF
+// compute kernels actually emit (polynomial hashes, shift-xor mixing,
+// index masking, modulo table probes).
+func fuseALUALU(a, b *cInstr) cOp {
+	id1, x0, x1, m1 := a.id, a.a0, a.a1, a.mask
+	id2, y0, y1, m2 := b.id, b.a0, b.a1, b.mask
+	switch a.op {
+	case xMul:
+		switch b.op {
+		case xAdd:
+			return func(m *Machine, vs []uint64) {
+				vs[id1] = (vs[x0] * vs[x1]) & m1
+				vs[id2] = (vs[y0] + vs[y1]) & m2
+			}
+		case xSub:
+			return func(m *Machine, vs []uint64) {
+				vs[id1] = (vs[x0] * vs[x1]) & m1
+				vs[id2] = (vs[y0] - vs[y1]) & m2
+			}
+		case xXor:
+			return func(m *Machine, vs []uint64) {
+				vs[id1] = (vs[x0] * vs[x1]) & m1
+				vs[id2] = (vs[y0] ^ vs[y1]) & m2
+			}
+		}
+	case xAdd:
+		switch b.op {
+		case xAdd:
+			return func(m *Machine, vs []uint64) {
+				vs[id1] = (vs[x0] + vs[x1]) & m1
+				vs[id2] = (vs[y0] + vs[y1]) & m2
+			}
+		case xMul:
+			return func(m *Machine, vs []uint64) {
+				vs[id1] = (vs[x0] + vs[x1]) & m1
+				vs[id2] = (vs[y0] * vs[y1]) & m2
+			}
+		case xXor:
+			return func(m *Machine, vs []uint64) {
+				vs[id1] = (vs[x0] + vs[x1]) & m1
+				vs[id2] = (vs[y0] ^ vs[y1]) & m2
+			}
+		case xAnd:
+			return func(m *Machine, vs []uint64) {
+				vs[id1] = (vs[x0] + vs[x1]) & m1
+				vs[id2] = vs[y0] & vs[y1] & m2
+			}
+		case xMask:
+			return func(m *Machine, vs []uint64) {
+				vs[id1] = (vs[x0] + vs[x1]) & m1
+				vs[id2] = vs[y0] & m2
+			}
+		case xLShr:
+			return func(m *Machine, vs []uint64) {
+				vs[id1] = (vs[x0] + vs[x1]) & m1
+				sh := vs[y1] & 63
+				vs[id2] = (vs[y0] >> sh) & m2
+			}
+		case xURem:
+			return func(m *Machine, vs []uint64) {
+				vs[id1] = (vs[x0] + vs[x1]) & m1
+				if d := vs[y1]; d == 0 {
+					vs[id2] = 0
+				} else {
+					vs[id2] = (vs[y0] % d) & m2
+				}
+			}
+		case xICmp:
+			pred := b.pred
+			return func(m *Machine, vs []uint64) {
+				vs[id1] = (vs[x0] + vs[x1]) & m1
+				vs[id2] = b2u(cmpPred(pred, vs[y0], vs[y1]))
+			}
+		}
+	case xSub:
+		switch b.op {
+		case xAdd:
+			return func(m *Machine, vs []uint64) {
+				vs[id1] = (vs[x0] - vs[x1]) & m1
+				vs[id2] = (vs[y0] + vs[y1]) & m2
+			}
+		case xAnd:
+			return func(m *Machine, vs []uint64) {
+				vs[id1] = (vs[x0] - vs[x1]) & m1
+				vs[id2] = vs[y0] & vs[y1] & m2
+			}
+		case xMask:
+			return func(m *Machine, vs []uint64) {
+				vs[id1] = (vs[x0] - vs[x1]) & m1
+				vs[id2] = vs[y0] & m2
+			}
+		}
+	case xXor:
+		switch b.op {
+		case xAdd:
+			return func(m *Machine, vs []uint64) {
+				vs[id1] = (vs[x0] ^ vs[x1]) & m1
+				vs[id2] = (vs[y0] + vs[y1]) & m2
+			}
+		case xMul:
+			return func(m *Machine, vs []uint64) {
+				vs[id1] = (vs[x0] ^ vs[x1]) & m1
+				vs[id2] = (vs[y0] * vs[y1]) & m2
+			}
+		case xXor:
+			return func(m *Machine, vs []uint64) {
+				vs[id1] = (vs[x0] ^ vs[x1]) & m1
+				vs[id2] = (vs[y0] ^ vs[y1]) & m2
+			}
+		case xAnd:
+			return func(m *Machine, vs []uint64) {
+				vs[id1] = (vs[x0] ^ vs[x1]) & m1
+				vs[id2] = vs[y0] & vs[y1] & m2
+			}
+		case xMask:
+			return func(m *Machine, vs []uint64) {
+				vs[id1] = (vs[x0] ^ vs[x1]) & m1
+				vs[id2] = vs[y0] & m2
+			}
+		case xLShr:
+			return func(m *Machine, vs []uint64) {
+				vs[id1] = (vs[x0] ^ vs[x1]) & m1
+				sh := vs[y1] & 63
+				vs[id2] = (vs[y0] >> sh) & m2
+			}
+		case xICmp:
+			pred := b.pred
+			return func(m *Machine, vs []uint64) {
+				vs[id1] = (vs[x0] ^ vs[x1]) & m1
+				vs[id2] = b2u(cmpPred(pred, vs[y0], vs[y1]))
+			}
+		}
+	case xLShr:
+		switch b.op {
+		case xXor:
+			return func(m *Machine, vs []uint64) {
+				sh := vs[x1] & 63
+				vs[id1] = (vs[x0] >> sh) & m1
+				vs[id2] = (vs[y0] ^ vs[y1]) & m2
+			}
+		case xAnd:
+			return func(m *Machine, vs []uint64) {
+				sh := vs[x1] & 63
+				vs[id1] = (vs[x0] >> sh) & m1
+				vs[id2] = vs[y0] & vs[y1] & m2
+			}
+		case xAdd:
+			return func(m *Machine, vs []uint64) {
+				sh := vs[x1] & 63
+				vs[id1] = (vs[x0] >> sh) & m1
+				vs[id2] = (vs[y0] + vs[y1]) & m2
+			}
+		case xMask:
+			return func(m *Machine, vs []uint64) {
+				sh := vs[x1] & 63
+				vs[id1] = (vs[x0] >> sh) & m1
+				vs[id2] = vs[y0] & m2
+			}
+		}
+	case xShl:
+		switch b.op {
+		case xOr:
+			return func(m *Machine, vs []uint64) {
+				sh := vs[x1] & 63
+				vs[id1] = (vs[x0] << sh) & m1
+				vs[id2] = (vs[y0] | vs[y1]) & m2
+			}
+		case xXor:
+			return func(m *Machine, vs []uint64) {
+				sh := vs[x1] & 63
+				vs[id1] = (vs[x0] << sh) & m1
+				vs[id2] = (vs[y0] ^ vs[y1]) & m2
+			}
+		case xAdd:
+			return func(m *Machine, vs []uint64) {
+				sh := vs[x1] & 63
+				vs[id1] = (vs[x0] << sh) & m1
+				vs[id2] = (vs[y0] + vs[y1]) & m2
+			}
+		}
+	case xAnd:
+		switch b.op {
+		case xAdd:
+			return func(m *Machine, vs []uint64) {
+				vs[id1] = vs[x0] & vs[x1] & m1
+				vs[id2] = (vs[y0] + vs[y1]) & m2
+			}
+		case xXor:
+			return func(m *Machine, vs []uint64) {
+				vs[id1] = vs[x0] & vs[x1] & m1
+				vs[id2] = (vs[y0] ^ vs[y1]) & m2
+			}
+		case xAnd:
+			return func(m *Machine, vs []uint64) {
+				vs[id1] = vs[x0] & vs[x1] & m1
+				vs[id2] = vs[y0] & vs[y1] & m2
+			}
+		case xICmp:
+			pred := b.pred
+			return func(m *Machine, vs []uint64) {
+				vs[id1] = vs[x0] & vs[x1] & m1
+				vs[id2] = b2u(cmpPred(pred, vs[y0], vs[y1]))
+			}
+		}
+	case xMask:
+		switch b.op {
+		case xAdd:
+			return func(m *Machine, vs []uint64) {
+				vs[id1] = vs[x0] & m1
+				vs[id2] = (vs[y0] + vs[y1]) & m2
+			}
+		case xAnd:
+			return func(m *Machine, vs []uint64) {
+				vs[id1] = vs[x0] & m1
+				vs[id2] = vs[y0] & vs[y1] & m2
+			}
+		case xMask:
+			return func(m *Machine, vs []uint64) {
+				vs[id1] = vs[x0] & m1
+				vs[id2] = vs[y0] & m2
+			}
+		case xICmp:
+			pred := b.pred
+			return func(m *Machine, vs []uint64) {
+				vs[id1] = vs[x0] & m1
+				vs[id2] = b2u(cmpPred(pred, vs[y0], vs[y1]))
+			}
+		}
+	case xURem:
+		switch b.op {
+		case xAdd:
+			return func(m *Machine, vs []uint64) {
+				if d := vs[x1]; d == 0 {
+					vs[id1] = 0
+				} else {
+					vs[id1] = (vs[x0] % d) & m1
+				}
+				vs[id2] = (vs[y0] + vs[y1]) & m2
+			}
+		case xMask:
+			return func(m *Machine, vs []uint64) {
+				if d := vs[x1]; d == 0 {
+					vs[id1] = 0
+				} else {
+					vs[id1] = (vs[x0] % d) & m1
+				}
+				vs[id2] = vs[y0] & m2
+			}
+		}
+	}
+	return nil
+}
+
+// fuse3ALU fuses three adjacent compute ops. The combos are the
+// statement-level chains NF kernels emit most: a polynomial-hash step
+// (mul,add,shift), xorshift mixing, and double-masked index arithmetic.
+// Longer chains decay gracefully into a triple plus pairs.
+func fuse3ALU(a, b, c *cInstr) cOp {
+	id1, x0, x1, m1 := a.id, a.a0, a.a1, a.mask
+	id2, y0, y1, m2 := b.id, b.a0, b.a1, b.mask
+	id3, z0, z1, m3 := c.id, c.a0, c.a1, c.mask
+	switch {
+	case a.op == xMul && b.op == xAdd && c.op == xLShr:
+		return func(m *Machine, vs []uint64) {
+			vs[id1] = (vs[x0] * vs[x1]) & m1
+			vs[id2] = (vs[y0] + vs[y1]) & m2
+			sh := vs[z1] & 63
+			vs[id3] = (vs[z0] >> sh) & m3
+		}
+	case a.op == xMul && b.op == xAdd && c.op == xXor:
+		return func(m *Machine, vs []uint64) {
+			vs[id1] = (vs[x0] * vs[x1]) & m1
+			vs[id2] = (vs[y0] + vs[y1]) & m2
+			vs[id3] = (vs[z0] ^ vs[z1]) & m3
+		}
+	case a.op == xMul && b.op == xAdd && c.op == xAnd:
+		return func(m *Machine, vs []uint64) {
+			vs[id1] = (vs[x0] * vs[x1]) & m1
+			vs[id2] = (vs[y0] + vs[y1]) & m2
+			vs[id3] = vs[z0] & vs[z1] & m3
+		}
+	case a.op == xAdd && b.op == xAnd && c.op == xAnd:
+		return func(m *Machine, vs []uint64) {
+			vs[id1] = (vs[x0] + vs[x1]) & m1
+			vs[id2] = vs[y0] & vs[y1] & m2
+			vs[id3] = vs[z0] & vs[z1] & m3
+		}
+	case a.op == xAdd && b.op == xAnd && c.op == xXor:
+		return func(m *Machine, vs []uint64) {
+			vs[id1] = (vs[x0] + vs[x1]) & m1
+			vs[id2] = vs[y0] & vs[y1] & m2
+			vs[id3] = (vs[z0] ^ vs[z1]) & m3
+		}
+	case a.op == xXor && b.op == xLShr && c.op == xXor:
+		return func(m *Machine, vs []uint64) {
+			vs[id1] = (vs[x0] ^ vs[x1]) & m1
+			sh := vs[y1] & 63
+			vs[id2] = (vs[y0] >> sh) & m2
+			vs[id3] = (vs[z0] ^ vs[z1]) & m3
+		}
+	case a.op == xLShr && b.op == xXor && c.op == xMul:
+		return func(m *Machine, vs []uint64) {
+			sh := vs[x1] & 63
+			vs[id1] = (vs[x0] >> sh) & m1
+			vs[id2] = (vs[y0] ^ vs[y1]) & m2
+			vs[id3] = (vs[z0] * vs[z1]) & m3
+		}
+	case a.op == xLShr && b.op == xXor && c.op == xAdd:
+		return func(m *Machine, vs []uint64) {
+			sh := vs[x1] & 63
+			vs[id1] = (vs[x0] >> sh) & m1
+			vs[id2] = (vs[y0] ^ vs[y1]) & m2
+			vs[id3] = (vs[z0] + vs[z1]) & m3
+		}
+	case a.op == xShl && b.op == xOr && c.op == xAnd:
+		return func(m *Machine, vs []uint64) {
+			sh := vs[x1] & 63
+			vs[id1] = (vs[x0] << sh) & m1
+			vs[id2] = (vs[y0] | vs[y1]) & m2
+			vs[id3] = vs[z0] & vs[z1] & m3
+		}
+	case a.op == xXor && b.op == xAnd && c.op == xAdd:
+		return func(m *Machine, vs []uint64) {
+			vs[id1] = (vs[x0] ^ vs[x1]) & m1
+			vs[id2] = vs[y0] & vs[y1] & m2
+			vs[id3] = (vs[z0] + vs[z1]) & m3
+		}
+	}
+	return nil
+}
+
+// chainSteps compiles a whole instruction sequence into peephole-reduced
+// chain steps, or reports that some instruction is not chain-fusable.
+func chainSteps(p *program, body []cInstr, bi int, counting bool) ([]vstep, bool) {
+	ss := make([]vstep, 0, len(body))
+	for j := range body {
+		s, ok := chainStep(p, &body[j], bi, counting)
+		if !ok {
+			return nil, false
+		}
+		ss = append(ss, s)
+	}
+	return peepholeSteps(p, ss), true
+}
+
+// regBlock is one block of a fused loop region: its body as chain
+// steps, the accounting identity (global block index and source size),
+// and its terminator with branch targets resolved to region indices —
+// or, for targets outside the region, to the bitwise complement of the
+// global block index (always negative, so the dispatcher distinguishes
+// the two without a flag).
+type regBlock struct {
+	ss   []vstep
+	bi   int32
+	size int
+	kind xop // xBr, xCondBr, or xCmpBr
+	pred ir.Pred
+	ta0  int32
+	ta1  int32
+	tid  int32
+	t    int32
+	f    int32
+}
+
+// maxRegion bounds how many blocks a fused region may span. Profiling
+// loop nests (outer byte loop, inner bit loop, a conditional diamond in
+// the body) fit comfortably; the bound keeps pathological CFGs from
+// compiling whole functions into one closure.
+const maxRegion = 16
+
+// attachCycles fuses loop regions (plain and counting flavors only).
+// A block whose terminator is a conditional branch seeds a region: the
+// set of blocks reachable from it — each fully chain-fusable with a
+// Br/CondBr/CmpBr terminator — up to maxRegion, with every escaping
+// edge kept as an exit. The region compiles to one closure running a
+// local dispatch loop with the per-block accounting — block counter,
+// then fuel gate, then Steps — inlined in exactly the trampoline's
+// order, so counters, fuel aborts, and Steps stay bit-identical to the
+// reference loop. Regions are attached only when some member branches
+// back to the seed (a real loop): the dominant profiling shapes are
+// RC4/CRC-style nests that otherwise pay a trampoline pass plus an
+// indirect call per block, hundreds of times per packet.
+func attachCycles(p *program, t *threaded, fl tFlavor, cross map[int32]bool) {
+	counting := fl == fCounting
+	for bi := range t.blocks {
+		t.blocks[bi].cycle = buildRegion(p, bi, fl, cross, counting)
+	}
+}
+
+// lowerRegionBlock returns block bi's body as chain steps plus its
+// terminator, or ok=false when the block cannot live inside a region.
+func lowerRegionBlock(p *program, bi int, fl tFlavor, cross map[int32]bool, counting bool) ([]vstep, cInstr, bool) {
+	instrs := lowerBlock(p, bi, fl, cross)
+	tm := instrs[len(instrs)-1]
+	switch tm.op {
+	case xBr, xCondBr, xCmpBr:
+	default:
+		return nil, cInstr{}, false
+	}
+	ss, ok := chainSteps(p, instrs[:len(instrs)-1], bi, counting)
+	if !ok {
+		return nil, cInstr{}, false
+	}
+	return ss, tm, true
+}
+
+func buildRegion(p *program, hbi int, fl tFlavor, cross map[int32]bool, counting bool) cLoop {
+	hss, htm, ok := lowerRegionBlock(p, hbi, fl, cross, counting)
+	if !ok || htm.op == xBr {
+		return nil // a loop seed is a conditional branch (the loop test)
+	}
+	// Phase 1: collect members breadth-first. Blocks that fail
+	// lowerRegionBlock stay outside and become exit targets.
+	type member struct {
+		ss []vstep
+		tm cInstr
+	}
+	idx := map[int32]int32{int32(hbi): 0}
+	mems := []member{{ss: hss, tm: htm}}
+	order := []int32{int32(hbi)}
+	rejected := map[int32]bool{}
+	queue := []int32{htm.t, htm.f}
+	for len(queue) > 0 && len(mems) < maxRegion {
+		b := queue[0]
+		queue = queue[1:]
+		if _, ok := idx[b]; ok || rejected[b] {
+			continue
+		}
+		ss, tm, ok := lowerRegionBlock(p, int(b), fl, cross, counting)
+		if !ok {
+			rejected[b] = true
+			continue
+		}
+		idx[b] = int32(len(mems))
+		mems = append(mems, member{ss: ss, tm: tm})
+		order = append(order, b)
+		if tm.op == xBr {
+			queue = append(queue, tm.t)
+		} else {
+			queue = append(queue, tm.t, tm.f)
+		}
+	}
+	// Phase 2: resolve targets and require a back edge to the seed.
+	region := make([]regBlock, len(mems))
+	resolve := func(g int32) int32 {
+		if ri, ok := idx[g]; ok {
+			return ri
+		}
+		return ^g
+	}
+	back := false
+	for i, mm := range mems {
+		tm := mm.tm
+		rb := regBlock{
+			ss: mm.ss, bi: order[i], size: p.blocks[order[i]].size,
+			kind: tm.op, pred: tm.pred, ta0: tm.a0, ta1: tm.a1, tid: tm.id,
+			t: resolve(tm.t), f: resolve(tm.f),
+		}
+		if i > 0 && (rb.t == 0 || (tm.op != xBr && rb.f == 0)) {
+			back = true
+		}
+		region[i] = rb
+	}
+	if !back {
+		return nil
+	}
+	return regionClosure(region, counting)
+}
+
+// regionClosure builds the fused region runner. On entry the trampoline
+// has already charged the seed block (counter, fuel, Steps), so the
+// dispatch loop starts with its body; every region-internal transition
+// replays the trampoline's accounting inline before entering the next
+// block. In the counting flavor m.ctr is always non-nil (flavor
+// selection guarantees it), so the counter bump needs no nil check.
+func regionClosure(region []regBlock, counting bool) cLoop {
+	return func(m *Machine, vs []uint64, fuel int, steps uint64) (int32, int, uint64) {
+		// The block-counter slice is loaded once per region entry, not
+		// per transition (the counting flavor guarantees m.ctr != nil).
+		var blk []uint64
+		if counting {
+			blk = m.ctr.Block
+		}
+		ri := int32(0)
+		for {
+			rb := &region[ri]
+			if len(rb.ss) > 0 {
+				execSteps(m, vs, rb.ss)
+			}
+			var next int32
+			switch rb.kind {
+			case xBr:
+				next = rb.t
+			case xCondBr:
+				if vs[rb.ta0] != 0 {
+					next = rb.t
+				} else {
+					next = rb.f
+				}
+			default: // xCmpBr: store the compare result, then branch on it
+				var b bool
+				switch rb.pred {
+				case ir.PredEQ:
+					b = vs[rb.ta0] == vs[rb.ta1]
+				case ir.PredNE:
+					b = vs[rb.ta0] != vs[rb.ta1]
+				case ir.PredULT:
+					b = vs[rb.ta0] < vs[rb.ta1]
+				case ir.PredULE:
+					b = vs[rb.ta0] <= vs[rb.ta1]
+				case ir.PredUGT:
+					b = vs[rb.ta0] > vs[rb.ta1]
+				case ir.PredUGE:
+					b = vs[rb.ta0] >= vs[rb.ta1]
+				}
+				vs[rb.tid] = b2u(b)
+				if b {
+					next = rb.t
+				} else {
+					next = rb.f
+				}
+			}
+			if next < 0 {
+				return ^next, fuel, steps
+			}
+			nb := &region[next]
+			if counting {
+				blk[nb.bi]++
+			}
+			fuel -= nb.size
+			if fuel < 0 {
+				return fuelSignal, fuel, steps
+			}
+			steps += uint64(nb.size)
+			ri = next
+		}
+	}
+}

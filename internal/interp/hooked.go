@@ -1,0 +1,170 @@
+package interp
+
+// Hooked-flavor lowering. Hook traces are part of the backend's
+// determinism contract, so this flavor compiles strictly 1:1 — no
+// fusion — with each instruction's hook callouts reproduced in the
+// reference loop's order. Counters may be attached alongside hooks, so
+// unlike the counting flavor (which assumes m.ctr non-nil) these
+// closures nil-check both at run time, exactly like the reference loop.
+
+// hookedHead fires the block-entry events: OnBlock, then OnCompute if
+// the block has compute instructions. The trampoline has already
+// incremented the block counter.
+func hookedHead(p *program, bi int) cOp {
+	nc := p.blocks[bi].nCompute
+	return func(m *Machine, vs []uint64) {
+		if m.hooks.OnBlock != nil {
+			m.hooks.OnBlock(bi)
+		}
+		if m.hooks.OnCompute != nil && nc > 0 {
+			m.hooks.OnCompute(bi, nc)
+		}
+	}
+}
+
+// hookedOp compiles one instruction for the hooked flavor.
+func hookedOp(p *program, in *cInstr, bi int) cOp {
+	nb := len(p.blocks)
+	switch in.op {
+	case xLLoad:
+		id, s := in.id, in.slot
+		return func(m *Machine, vs []uint64) {
+			vs[id] = vs[s]
+			if m.hooks.OnLocal != nil {
+				m.hooks.OnLocal(false, bi)
+			}
+		}
+	case xLStore:
+		a0, s, mask := in.a0, in.slot, in.mask
+		return func(m *Machine, vs []uint64) {
+			vs[s] = vs[a0] & mask
+			if m.hooks.OnLocal != nil {
+				m.hooks.OnLocal(true, bi)
+			}
+		}
+	case xGLoadS:
+		id, gi := in.id, in.gidx
+		name := p.strs[in.sidx].global
+		k := int(gi)*nb + bi
+		return func(m *Machine, vs []uint64) {
+			vs[id] = m.gl[gi].scalar
+			if m.ctr != nil {
+				m.ctr.State[k]++
+			}
+			if m.hooks.OnState != nil {
+				m.hooks.OnState(name, false, 0, bi)
+			}
+		}
+	case xGStoreS:
+		a0, gi, mask := in.a0, in.gidx, in.mask
+		name := p.strs[in.sidx].global
+		k := int(gi)*nb + bi
+		return func(m *Machine, vs []uint64) {
+			m.gl[gi].scalar = vs[a0] & mask
+			if m.ctr != nil {
+				m.ctr.State[k]++
+			}
+			if m.hooks.OnState != nil {
+				m.hooks.OnState(name, true, 0, bi)
+			}
+		}
+	case xGLoadAP:
+		id, a0, gi := in.id, in.a0, in.gidx
+		amask := uint64(p.gmeta[gi].len - 1)
+		name := p.strs[in.sidx].global
+		k := int(gi)*nb + bi
+		return func(m *Machine, vs []uint64) {
+			idx := vs[a0] & amask
+			vs[id] = m.gl[gi].array[idx]
+			if m.ctr != nil {
+				m.ctr.State[k]++
+			}
+			if m.hooks.OnState != nil {
+				m.hooks.OnState(name, false, idx, bi)
+			}
+		}
+	case xGLoadA:
+		id, a0, gi := in.id, in.a0, in.gidx
+		alen := uint64(p.gmeta[gi].len)
+		name := p.strs[in.sidx].global
+		k := int(gi)*nb + bi
+		return func(m *Machine, vs []uint64) {
+			idx := vs[a0] % alen
+			vs[id] = m.gl[gi].array[idx]
+			if m.ctr != nil {
+				m.ctr.State[k]++
+			}
+			if m.hooks.OnState != nil {
+				m.hooks.OnState(name, false, idx, bi)
+			}
+		}
+	case xGStoreAP:
+		a0, a1, gi, mask := in.a0, in.a1, in.gidx, in.mask
+		amask := uint64(p.gmeta[gi].len - 1)
+		name := p.strs[in.sidx].global
+		k := int(gi)*nb + bi
+		return func(m *Machine, vs []uint64) {
+			idx := vs[a1] & amask
+			m.gl[gi].array[idx] = vs[a0] & mask
+			if m.ctr != nil {
+				m.ctr.State[k]++
+			}
+			if m.hooks.OnState != nil {
+				m.hooks.OnState(name, true, idx, bi)
+			}
+		}
+	case xGStoreA:
+		a0, a1, gi, mask := in.a0, in.a1, in.gidx, in.mask
+		alen := uint64(p.gmeta[gi].len)
+		name := p.strs[in.sidx].global
+		k := int(gi)*nb + bi
+		return func(m *Machine, vs []uint64) {
+			idx := vs[a1] % alen
+			m.gl[gi].array[idx] = vs[a0] & mask
+			if m.ctr != nil {
+				m.ctr.State[k]++
+			}
+			if m.hooks.OnState != nil {
+				m.hooks.OnState(name, true, idx, bi)
+			}
+		}
+	case xCallPayload:
+		id, a0 := in.id, in.a0
+		callee, global := p.strs[in.sidx].callee, p.strs[in.sidx].global
+		return func(m *Machine, vs []uint64) {
+			if i := vs[a0]; i < uint64(len(m.pkt.Payload)) {
+				vs[id] = uint64(m.pkt.Payload[i])
+			} else {
+				vs[id] = 0
+			}
+			if m.hooks.OnAPI != nil {
+				m.hooks.OnAPI(callee, global, 0, 0, bi)
+			}
+		}
+	case xCallSetPayload:
+		a0, a1 := in.a0, in.a1
+		callee, global := p.strs[in.sidx].callee, p.strs[in.sidx].global
+		return func(m *Machine, vs []uint64) {
+			if i := vs[a0]; i < uint64(len(m.pkt.Payload)) {
+				m.pkt.Payload[i] = byte(vs[a1])
+			}
+			if m.hooks.OnAPI != nil {
+				m.hooks.OnAPI(callee, global, 0, 0, bi)
+			}
+		}
+	case xCallHash32:
+		id, a0 := in.id, in.a0
+		callee, global := p.strs[in.sidx].callee, p.strs[in.sidx].global
+		return func(m *Machine, vs []uint64) {
+			vs[id] = uint64(Hash32(vs[a0]))
+			if m.hooks.OnAPI != nil {
+				m.hooks.OnAPI(callee, global, 0, 0, bi)
+			}
+		}
+	case xCall:
+		// Machine.call fires the API hooks and counters itself.
+		return genericCall(in, bi)
+	default:
+		return aluOp(in)
+	}
+}

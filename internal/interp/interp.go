@@ -14,17 +14,28 @@
 //
 // The interpreter precompiles IR into a flat internal form so per-packet
 // execution involves no map lookups or allocation. Compiled programs are
-// immutable and shared: a bounded cache keyed by module identity means a
-// fleet analyzing the same NF under many workloads (or a simulator
-// spinning up many machines) compiles it once. Constants are pooled into
-// the tail of the value array at compile time, so every operand read is
-// one unconditional slice index, and fuel/step accounting is charged per
+// immutable and shared: a bounded cache keyed by the module's content
+// hash (ir.Fingerprint, the same key the fleet prediction cache and the
+// cluster coordinator's routing use) means a fleet analyzing the same NF
+// under many workloads — or a serving worker receiving the same source
+// in many requests — compiles it once. Constants are pooled into the
+// tail of the value array at compile time, so every operand read is one
+// unconditional slice index, and fuel/step accounting is charged per
 // basic block instead of per instruction (blocks always retire fully —
 // the terminator is the last instruction — so counts stay exact).
+//
+// On top of the flat form sits a second, direct-threaded backend
+// (compile.go, program.go): each block is lowered once into a sequence
+// of fused Go closures, so per-packet execution runs no opcode switch at
+// all. The threaded backend is observationally identical to the
+// reference switch loop — Steps, fuel, counters, and hook traces are
+// bit-for-bit the same — and Config.Backend (or SetDefaultBackend)
+// selects between them.
 package interp
 
 import (
 	"container/list"
+	"crypto/sha256"
 	"fmt"
 	"sync"
 
@@ -80,6 +91,9 @@ type Config struct {
 	LPMTable []Route
 	// Seed seeds the rand32 intrinsic.
 	Seed uint64
+	// Backend selects the execution engine; BackendAuto (the zero value)
+	// uses the process default (see SetDefaultBackend).
+	Backend Backend
 }
 
 const defaultFuel = 1 << 20
@@ -240,11 +254,28 @@ type cBlock struct {
 	size int
 }
 
+// gmeta is the per-global metadata the threaded compiler needs to bind
+// closures without the module in hand: the global's kind (to validate
+// that map/vec APIs target the right structure statically) and its
+// declared length (to capture pow2 masks and modulo lengths as closure
+// constants instead of chasing m.gl[gidx] at run time).
+type gmeta struct {
+	kind ir.GlobalKind
+	len  int
+}
+
 // program is a module's compiled, immutable form: every Machine built
 // for the same module shares one program (blocks, const pool, global
 // index) and only allocates its own mutable state. Compilation does not
 // depend on Config — map-mode and fuel only matter at runtime — so one
 // program serves host and NIC machines alike.
+//
+// The threaded lowerings hang off the program lazily, one per flavor
+// (plain / counting / hooked), built on first demand under tOnce so
+// every machine for the module shares them. A nil entry after its Once
+// has fired means the threaded compiler declined the module (some
+// construct failed static validation) and machines fall back to the
+// reference loop.
 type program struct {
 	blocks []cBlock
 	nvals  int      // f.NumVals; const pool occupies vals[nvals:]
@@ -252,6 +283,16 @@ type program struct {
 	strs   []cstr   // hooks metadata, indexed by cInstr.sidx
 	nslots int
 	gidx   map[string]int
+	gmeta  []gmeta
+
+	tOnce [numFlavors]sync.Once
+	tProg [numFlavors]*threaded
+
+	// mpool recycles released machines per map mode (HostMap, NICMap —
+	// the state layouts differ, so the pools must not mix). Reuse turns
+	// machine construction for a stateful NF from megabytes of zeroed
+	// allocation into a generation bump plus a register-file clear.
+	mpool [2]sync.Pool
 }
 
 // progCacheCap bounds the compiled-program cache. Library modules are
@@ -262,22 +303,26 @@ const progCacheCap = 128
 
 var progCache = struct {
 	mu  sync.Mutex
-	m   map[*ir.Module]*list.Element // values are *progEntry
+	m   map[[sha256.Size]byte]*list.Element // values are *progEntry
 	lru *list.List
-}{m: make(map[*ir.Module]*list.Element), lru: list.New()}
+}{m: make(map[[sha256.Size]byte]*list.Element), lru: list.New()}
 
 type progEntry struct {
-	mod  *ir.Module
+	key  [sha256.Size]byte
 	prog *program
 	err  error
 }
 
 // programFor returns mod's compiled program, compiling and caching it on
-// first use. Keying by module identity is sound because ir.Modules are
-// immutable once built.
+// first use. The cache keys by content hash (ir.Fingerprint) rather than
+// pointer identity, so distinct parses of identical source — the serving
+// path hands each request a fresh *ir.Module — share one compiled
+// program and its threaded lowerings. Hashing is sound because
+// ir.Modules are immutable once built.
 func programFor(mod *ir.Module) (*program, error) {
+	key := ir.Fingerprint(mod)
 	progCache.mu.Lock()
-	if el, ok := progCache.m[mod]; ok {
+	if el, ok := progCache.m[key]; ok {
 		progCache.lru.MoveToFront(el)
 		e := el.Value.(*progEntry)
 		progCache.mu.Unlock()
@@ -289,20 +334,34 @@ func programFor(mod *ir.Module) (*program, error) {
 	// (both results are equivalent and one wins the map).
 	prog, err := compileModule(mod)
 	progCache.mu.Lock()
-	if el, ok := progCache.m[mod]; ok {
+	if el, ok := progCache.m[key]; ok {
 		progCache.lru.MoveToFront(el)
 		e := el.Value.(*progEntry)
 		progCache.mu.Unlock()
 		return e.prog, e.err
 	}
-	progCache.m[mod] = progCache.lru.PushFront(&progEntry{mod: mod, prog: prog, err: err})
+	progCache.m[key] = progCache.lru.PushFront(&progEntry{key: key, prog: prog, err: err})
 	for progCache.lru.Len() > progCacheCap {
 		oldest := progCache.lru.Back()
 		progCache.lru.Remove(oldest)
-		delete(progCache.m, oldest.Value.(*progEntry).mod)
+		delete(progCache.m, oldest.Value.(*progEntry).key)
 	}
 	progCache.mu.Unlock()
 	return prog, err
+}
+
+// Precompile warms the program cache for mod and builds its counting
+// threaded lowering (the flavor host profiling uses), so the first
+// packet of a later analysis pays no compile latency. The fleet calls
+// this during batch prewarm alongside prediction claiming. Errors are
+// the same ones New would report.
+func Precompile(mod *ir.Module) error {
+	prog, err := programFor(mod)
+	if err != nil {
+		return err
+	}
+	prog.threadedFor(fCounting)
+	return nil
 }
 
 // compiler builds one program; pool deduplicates constants by (already
@@ -329,8 +388,10 @@ func compileModule(mod *ir.Module) (*program, error) {
 		pool:    make(map[uint64]int32),
 		strPool: make(map[cstr]int32),
 	}
+	c.p.gmeta = make([]gmeta, len(mod.Globals))
 	for i, g := range mod.Globals {
 		c.p.gidx[g.Name] = i
+		c.p.gmeta[i] = gmeta{kind: g.Kind, len: g.Len}
 	}
 	c.p.blocks = make([]cBlock, len(f.Blocks))
 	for bi, b := range f.Blocks {
@@ -365,20 +426,46 @@ func compileModule(mod *ir.Module) (*program, error) {
 	return c.p, nil
 }
 
-// mslot is one NIC-map slot.
+// mslot is one NIC-map slot. The generation stamp makes whole-table
+// reset O(1): a slot whose gen trails the table's reads as free, so
+// clearing a multi-MB flow table costs one counter bump instead of a
+// memclr (padding absorbs the field — mslot stays 24 bytes).
 type mslot struct {
 	key   uint64
 	val   uint64
-	state uint8 // 0 free, 1 used, 2 invalid (deleted)
+	gen   uint32
+	state uint8 // 0 free, 1 used, 2 invalid (deleted); valid only when gen is current
 }
 
 type nicMapState struct {
 	slots   []mslot
 	buckets int
 	size    int
+	gen     uint32
 	// FailedInserts counts inserts dropped because a bucket was full —
 	// the kind of behavioural divergence reverse porting exists to expose.
 	failedInserts int
+}
+
+// st reads a slot's effective state under the current generation.
+func (nm *nicMapState) st(s *mslot) uint8 {
+	if s.gen != nm.gen {
+		return 0
+	}
+	return s.state
+}
+
+// reset invalidates every slot by advancing the generation. On uint32
+// wraparound the slots are cleared for real so stamps from four billion
+// generations ago cannot alias the new one.
+func (nm *nicMapState) reset() {
+	nm.gen++
+	if nm.gen == 0 {
+		clear(nm.slots)
+		nm.gen = 1
+	}
+	nm.size = 0
+	nm.failedInserts = 0
 }
 
 // vecState backs a Click-Vector-style global. In host mode the slice
@@ -431,16 +518,28 @@ type Machine struct {
 	Mod    *ir.Module
 	cfg    Config
 	hooks  Hooks
-	blocks []cBlock // shared with every Machine for this module; read-only
-	vals   []uint64 // [0:nvals) instruction results, [nvals:) const pool
-	slots  []uint64
-	gl     []*globalState
-	gidx   map[string]int // shared with the program; read-only
-	strs   []cstr         // shared with the program; read-only
-	ctr    *Counters
-	rng    uint64
-	pkt    *traffic.Packet
-	fuel   int
+	prog   *program // shared, immutable
+	blocks []cBlock // prog.blocks; kept unrolled for the reference loop
+	// regs is the single backing array for all mutable per-packet cells:
+	// local slots first, then instruction results, then the const pool.
+	// vals and slots are views into it. The threaded backend passes regs
+	// to every closure with operands pre-offset into the combined space
+	// (one slice argument instead of two), while the reference loop keeps
+	// addressing the vals/slots views.
+	regs    []uint64
+	vals    []uint64 // [0:nvals) instruction results, [nvals:) const pool
+	slots   []uint64
+	gl      []*globalState
+	gidx    map[string]int // shared with the program; read-only
+	strs    []cstr         // shared with the program; read-only
+	ctr     *Counters
+	rng     uint64
+	pkt     *traffic.Packet
+	fuel    int
+	backend Backend // resolved: BackendCompiled or BackendReference
+	// err carries a runtime error out of a threaded closure (closures
+	// return nothing, so the block loop checks it after the sequence).
+	err error
 	// ewma is the host-side double-precision rate average backing the
 	// ewma_rate intrinsic (Click AverageCounter semantics).
 	ewma float64
@@ -459,19 +558,28 @@ func New(mod *ir.Module, cfg Config) (*Machine, error) {
 	if cfg.Fuel == 0 {
 		cfg.Fuel = defaultFuel
 	}
-	nslots := prog.nslots
-	if nslots == 0 {
-		nslots = 1
+	if cfg.Mode == HostMap || cfg.Mode == NICMap {
+		if v := prog.mpool[cfg.Mode].Get(); v != nil {
+			m := v.(*Machine)
+			m.Mod = mod // same fingerprint, possibly a different parse
+			m.reset(cfg)
+			return m, nil
+		}
 	}
+	nslots := int(prog.vsOff())
+	regs := make([]uint64, nslots+prog.nvals+len(prog.pool))
 	m := &Machine{
-		Mod:    mod,
-		cfg:    cfg,
-		blocks: prog.blocks,
-		vals:   make([]uint64, prog.nvals+len(prog.pool)),
-		slots:  make([]uint64, nslots),
-		gidx:   prog.gidx,
-		strs:   prog.strs,
-		rng:    cfg.Seed*2654435761 + 0x9E3779B97F4A7C15,
+		Mod:     mod,
+		cfg:     cfg,
+		prog:    prog,
+		blocks:  prog.blocks,
+		regs:    regs,
+		vals:    regs[nslots:],
+		slots:   regs[:nslots],
+		gidx:    prog.gidx,
+		strs:    prog.strs,
+		rng:     cfg.Seed*2654435761 + 0x9E3779B97F4A7C15,
+		backend: cfg.Backend.resolve(),
 	}
 	copy(m.vals[prog.nvals:], prog.pool)
 	m.gl = make([]*globalState, 0, len(mod.Globals))
@@ -491,7 +599,7 @@ func New(mod *ir.Module, cfg Config) (*Machine, error) {
 				if buckets == 0 {
 					buckets = 1
 				}
-				st.nmap = &nicMapState{slots: make([]mslot, buckets*BucketSlots), buckets: buckets}
+				st.nmap = &nicMapState{slots: make([]mslot, buckets*BucketSlots), buckets: buckets, gen: 1}
 			}
 		case ir.GVec:
 			st.vec = &vecState{nic: cfg.Mode == NICMap, cap: g.Len}
@@ -503,6 +611,36 @@ func New(mod *ir.Module, cfg Config) (*Machine, error) {
 		m.gl = append(m.gl, st)
 	}
 	return m, nil
+}
+
+// reset restores a pooled machine to the state New hands out: fresh
+// config-derived fields, a zeroed register file (the const-pool tail is
+// immutable and kept), and all global state cleared. Every field a
+// packet run can touch is covered — a pooled machine must be
+// indistinguishable from a freshly built one.
+func (m *Machine) reset(cfg Config) {
+	m.cfg = cfg
+	m.hooks = Hooks{}
+	m.ctr = nil
+	m.err = nil
+	m.ewma = 0
+	m.Steps = 0
+	m.pkt = nil
+	m.rng = cfg.Seed*2654435761 + 0x9E3779B97F4A7C15
+	m.backend = cfg.Backend.resolve()
+	clear(m.regs[:len(m.regs)-len(m.prog.pool)])
+	m.ResetState()
+}
+
+// Release returns m to its program's machine pool; a later New for a
+// module with the same fingerprint and map mode reuses the allocated
+// state (multi-MB flow tables) after an O(1) generation reset instead
+// of reallocating and zeroing it. The caller must not use m — or any
+// Counters it handed out — after Release.
+func (m *Machine) Release() {
+	if m.cfg.Mode == HostMap || m.cfg.Mode == NICMap {
+		m.prog.mpool[m.cfg.Mode].Put(m)
+	}
 }
 
 // SetHooks installs execution hooks (may be called between packets).
@@ -705,7 +843,43 @@ func (c *compiler) compileInstr(in *ir.Instr) (cInstr, error) {
 
 // RunPacket executes the handler for one packet. The packet's disposition
 // fields are updated in place.
+//
+// The compiled (direct-threaded) backend runs unless the machine was
+// configured with BackendReference or the threaded compiler declined the
+// module; either way every observable — Steps, fuel, counters, hook
+// traces, packet and state mutations — is identical between backends.
 func (m *Machine) RunPacket(p *traffic.Packet) error {
+	if m.backend == BackendCompiled {
+		fl := m.flavor()
+		if t := m.prog.threadedFor(fl); t != nil {
+			if fl == fHooked {
+				return m.runThreadedHooked(t, p)
+			}
+			return m.runThreaded(t, p)
+		}
+	}
+	return m.runReference(p)
+}
+
+// flavor picks the threaded specialization the machine's current
+// observability configuration needs. Hooks may change between packets
+// (SetHooks), so this is re-evaluated per packet.
+func (m *Machine) flavor() tFlavor {
+	h := &m.hooks
+	if h.OnBlock != nil || h.OnState != nil || h.OnLocal != nil ||
+		h.OnCompute != nil || h.OnAPI != nil {
+		return fHooked
+	}
+	if m.ctr != nil {
+		return fCounting
+	}
+	return fPlain
+}
+
+// runReference is the original switch-dispatch interpreter loop. It is
+// the semantic definition of execution: the threaded backend is tested
+// (differentially and under fuzzing) to match it bit for bit.
+func (m *Machine) runReference(p *traffic.Packet) error {
 	p.Reset()
 	m.pkt = p
 	m.fuel = m.cfg.Fuel

@@ -1,0 +1,270 @@
+package interp
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"clara/internal/traffic"
+)
+
+// Backend selects the execution engine for a Machine.
+//
+// BackendCompiled runs direct-threaded closure programs (compile.go):
+// each basic block is lowered once into a flat sequence of fused Go
+// closures with operand indices, global slots, pow2 masks, and branch
+// targets bound at compile time, so per-packet execution performs no
+// opcode dispatch. BackendReference runs the original switch loop, which
+// remains the semantic definition the compiled backend is verified
+// against. The two are observationally identical — Steps, fuel, state
+// counters, hook traces, packet mutations — differing only in speed.
+type Backend uint8
+
+const (
+	// BackendAuto defers to the process default (SetDefaultBackend);
+	// out of the box that is BackendCompiled.
+	BackendAuto Backend = iota
+	// BackendCompiled executes direct-threaded closure programs.
+	BackendCompiled
+	// BackendReference executes the switch-dispatch interpreter.
+	BackendReference
+)
+
+// defaultBackend is the process-wide resolution of BackendAuto,
+// adjustable at runtime (clara -interp, server config).
+var defaultBackend atomic.Int32
+
+func init() { defaultBackend.Store(int32(BackendCompiled)) }
+
+// SetDefaultBackend sets what BackendAuto resolves to for machines built
+// afterwards. BackendAuto itself is rejected.
+func SetDefaultBackend(b Backend) error {
+	switch b {
+	case BackendCompiled, BackendReference:
+		defaultBackend.Store(int32(b))
+		return nil
+	default:
+		return fmt.Errorf("interp: invalid default backend %d", b)
+	}
+}
+
+// DefaultBackend reports what BackendAuto currently resolves to.
+func DefaultBackend() Backend { return Backend(defaultBackend.Load()) }
+
+// ParseBackend maps the CLI/config spelling of a backend name.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "", "auto":
+		return BackendAuto, nil
+	case "compiled":
+		return BackendCompiled, nil
+	case "reference":
+		return BackendReference, nil
+	default:
+		return BackendAuto, fmt.Errorf("interp: unknown backend %q (want compiled or reference)", s)
+	}
+}
+
+// String returns the ParseBackend spelling.
+func (b Backend) String() string {
+	switch b {
+	case BackendCompiled:
+		return "compiled"
+	case BackendReference:
+		return "reference"
+	default:
+		return "auto"
+	}
+}
+
+func (b Backend) resolve() Backend {
+	if b == BackendAuto {
+		return DefaultBackend()
+	}
+	return b
+}
+
+// tFlavor indexes the threaded specializations of a program. Splitting
+// by observability at compile time is what lets the hot flavors drop
+// every per-instruction nil check: the plain flavor carries no counter
+// or hook code at all, the counting flavor bakes each event's flat
+// counter index into its closure as a captured constant, and the hooked
+// flavor — the only one whose event stream is externally visible — is
+// compiled 1:1 with no fusion so hook traces are ordered exactly like
+// the reference loop's.
+type tFlavor uint8
+
+const (
+	fPlain    tFlavor = iota // no counters, no hooks
+	fCounting                // counters attached, no hooks
+	fHooked                  // hooks attached (counters optional)
+	numFlavors
+)
+
+// cOp is one threaded straight-line operation. The machine's combined
+// register array (local slots, then instruction results, then the const
+// pool — see Machine.regs) is passed as an argument so closure bodies
+// read it out of registers: loading it from the Machine per access would
+// force the compiler to reload the slice header after every store.
+// Operand indices are pre-offset into the combined space at compile
+// time. cTerm is a block terminator: it returns the next block index, or
+// retSignal to stop.
+type cOp func(m *Machine, vs []uint64)
+type cTerm func(m *Machine, vs []uint64) int32
+
+// retSignal is the cTerm return meaning "handler returned".
+const retSignal = int32(-1)
+
+// cLoop executes a whole loop cycle (header plus back-edge blocks) in
+// one indirect call. Fuel and Steps travel through the arguments — the
+// plain/counting trampoline keeps them in locals, and a cycle must
+// charge them per block entry exactly as the trampoline would — and the
+// returned block index is the loop's exit target, or fuelSignal when
+// fuel ran out at a block entry inside the cycle.
+type cLoop func(m *Machine, vs []uint64, fuel int, steps uint64) (int32, int, uint64)
+
+// fuelSignal is the cLoop return meaning "fuel exhausted mid-cycle".
+const fuelSignal = int32(-2)
+
+// tBlock is one basic block in threaded form.
+type tBlock struct {
+	// head fires the hooked flavor's block-entry events (OnBlock,
+	// OnCompute); nil in the plain and counting flavors.
+	head cOp
+	ops  []cOp
+	term cTerm
+	// runAll, when non-nil, executes the whole block — body and
+	// terminator — in a single indirect call (chainRunAll); ops and term
+	// are then unused. Only blocks whose every instruction is
+	// chain-fusable get one, which also means they carry no Machine.call
+	// ops, so the trampoline's chk gate cannot apply.
+	runAll cTerm
+	// cycle, when non-nil, marks this block as the header of a fused
+	// loop cycle (attachCycles): the closure runs the whole loop to its
+	// exit with per-block accounting inlined, and takes priority over
+	// runAll/ops in the plain and counting trampolines.
+	cycle cLoop
+	// size is the source IR instruction count — fuel, Steps, and compute
+	// hooks charge by it, so fusion never changes the cost model.
+	size int
+	// chk marks blocks containing an op routed through Machine.call (the
+	// only ops that can set m.err); the trampoline skips the error gate
+	// for every other block.
+	chk bool
+}
+
+// threaded is one flavor's lowering of a program: shared, immutable, and
+// machine-independent (closures reach mutable state only through the
+// *Machine they are passed).
+type threaded struct {
+	blocks []tBlock
+}
+
+// threadedFor returns the program's threaded lowering for one flavor,
+// building it on first use. A nil result (sticky, via the Once) means
+// the threaded compiler declined the module and callers must use the
+// reference loop.
+func (p *program) threadedFor(fl tFlavor) *threaded {
+	p.tOnce[fl].Do(func() { p.tProg[fl] = compileThreaded(p, fl) })
+	return p.tProg[fl]
+}
+
+// runThreaded executes one packet through a plain- or counting-flavor
+// threaded program. The block trampoline reproduces the reference loop's
+// observable order exactly: block counter, then the fuel check (a packet
+// that exhausts fuel aborts at block entry with Steps not charged for
+// the aborted block), then the instruction sequence, then the
+// terminator. Fuel and Steps live in locals while the loop runs — no
+// hooks exist in these flavors, so nothing can observe the machine
+// mid-packet — and are flushed on every exit path so the fields read
+// exactly as the reference loop leaves them.
+func (m *Machine) runThreaded(t *threaded, p *traffic.Packet) error {
+	p.Reset()
+	m.pkt = p
+	m.err = nil
+	ctr := m.ctr
+	vs := m.regs
+	fuel := m.cfg.Fuel
+	steps := uint64(0)
+	bi := int32(0)
+	for {
+		cb := &t.blocks[bi]
+		if ctr != nil {
+			ctr.Block[bi]++
+		}
+		fuel -= cb.size
+		if fuel < 0 {
+			m.fuel = fuel
+			m.Steps += steps
+			return ErrFuel
+		}
+		steps += uint64(cb.size)
+		if cb.cycle != nil {
+			bi, fuel, steps = cb.cycle(m, vs, fuel, steps)
+			if bi == fuelSignal {
+				m.fuel = fuel
+				m.Steps += steps
+				return ErrFuel
+			}
+			continue
+		}
+		if cb.runAll != nil {
+			bi = cb.runAll(m, vs)
+			if bi < 0 {
+				m.fuel = fuel
+				m.Steps += steps
+				return nil
+			}
+			continue
+		}
+		for _, op := range cb.ops {
+			op(m, vs)
+		}
+		if cb.chk && m.err != nil {
+			m.fuel = fuel
+			m.Steps += steps
+			return m.err
+		}
+		bi = cb.term(m, vs)
+		if bi < 0 {
+			m.fuel = fuel
+			m.Steps += steps
+			return nil
+		}
+	}
+}
+
+// runThreadedHooked is the trampoline for the hooked flavor. Hook
+// callbacks are arbitrary user code that may inspect the machine (Steps,
+// fuel) mid-packet, so this variant keeps the accounting in the machine
+// fields per block, exactly like the reference loop, and fires the
+// block-entry events from the compiled head.
+func (m *Machine) runThreadedHooked(t *threaded, p *traffic.Packet) error {
+	p.Reset()
+	m.pkt = p
+	m.fuel = m.cfg.Fuel
+	m.err = nil
+	vs := m.regs
+	bi := int32(0)
+	for {
+		cb := &t.blocks[bi]
+		if m.ctr != nil {
+			m.ctr.Block[bi]++
+		}
+		cb.head(m, vs)
+		m.fuel -= cb.size
+		if m.fuel < 0 {
+			return ErrFuel
+		}
+		m.Steps += uint64(cb.size)
+		for _, op := range cb.ops {
+			op(m, vs)
+		}
+		if m.err != nil {
+			return m.err
+		}
+		bi = cb.term(m, vs)
+		if bi < 0 {
+			return nil
+		}
+	}
+}

@@ -19,6 +19,7 @@ package ir
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Type is an IR value type. The NFC language is an unsigned-integer subset
@@ -499,6 +500,13 @@ type Module struct {
 	Name    string
 	Globals []*Global
 	Funcs   []*Func
+
+	// fp memoizes Fingerprint. Modules are immutable once built (the
+	// invariant every fingerprint consumer already relies on), so the
+	// content hash is computed at most once; fpOnce makes the memo safe
+	// under the fleet's concurrent per-job hashing.
+	fp     [32]byte
+	fpOnce sync.Once
 }
 
 // HandlerName is the conventional name of an NF element's per-packet entry

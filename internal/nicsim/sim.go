@@ -2,7 +2,6 @@ package nicsim
 
 import (
 	"fmt"
-	"math"
 )
 
 // Result summarizes one simulated run of one NF.
@@ -38,12 +37,22 @@ type coreState struct {
 	start float64
 }
 
+// coreRef is one heap entry: a thread's next-action time paired with its
+// index into the flat thread array. Keeping the sort key inline keeps
+// every sift comparison inside the contiguous heap slice — the previous
+// []*coreState layout dereferenced a pointer per comparison, and those
+// cache misses dominated simulation time.
+type coreRef struct {
+	t  float64
+	ci int32
+}
+
 // coreHeap is a min-heap over core next-action times. The sift operations
 // are hand-rolled (same algorithm and tie behaviour as container/heap, so
 // schedules are unchanged) because the simulator re-sorts the root after
 // every event — an interface-dispatched Less/Swap pair per comparison
 // dominated simulation time.
-type coreHeap []*coreState
+type coreHeap []coreRef
 
 func (h coreHeap) Len() int { return len(h) }
 
@@ -189,7 +198,7 @@ func SimulateColocation(params Params, parts []Part) ([]Result, error) {
 
 	ghz := params.CoreGHz
 	states := make([]*partState, len(parts))
-	var cores coreHeap
+	var threads []coreState
 	var pipes []float64 // per-core compute-pipeline busy clocks
 	for i, p := range parts {
 		// Each colocated NF is fed through its own port at up to
@@ -210,17 +219,24 @@ func SimulateColocation(params Params, parts []Part) ([]Result, error) {
 			pipe := len(pipes)
 			pipes = append(pipes, 0)
 			for th := 0; th < params.ThreadsPerCore; th++ {
-				cores = append(cores, &coreState{part: i, pkt: -1, pipe: pipe})
+				threads = append(threads, coreState{part: i, pkt: -1, pipe: pipe})
 			}
 		}
+	}
+	cores := make(coreHeap, len(threads))
+	for i := range cores {
+		cores[i] = coreRef{ci: int32(i)}
 	}
 	cores.initHeap()
 
 	var servers [numServers]float64
 	wire := float64(params.WireOverheadCycles)
 
+	// Invariant: at the top of each iteration every heap entry's cached t
+	// equals its thread's t — only the root's t drifts while its events
+	// are applied, and it is written back right before fixRoot.
 	for cores.Len() > 0 {
-		c := cores[0]
+		c := &threads[cores[0].ci]
 		st := states[c.part]
 
 		if c.pkt < 0 {
@@ -237,6 +253,7 @@ func SimulateColocation(params Params, parts []Part) ([]Result, error) {
 			c.ev = st.ts.Off[c.pkt]
 			c.start = c.t
 			st.next++
+			cores[0].t = c.t
 			cores.fixRoot()
 			continue
 		}
@@ -263,26 +280,55 @@ func SimulateColocation(params Params, parts []Part) ([]Result, error) {
 			continue
 		}
 
-		ev := &st.ts.Events[c.ev]
-		c.ev++
-		if ev.Server == srvNone {
-			if ev.Kind == EvCompute {
-				// Compute serializes on the core's pipeline across its
-				// threads.
-				p := &pipes[c.pipe]
-				start := math.Max(c.t, *p)
-				*p = start + float64(ev.Cycles)
-				c.t = start + float64(ev.Cycles)
+		// Drain this core's events while it remains the earliest thread.
+		// The stay-or-yield test below uses exactly the comparisons
+		// fixRoot performs, so the batched loop replays the same global
+		// event order as re-extracting the root after every event — it
+		// only skips the redundant heap reads in between. (math.Max is
+		// spelled as a compare: these clocks are never NaN, and the
+		// intrinsic's NaN/±0 handling kept it from inlining.)
+		evEnd := st.ts.Off[c.pkt+1]
+		for {
+			ev := &st.ts.Events[c.ev]
+			c.ev++
+			if ev.Server == srvNone {
+				if ev.Kind == EvCompute {
+					// Compute serializes on the core's pipeline across its
+					// threads.
+					p := &pipes[c.pipe]
+					start := c.t
+					if *p > start {
+						start = *p
+					}
+					*p = start + float64(ev.Cycles)
+					c.t = start + float64(ev.Cycles)
+				} else {
+					// Pure latency (ingress-path handling): no core resource.
+					c.t += float64(ev.Cycles)
+				}
 			} else {
-				// Pure latency (ingress-path handling): no core resource.
-				c.t += float64(ev.Cycles)
+				s := &servers[ev.Server]
+				issue := c.t
+				if *s > issue {
+					issue = *s
+				}
+				*s = issue + float64(ev.Occupy)
+				c.t = issue + float64(ev.Cycles)
 			}
-		} else {
-			s := &servers[ev.Server]
-			issue := math.Max(c.t, *s)
-			*s = issue + float64(ev.Occupy)
-			c.t = issue + float64(ev.Cycles)
+			if c.ev >= evEnd {
+				break // packet complete: handled on re-extraction
+			}
+			if len(cores) > 1 {
+				j := 1
+				if len(cores) > 2 && cores[2].t < cores[1].t {
+					j = 2
+				}
+				if cores[j].t < c.t {
+					break // another thread is now earlier: yield
+				}
+			}
 		}
+		cores[0].t = c.t
 		cores.fixRoot()
 	}
 

@@ -150,6 +150,34 @@ func (r *Replayer) Next() Packet {
 	if len(p.Payload) > 0 {
 		p.Payload = append([]byte(nil), p.Payload...)
 	}
+	r.advance(&p)
+	return p
+}
+
+// NextBuf is Next with caller-provided payload scratch: the packet's
+// payload is copied into buf — grown once and then reused — instead of
+// a per-packet allocation, so a profiling loop that fully consumes each
+// packet before requesting the next runs allocation-free. The returned
+// buffer must be passed back in on the next call. Every other observable
+// (field values, timestamp shifting, loop behavior) matches Next
+// exactly.
+func (r *Replayer) NextBuf(buf []byte) (Packet, []byte) {
+	p := r.pkts[r.i]
+	if n := len(p.Payload); n > 0 {
+		if cap(buf) < n {
+			buf = make([]byte, n)
+		}
+		b := buf[:n]
+		copy(b, p.Payload)
+		p.Payload = b
+	}
+	r.advance(&p)
+	return p, buf
+}
+
+// advance applies the replay-loop bookkeeping shared by Next and
+// NextBuf: timestamp shifting, disposition reset, and wraparound.
+func (r *Replayer) advance(p *Packet) {
 	p.Time += r.offset
 	p.OutPort = -2
 	p.CsumUpdated = false
@@ -158,5 +186,4 @@ func (r *Replayer) Next() Packet {
 		r.i = 0
 		r.offset += r.span + 50
 	}
-	return p
 }
